@@ -1,0 +1,283 @@
+"""Shared infrastructure for the experiment benches.
+
+Every table/figure of the paper has one bench module. Heavy artifacts
+(the α × dimension sweep, the OpenFlights embeddings) are computed once
+per pytest session and shared through fixtures, mirroring the paper's own
+protocol of reusing one walk corpus across dimensions.
+
+Scale control
+-------------
+``V2V_SCALE=fast`` (default) runs laptop-sized versions whose *shapes*
+match the paper; ``V2V_SCALE=paper`` runs the published parameters
+(n = 1000, dims up to 600, the full α grid — expect an hour+). Every
+record the benches print and every CSV under ``benchmarks/results/``
+carries the parameters used, and EXPERIMENTS.md records which scale
+produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer
+from repro.datasets.openflights import OpenFlightsSpec, synthetic_openflights
+from repro.datasets.synthetic import community_benchmark
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """All experiment sizes in one place."""
+
+    name: str
+    # Community benchmark (Table I, Figs 3-7)
+    n: int
+    groups: int
+    inter_edges: int
+    alphas: tuple[float, ...]
+    dims: tuple[int, ...]
+    top_dim: int
+    walks_per_vertex: int
+    walk_length: int
+    epochs: int
+    table1_dim: int
+    kmeans_restarts: int
+    gn_sample_sources: int | None
+    # OpenFlights (Figs 8-10)
+    airports: int
+    countries_per_continent: int
+    of_walks: int
+    of_walk_length: int
+    of_epochs: int
+    fig9_dims: tuple[int, ...]
+    fig10_dims: tuple[int, ...]
+    knn_ks: tuple[int, ...] = tuple(range(1, 11))
+    cv_folds: int = 10
+    cv_repeats: int = 2
+    seed: int = 0
+
+
+FAST = BenchScale(
+    name="fast",
+    # n=400 in 8 groups of 50 keeps the paper's per-vertex degree signal
+    # (intra-degree ≈ alpha * 49 vs inter-degree 0.4) — shrinking the
+    # groups themselves would make alpha=0.1 undetectable for *every*
+    # method, which the paper's n=1000/100-per-group setup never is.
+    n=400,
+    groups=8,
+    inter_edges=80,
+    alphas=(0.1, 0.4, 0.7, 1.0),
+    dims=(20, 50, 100),
+    top_dim=100,
+    walks_per_vertex=6,
+    walk_length=30,
+    epochs=10,
+    table1_dim=10,
+    kmeans_restarts=100,
+    gn_sample_sources=40,
+    airports=500,
+    countries_per_continent=4,
+    of_walks=8,
+    of_walk_length=40,
+    of_epochs=5,
+    fig9_dims=(10, 20, 30, 50, 75, 100, 150),
+    fig10_dims=(20, 50, 100),
+)
+
+PAPER = BenchScale(
+    name="paper",
+    n=1000,
+    groups=10,
+    inter_edges=200,
+    alphas=tuple(round(0.1 * i, 1) for i in range(1, 11)),
+    dims=(20, 50, 100, 250, 600),
+    top_dim=600,
+    walks_per_vertex=10,
+    walk_length=80,
+    epochs=10,
+    table1_dim=10,
+    kmeans_restarts=100,
+    gn_sample_sources=100,
+    airports=3000,  # memory-capped stand-in for the 10k-airport dump
+    countries_per_continent=12,
+    of_walks=10,
+    of_walk_length=80,
+    of_epochs=5,
+    fig9_dims=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 300),
+    fig10_dims=(10, 50, 100),
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return PAPER if os.environ.get("V2V_SCALE") == "paper" else FAST
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def _v2v_config(scale: BenchScale, dim: int) -> V2VConfig:
+    return V2VConfig(
+        dim=dim,
+        walks_per_vertex=scale.walks_per_vertex,
+        walk_length=scale.walk_length,
+        epochs=scale.epochs,
+        tol=1e-2,
+        patience=2,
+        seed=scale.seed,
+    )
+
+
+@dataclass
+class SweepCell:
+    """One (α, dim) point of the community sweep."""
+
+    alpha: float
+    dim: int
+    precision: float
+    recall: float
+    train_seconds: float
+    cluster_seconds: float
+    epochs_run: int
+    vectors: np.ndarray
+    labels: np.ndarray
+    truth: np.ndarray
+
+
+@pytest.fixture(scope="session")
+def community_graphs(scale: BenchScale):
+    """One benchmark graph per α (independent seeds)."""
+    graphs = {}
+    seeds = np.random.SeedSequence(scale.seed).spawn(len(scale.alphas))
+    for alpha, child in zip(scale.alphas, seeds):
+        graphs[alpha] = community_benchmark(
+            alpha,
+            n=scale.n,
+            groups=scale.groups,
+            inter_edges=scale.inter_edges,
+            seed=np.random.default_rng(child),
+        )
+    return graphs
+
+
+@pytest.fixture(scope="session")
+def alpha_dim_sweep(scale: BenchScale, community_graphs) -> list[SweepCell]:
+    """The α × dim community-detection sweep behind Figs 4-7.
+
+    One walk corpus per α, reused across dimensions (the paper's own
+    protocol); k-means with the configured restarts per cell.
+    """
+    cells: list[SweepCell] = []
+    for alpha, graph in community_graphs.items():
+        truth = graph.vertex_labels("community")
+        corpus = generate_walks(
+            graph,
+            RandomWalkConfig(
+                walks_per_vertex=scale.walks_per_vertex,
+                walk_length=scale.walk_length,
+                seed=scale.seed,
+            ),
+        )
+        for dim in scale.dims:
+            model = V2V(_v2v_config(scale, dim))
+            with Timer() as t_train:
+                model.fit_corpus(corpus)
+            with Timer() as t_cluster:
+                km = KMeans(
+                    scale.groups, n_init=scale.kmeans_restarts, seed=scale.seed
+                ).fit(model.vectors)
+            p, r = pairwise_precision_recall(truth, km.labels)
+            cells.append(
+                SweepCell(
+                    alpha=alpha,
+                    dim=dim,
+                    precision=p,
+                    recall=r,
+                    train_seconds=t_train.seconds,
+                    cluster_seconds=t_cluster.seconds,
+                    epochs_run=model.result.epochs_run,
+                    vectors=model.vectors,
+                    labels=km.labels,
+                    truth=truth,
+                )
+            )
+    return cells
+
+
+@dataclass
+class FlightsData:
+    """Synthetic OpenFlights + embeddings at several dimensions."""
+
+    graph: object
+    continents: np.ndarray
+    countries: np.ndarray
+    vectors_by_dim: dict[int, np.ndarray]
+    train_seconds_by_dim: dict[int, float]
+
+
+@pytest.fixture(scope="session")
+def flights_data(scale: BenchScale) -> FlightsData:
+    graph = synthetic_openflights(
+        OpenFlightsSpec(
+            num_airports=scale.airports,
+            countries_per_continent=scale.countries_per_continent,
+            seed=scale.seed,
+        )
+    )
+    corpus = generate_walks(
+        graph,
+        RandomWalkConfig(
+            walks_per_vertex=scale.of_walks,
+            walk_length=scale.of_walk_length,
+            seed=scale.seed,
+        ),
+    )
+    dims = sorted(set(scale.fig9_dims) | set(scale.fig10_dims) | {50})
+    vectors: dict[int, np.ndarray] = {}
+    times: dict[int, float] = {}
+    for dim in dims:
+        cfg = V2VConfig(
+            dim=dim,
+            epochs=scale.of_epochs,
+            seed=scale.seed,
+            tol=1e-2,
+            patience=2,
+        )
+        model = V2V(cfg)
+        with Timer() as t:
+            model.fit_corpus(corpus)
+        vectors[dim] = model.vectors
+        times[dim] = t.seconds
+    return FlightsData(
+        graph=graph,
+        continents=graph.vertex_labels("continent"),
+        countries=graph.vertex_labels("country"),
+        vectors_by_dim=vectors,
+        train_seconds_by_dim=times,
+    )
+
+
+def emit(
+    name: str,
+    records: list[ExperimentRecord],
+    rendered: str,
+    results_dir: Path,
+) -> None:
+    """Print a report and persist it (txt + csv) under results/."""
+    from repro.bench.harness import write_records_csv
+
+    print(f"\n{'=' * 72}\n{rendered}\n{'=' * 72}")
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")
+    write_records_csv(records, results_dir / f"{name}.csv")

@@ -1,0 +1,82 @@
+"""Ablation: clustering route in embedding space.
+
+The paper clusters V2V vectors with k-means. Alternatives on the *same*
+embedding: Louvain on the k-NN similarity graph (no k needed), and
+label propagation on that graph. This quantifies how much of Table I's
+quality comes from the embedding vs from the k-means choice."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, _v2v_config
+from repro import V2V
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.community import label_propagation_communities, louvain_communities
+from repro.ml import KMeans, knn_graph, pairwise_precision_recall
+
+HYBRID_DIM = 32
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    model = V2V(_v2v_config(scale, HYBRID_DIM)).fit(graph)
+    vectors = model.vectors
+
+    records = []
+
+    with Timer() as t:
+        labels = KMeans(scale.groups, n_init=scale.kmeans_restarts, seed=scale.seed).fit_predict(vectors)
+    p, r = pairwise_precision_recall(truth, labels)
+    records.append(
+        ExperimentRecord(
+            params={"route": "kmeans", "needs_k": True},
+            values={"precision": p, "recall": r, "communities": float(labels.max() + 1), "seconds": t.seconds},
+        )
+    )
+
+    with Timer() as t:
+        sim_graph = knn_graph(vectors, k=10)
+        labels = louvain_communities(sim_graph, seed=scale.seed)
+    p, r = pairwise_precision_recall(truth, labels)
+    records.append(
+        ExperimentRecord(
+            params={"route": "knn+louvain", "needs_k": False},
+            values={"precision": p, "recall": r, "communities": float(labels.max() + 1), "seconds": t.seconds},
+        )
+    )
+
+    with Timer() as t:
+        sim_graph = knn_graph(vectors, k=10, mutual=True)
+        labels = label_propagation_communities(sim_graph, seed=scale.seed)
+    p, r = pairwise_precision_recall(truth, labels)
+    records.append(
+        ExperimentRecord(
+            params={"route": "knn+labelprop", "needs_k": False},
+            values={"precision": p, "recall": r, "communities": float(labels.max() + 1), "seconds": t.seconds},
+        )
+    )
+    return records
+
+
+def test_ablation_hybrid(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Ablation — clustering route on one embedding, dim={HYBRID_DIM} "
+            f"[scale={scale.name}]"
+        ),
+    )
+    emit("ablation_hybrid", records, rendered, results_dir)
+
+    by = {r.params["route"]: r.values for r in records}
+    assert by["kmeans"]["precision"] > 0.9
+    # The k-free hybrid route must also recover the structure (and the
+    # right community count, within slack).
+    assert by["knn+louvain"]["precision"] > 0.8
+    assert abs(by["knn+louvain"]["communities"] - scale.groups) <= scale.groups

@@ -1,0 +1,75 @@
+"""Ablation: CBOW (the paper's objective) vs SkipGram (DeepWalk/node2vec)
+on identical walk corpora, measured on community detection quality and
+training cost. Section VI positions V2V's CBOW choice against the
+SkipGram line of work; this bench quantifies the trade."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+ABLATION_DIM = 32
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    records = []
+    for alpha in (min(scale.alphas), max(scale.alphas)):
+        graph = community_graphs[alpha]
+        truth = graph.vertex_labels("community")
+        corpus = generate_walks(
+            graph,
+            RandomWalkConfig(
+                walks_per_vertex=scale.walks_per_vertex,
+                walk_length=scale.walk_length,
+                seed=scale.seed,
+            ),
+        )
+        for objective in ("cbow", "skipgram"):
+            cfg = V2VConfig(
+                dim=ABLATION_DIM,
+                objective=objective,
+                epochs=scale.epochs,
+                tol=1e-2,
+                patience=2,
+                seed=scale.seed,
+            )
+            model = V2V(cfg)
+            with Timer() as t:
+                model.fit_corpus(corpus)
+            labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(
+                model.vectors
+            )
+            p, r = pairwise_precision_recall(truth, labels)
+            records.append(
+                ExperimentRecord(
+                    params={"alpha": alpha, "objective": objective},
+                    values={
+                        "precision": p,
+                        "recall": r,
+                        "train_s": t.seconds,
+                        "epochs": float(model.result.epochs_run),
+                    },
+                )
+            )
+    return records
+
+
+def test_ablation_objective(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=f"Ablation — CBOW vs SkipGram, dim={ABLATION_DIM} [scale={scale.name}]",
+    )
+    emit("ablation_objective", records, rendered, results_dir)
+
+    # Both objectives must solve the strong-structure case.
+    strong = [r for r in records if r.params["alpha"] == max(scale.alphas)]
+    for r in strong:
+        assert r.values["precision"] > 0.9, r.params

@@ -1,0 +1,61 @@
+"""Ablation: k-means restart count (the paper repeats Lloyd 100×).
+
+Measures solution quality (inertia, pairwise precision) and cost across
+n_init ∈ {1, 10, 100} on one fixed embedding: how much do the paper's
+100 restarts actually buy?"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml import KMeans, pairwise_precision_recall
+
+RESTARTS = (1, 10, 100)
+ABLATION_DIM = 50
+
+
+def run(scale, cells) -> list[ExperimentRecord]:
+    alpha = min(scale.alphas)
+    cell = next(
+        c for c in cells if c.alpha == alpha and c.dim == ABLATION_DIM
+    )
+    records = []
+    for n_init in RESTARTS:
+        with Timer() as t:
+            result = KMeans(
+                scale.groups, n_init=n_init, seed=scale.seed
+            ).fit(cell.vectors)
+        p, r = pairwise_precision_recall(cell.truth, result.labels)
+        records.append(
+            ExperimentRecord(
+                params={"n_init": n_init},
+                values={
+                    "inertia": result.inertia,
+                    "precision": p,
+                    "recall": r,
+                    "cluster_s": t.seconds,
+                },
+            )
+        )
+    return records
+
+
+def test_ablation_restarts(benchmark, scale, alpha_dim_sweep, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, alpha_dim_sweep), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Ablation — k-means restarts at alpha={min(scale.alphas)}, "
+            f"dim={ABLATION_DIM} [scale={scale.name}]"
+        ),
+    )
+    emit("ablation_restarts", records, rendered, results_dir)
+
+    inertias = [r.values["inertia"] for r in records]
+    # More restarts never worsen the k-means objective.
+    assert inertias[2] <= inertias[0] + 1e-9
+    assert inertias[2] <= inertias[1] + 1e-9

@@ -1,0 +1,76 @@
+"""Ablation: negative sampling vs hierarchical softmax output layers for
+CBOW — quality and cost on the community benchmark. Both are faithful
+word2vec output layers; the paper does not specify which it used, so the
+reproduction ships both and shows they land in the same quality band."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+ABLATION_DIM = 32
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    corpus = generate_walks(
+        graph,
+        RandomWalkConfig(
+            walks_per_vertex=scale.walks_per_vertex,
+            walk_length=scale.walk_length,
+            seed=scale.seed,
+        ),
+    )
+    records = []
+    for output_layer in ("negative", "hierarchical"):
+        cfg = V2VConfig(
+            dim=ABLATION_DIM,
+            output_layer=output_layer,
+            epochs=scale.epochs,
+            tol=1e-2,
+            patience=2,
+            seed=scale.seed,
+        )
+        model = V2V(cfg)
+        with Timer() as t:
+            model.fit_corpus(corpus)
+        labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(
+            model.vectors
+        )
+        p, r = pairwise_precision_recall(truth, labels)
+        records.append(
+            ExperimentRecord(
+                params={"alpha": alpha, "output_layer": output_layer},
+                values={
+                    "precision": p,
+                    "recall": r,
+                    "train_s": t.seconds,
+                    "epochs": float(model.result.epochs_run),
+                },
+            )
+        )
+    return records
+
+
+def test_ablation_softmax(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Ablation — negative sampling vs hierarchical softmax, "
+            f"dim={ABLATION_DIM} [scale={scale.name}]"
+        ),
+    )
+    emit("ablation_softmax", records, rendered, results_dir)
+
+    for r in records:
+        assert r.values["precision"] > 0.85, r.params

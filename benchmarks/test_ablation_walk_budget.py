@@ -1,0 +1,76 @@
+"""Ablation: walk budget (t walks × length ℓ) vs quality and cost.
+
+The paper sets t = ℓ = 1000 without justification and its conclusion
+lists principled parameter selection as open. This bench shows the
+quality/cost curve: detection quality saturates at a small fraction of
+the paper's token budget (which is why the scaled benches are valid)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+BUDGETS = ((1, 10), (2, 20), (6, 30), (10, 60))
+ABLATION_DIM = 24
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    records = []
+    for t_walks, length in BUDGETS:
+        corpus = generate_walks(
+            graph,
+            RandomWalkConfig(
+                walks_per_vertex=t_walks, walk_length=length, seed=scale.seed
+            ),
+        )
+        cfg = V2VConfig(
+            dim=ABLATION_DIM, epochs=scale.epochs, tol=1e-2, patience=2,
+            seed=scale.seed,
+        )
+        model = V2V(cfg)
+        with Timer() as t:
+            model.fit_corpus(corpus)
+        labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(
+            model.vectors
+        )
+        p, r = pairwise_precision_recall(truth, labels)
+        records.append(
+            ExperimentRecord(
+                params={"walks_per_vertex": t_walks, "walk_length": length},
+                values={
+                    "tokens": float(corpus.num_tokens),
+                    "precision": p,
+                    "recall": r,
+                    "train_s": t.seconds,
+                },
+            )
+        )
+    return records
+
+
+def test_ablation_walk_budget(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=f"Ablation — walk budget (t × ℓ), dim={ABLATION_DIM} [scale={scale.name}]",
+    )
+    emit("ablation_walk_budget", records, rendered, results_dir)
+
+    # Quality saturates: the largest budget is no better than the
+    # mid budget by a wide margin, while costing several times more.
+    precisions = [r.values["precision"] for r in records]
+    assert precisions[-1] <= precisions[-2] + 0.05
+    assert precisions[-1] > 0.9
+    # More tokens cost more time.
+    times = [r.values["train_s"] for r in records]
+    assert times[-1] > times[0]

@@ -1,0 +1,66 @@
+"""Ablation: context window size n (paper default n = 5).
+
+Shows detection quality across window sizes on the same corpus — the
+paper fixes n = 5 and never revisits it; this bench demonstrates the
+choice is safe (flat response in a broad band)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+WINDOWS = (2, 5, 10)
+ABLATION_DIM = 24
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    corpus = generate_walks(
+        graph,
+        RandomWalkConfig(
+            walks_per_vertex=scale.walks_per_vertex,
+            walk_length=scale.walk_length,
+            seed=scale.seed,
+        ),
+    )
+    records = []
+    for window in WINDOWS:
+        cfg = V2VConfig(
+            dim=ABLATION_DIM, window=window, epochs=scale.epochs,
+            tol=1e-2, patience=2, seed=scale.seed,
+        )
+        model = V2V(cfg)
+        with Timer() as t:
+            model.fit_corpus(corpus)
+        labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(
+            model.vectors
+        )
+        p, r = pairwise_precision_recall(truth, labels)
+        records.append(
+            ExperimentRecord(
+                params={"window": window},
+                values={"precision": p, "recall": r, "train_s": t.seconds},
+            )
+        )
+    return records
+
+
+def test_ablation_window(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=f"Ablation — context window n, dim={ABLATION_DIM} [scale={scale.name}]",
+    )
+    emit("ablation_window", records, rendered, results_dir)
+
+    for r in records:
+        assert r.values["precision"] > 0.85, r.params

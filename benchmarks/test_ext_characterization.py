@@ -1,0 +1,125 @@
+"""Extension: which problems do embeddings solve? (paper §I and §VII).
+
+The paper asserts in its introduction that the embedding "captures
+certain aspects of the global structure" (communities) but that "we
+cannot exactly find the 1-hop neighbors for a given vertex, and there is
+not much reason to expect this representation to help identify shortest
+paths". §VII lists characterizing the solvable problem class as open
+work. This bench measures all three claims on one embedding:
+
+- community detection — pairwise F1 (expected: high);
+- 1-hop neighbor retrieval — precision@degree of cosine-nearest
+  vertices against the true adjacency list (expected: far from exact,
+  but above chance because neighbors share communities);
+- shortest-path estimation — Spearman correlation between embedding
+  distance and BFS hop distance (expected: moderate at best, driven by
+  the community block structure rather than path geometry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, _v2v_config
+from repro import V2V
+from repro.bench.harness import ExperimentRecord, format_table
+from repro.graph.traversal import shortest_path_lengths
+from repro.ml import KMeans, pairwise_f1
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    def ranks(x):
+        order = np.argsort(x, kind="stable")
+        r = np.empty_like(order, dtype=np.float64)
+        r[order] = np.arange(x.shape[0])
+        return r
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    return float((ra * rb).sum() / denom) if denom else 0.0
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    model = V2V(_v2v_config(scale, 32)).fit(graph)
+    x = model.vectors
+    xn = x / np.linalg.norm(x, axis=1, keepdims=True)
+    sims = xn @ xn.T
+    np.fill_diagonal(sims, -np.inf)
+
+    # --- community detection ------------------------------------------
+    labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(x)
+    community_f1 = pairwise_f1(truth, labels)
+
+    # --- 1-hop neighbor retrieval --------------------------------------
+    degrees = graph.out_degrees()
+    hits = total = 0
+    for v in range(graph.n):
+        d = int(degrees[v])
+        if d == 0:
+            continue
+        top = np.argpartition(-sims[v], d - 1)[:d]
+        hits += np.isin(top, graph.neighbors(v)).sum()
+        total += d
+    neighbor_precision = hits / total
+    neighbor_chance = degrees.mean() / (graph.n - 1)
+
+    # --- shortest-path estimation --------------------------------------
+    rng = np.random.default_rng(scale.seed)
+    sources = rng.choice(graph.n, size=min(40, graph.n), replace=False)
+    hop = shortest_path_lengths(graph, sources=sources)
+    emb_dist = np.linalg.norm(
+        x[sources][:, None, :] - x[None, :, :], axis=2
+    )
+    mask = hop > 0  # skip self and unreachable
+    path_spearman = _spearman(hop[mask].astype(float), emb_dist[mask])
+
+    return [
+        ExperimentRecord(
+            params={"task": "community_detection"},
+            values={"score": community_f1, "baseline": 1.0 / scale.groups},
+        ),
+        ExperimentRecord(
+            params={"task": "one_hop_retrieval"},
+            values={
+                "score": float(neighbor_precision),
+                "baseline": float(neighbor_chance),
+            },
+        ),
+        ExperimentRecord(
+            params={"task": "shortest_path_spearman"},
+            values={"score": path_spearman, "baseline": 0.0},
+        ),
+    ]
+
+
+def test_ext_characterization(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            "Extension — task characterization: what the embedding is "
+            f"(not) good for [scale={scale.name}]"
+        ),
+    )
+    emit("ext_characterization", records, rendered, results_dir)
+
+    by = {r.params["task"]: r.values for r in records}
+    # Global structure: excellent.
+    assert by["community_detection"]["score"] > 0.9
+    # 1-hop neighbors: not exact (the paper's claim) ...
+    assert by["one_hop_retrieval"]["score"] < 0.9
+    # ... though above chance (neighbors share communities).
+    assert (
+        by["one_hop_retrieval"]["score"]
+        > by["one_hop_retrieval"]["baseline"]
+    )
+    # Shortest paths: correlation exists via block structure but is far
+    # from the rank-1 correspondence a distance oracle would need.
+    assert by["shortest_path_spearman"]["score"] < 0.95

@@ -1,0 +1,77 @@
+"""Extension: consensus detection across seeds.
+
+Quantifies single-run seed variance of the V2V detector at the weakest
+community strength and how much a small consensus ensemble recovers —
+plus the per-pair confidence signal only the ensemble provides."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.community.consensus import consensus_communities
+from repro.ml import KMeans, pairwise_f1
+
+CONSENSUS_RUNS = 5
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = min(scale.alphas)
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    base = V2VConfig(
+        dim=24,
+        walks_per_vertex=scale.walks_per_vertex,
+        walk_length=scale.walk_length,
+        epochs=scale.epochs,
+        tol=1e-2,
+        patience=2,
+    )
+    records = []
+    with Timer() as t:
+        result = consensus_communities(
+            graph, scale.groups, runs=CONSENSUS_RUNS, config=base,
+            n_init=20, seed=scale.seed,
+        )
+    run_f1 = [pairwise_f1(truth, m) for m in result.run_memberships]
+    for i, f1 in enumerate(run_f1):
+        records.append(
+            ExperimentRecord(
+                params={"what": f"single_run_{i}"}, values={"f1": f1}
+            )
+        )
+    records.append(
+        ExperimentRecord(
+            params={"what": "consensus"},
+            values={
+                "f1": pairwise_f1(truth, result.membership),
+                "pair_confidence": result.mean_pair_confidence,
+                "seconds": t.seconds,
+            },
+        )
+    )
+    return records
+
+
+def test_ext_consensus(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Extension — consensus over {CONSENSUS_RUNS} seeds at "
+            f"alpha={min(scale.alphas)} [scale={scale.name}]"
+        ),
+    )
+    emit("ext_consensus", records, rendered, results_dir)
+
+    singles = [
+        r.values["f1"] for r in records if r.params["what"].startswith("single")
+    ]
+    consensus = next(r for r in records if r.params["what"] == "consensus")
+    # Consensus is at least as good as the median single run.
+    assert consensus.values["f1"] >= float(np.median(singles)) - 0.02
+    assert consensus.values["f1"] > 0.85

@@ -1,0 +1,53 @@
+"""Extension: link prediction (paper conclusion — "predicting
+relationships between pairs of vertices").
+
+Hide 30% of edges, embed the residual graph, score held-out edges vs
+sampled non-edges with a logistic model over each standard pair-feature
+operator. Expected: ROC AUC well above 0.5 for hadamard/L1/L2 (the
+operators that encode endpoint agreement), weaker for 'average'."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, _v2v_config
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.tasks.link_prediction import link_prediction_experiment
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    records = []
+    for operator in ("hadamard", "l1", "l2", "average"):
+        with Timer() as t:
+            result = link_prediction_experiment(
+                graph,
+                config=_v2v_config(scale, 32),
+                operator=operator,
+                test_fraction=0.3,
+                seed=scale.seed,
+            )
+        records.append(
+            ExperimentRecord(
+                params={"operator": operator},
+                values={"auc": result.auc, "seconds": t.seconds},
+            )
+        )
+    return records
+
+
+def test_ext_link_prediction(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=f"Extension — link prediction ROC AUC by operator [scale={scale.name}]",
+    )
+    emit("ext_link_prediction", records, rendered, results_dir)
+
+    by_op = {r.params["operator"]: r.values["auc"] for r in records}
+    assert by_op["hadamard"] > 0.8
+    assert by_op["l1"] > 0.8
+    assert by_op["l2"] > 0.8

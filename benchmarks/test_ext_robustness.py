@@ -1,0 +1,80 @@
+"""Extension: robustness to missing/incorrect data (paper §VII).
+
+The paper conjectures "we can also expect the V2V approach to be less
+sensitive to errors in data than the pure graph-based approaches. This
+aspect needs further investigation." This bench performs that
+investigation: perturb the benchmark graph (drop a fraction of edges /
+rewire a fraction to random endpoints), rerun V2V k-means and CNM, and
+compare pairwise-F1 degradation relative to each method's clean-graph
+score."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, _v2v_config
+from repro import V2V
+from repro.bench.harness import ExperimentRecord, format_table
+from repro.community import cnm_communities
+from repro.graph.perturb import drop_edges, rewire_edges
+from repro.ml import KMeans, pairwise_f1
+
+LEVELS = (0.0, 0.2, 0.4)
+
+
+def _scores(scale, graph, truth) -> tuple[float, float]:
+    model = V2V(_v2v_config(scale, 32)).fit(graph)
+    labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(
+        model.vectors
+    )
+    v2v = pairwise_f1(truth, labels)
+    cnm = pairwise_f1(
+        truth, cnm_communities(graph, target_communities=scale.groups)
+    )
+    return v2v, cnm
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    records = []
+    for kind, perturb in (("drop", drop_edges), ("rewire", rewire_edges)):
+        for level in LEVELS:
+            noisy = perturb(graph, level, seed=scale.seed)
+            v2v, cnm = _scores(scale, noisy, truth)
+            records.append(
+                ExperimentRecord(
+                    params={"perturbation": kind, "level": level},
+                    values={"v2v_f1": v2v, "cnm_f1": cnm},
+                )
+            )
+    return records
+
+
+def test_ext_robustness(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            "Extension — robustness to missing/incorrect edges "
+            f"(V2V dim=32 vs CNM) [scale={scale.name}]"
+        ),
+    )
+    emit("ext_robustness", records, rendered, results_dir)
+
+    by = {
+        (r.params["perturbation"], r.params["level"]): r.values for r in records
+    }
+    # Clean-graph baselines must be strong for both methods.
+    assert by[("drop", 0.0)]["v2v_f1"] > 0.9
+    # Under 40% edge dropout V2V retains most of its F1 (the §VII claim).
+    v2v_retention = by[("drop", 0.4)]["v2v_f1"] / by[("drop", 0.0)]["v2v_f1"]
+    assert v2v_retention > 0.7
+    # And V2V's retention is at least as good as CNM's under the
+    # combined-error (rewire) model.
+    cnm_ret = by[("rewire", 0.4)]["cnm_f1"] / max(by[("rewire", 0.0)]["cnm_f1"], 1e-9)
+    v2v_ret = by[("rewire", 0.4)]["v2v_f1"] / max(by[("rewire", 0.0)]["v2v_f1"], 1e-9)
+    assert v2v_ret >= cnm_ret - 0.1

@@ -1,0 +1,99 @@
+"""Extension: scaling with graph size (paper §VII — "experiments on
+larger scale networks").
+
+Sweeps the benchmark graph size at fixed per-vertex density and measures
+wall-clock for each pipeline stage (walks, training, clustering) and
+each graph-native baseline. Expected shapes: V2V stages grow roughly
+linearly in n (token count is t·ℓ·n; k-means is O(nkd) per iteration);
+Girvan–Newman grows much faster, which is the scalability argument the
+paper makes for the embedding approach."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2V, V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.community import cnm_communities, girvan_newman_communities, louvain_communities
+from repro.datasets.synthetic import community_benchmark
+from repro.ml import KMeans
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+SIZES = (100, 200, 400, 800)
+GROUP_SIZE = 50
+SCALING_ALPHA = 0.5
+
+
+def run(scale) -> list[ExperimentRecord]:
+    records = []
+    for n in SIZES:
+        groups = n // GROUP_SIZE
+        graph = community_benchmark(
+            SCALING_ALPHA,
+            n=n,
+            groups=groups,
+            inter_edges=n // 5,
+            seed=scale.seed,
+        )
+        with Timer() as t_walks:
+            corpus = generate_walks(
+                graph,
+                RandomWalkConfig(
+                    walks_per_vertex=scale.walks_per_vertex,
+                    walk_length=scale.walk_length,
+                    seed=scale.seed,
+                ),
+            )
+        cfg = V2VConfig(dim=16, epochs=5, seed=scale.seed, early_stop=False)
+        model = V2V(cfg)
+        with Timer() as t_train:
+            model.fit_corpus(corpus)
+        with Timer() as t_cluster:
+            KMeans(groups, n_init=10, seed=scale.seed).fit(model.vectors)
+        with Timer() as t_cnm:
+            cnm_communities(graph, target_communities=groups)
+        with Timer() as t_louvain:
+            louvain_communities(graph, seed=scale.seed)
+        with Timer() as t_gn:
+            girvan_newman_communities(
+                graph,
+                target_communities=groups,
+                sample_sources=min(scale.gn_sample_sources or n, n),
+                seed=scale.seed,
+                max_removals=n // 2,
+            )
+        records.append(
+            ExperimentRecord(
+                params={"n": n, "edges": graph.num_edges},
+                values={
+                    "walks_s": t_walks.seconds,
+                    "train_s": t_train.seconds,
+                    "cluster_s": t_cluster.seconds,
+                    "cnm_s": t_cnm.seconds,
+                    "louvain_s": t_louvain.seconds,
+                    "gn_s": t_gn.seconds,
+                },
+            )
+        )
+    return records
+
+
+def test_ext_scaling(benchmark, scale, results_dir):
+    records = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+    rendered = format_table(
+        records,
+        title=(
+            f"Extension — runtime scaling with graph size "
+            f"(alpha={SCALING_ALPHA}, 50-vertex groups) [scale={scale.name}]"
+        ),
+    )
+    emit("ext_scaling", records, rendered, results_dir)
+
+    first, last = records[0].values, records[-1].values
+    n_ratio = SIZES[-1] / SIZES[0]
+    train_growth = last["train_s"] / max(first["train_s"], 1e-9)
+    gn_growth = last["gn_s"] / max(first["gn_s"], 1e-9)
+    # V2V training grows sub-quadratically in n; GN grows faster than V2V.
+    assert train_growth < n_ratio**2
+    assert gn_growth > train_growth

@@ -1,0 +1,115 @@
+"""Extension: principled parameter selection (paper §VII open question).
+
+Runs the unsupervised dimension selector and the walk-budget search on
+the community benchmark and checks they land in the regime the
+supervised sweeps (Figs 5-7 and the walk-budget ablation) found to be
+sufficient — i.e. the procedures answer the paper's open question
+without ever seeing ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro import V2VConfig
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.core.selection import select_dimension, select_walk_budget
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.core.model import V2V
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    alpha = sorted(scale.alphas)[len(scale.alphas) // 2]
+    graph = community_graphs[alpha]
+    truth = graph.vertex_labels("community")
+    base = V2VConfig(
+        walks_per_vertex=scale.walks_per_vertex,
+        walk_length=scale.walk_length,
+        epochs=scale.epochs,
+        tol=1e-2,
+        patience=2,
+        seed=scale.seed,
+    )
+    records = []
+
+    with Timer() as t_dim:
+        best_dim, dim_scores = select_dimension(
+            graph, dims=(8, 32, 128), k=scale.groups, config=base, seed=scale.seed
+        )
+    for s in dim_scores:
+        records.append(
+            ExperimentRecord(
+                params={"stage": "dimension", "candidate": s.dim},
+                values={"criterion_score": s.score, "train_s": s.train_seconds},
+            )
+        )
+    records.append(
+        ExperimentRecord(
+            params={"stage": "dimension", "candidate": "chosen"},
+            values={"criterion_score": float(best_dim), "train_s": t_dim.seconds},
+        )
+    )
+
+    with Timer() as t_budget:
+        budget, steps = select_walk_budget(
+            graph,
+            walk_length=scale.walk_length,
+            start=1,
+            max_walks_per_vertex=16,
+            stability_threshold=0.5,
+            dim=best_dim,
+            seed=scale.seed,
+        )
+    for s in steps:
+        records.append(
+            ExperimentRecord(
+                params={"stage": "budget", "candidate": s.walks_per_vertex},
+                values={
+                    "criterion_score": (
+                        0.0
+                        if np.isnan(s.overlap_with_previous)
+                        else s.overlap_with_previous
+                    ),
+                    "tokens": float(s.tokens),
+                },
+            )
+        )
+    records.append(
+        ExperimentRecord(
+            params={"stage": "budget", "candidate": "chosen"},
+            values={"criterion_score": float(budget), "train_s": t_budget.seconds},
+        )
+    )
+
+    # Validate the unsupervised choice against ground truth.
+    chosen_cfg = V2VConfig(
+        **{**base.__dict__, "dim": best_dim, "walks_per_vertex": budget}
+    )
+    model = V2V(chosen_cfg).fit(graph)
+    labels = KMeans(scale.groups, n_init=20, seed=scale.seed).fit_predict(
+        model.vectors
+    )
+    p, r = pairwise_precision_recall(truth, labels)
+    records.append(
+        ExperimentRecord(
+            params={"stage": "validation", "candidate": f"dim={best_dim},t={budget}"},
+            values={"precision": p, "recall": r},
+        )
+    )
+    return records
+
+
+def test_ext_selection(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title="Extension — unsupervised parameter selection [scale=" + scale.name + "]",
+    )
+    emit("ext_selection", records, rendered, results_dir)
+
+    validation = next(r for r in records if r.params["stage"] == "validation")
+    # Parameters chosen without labels must still solve the task.
+    assert validation.values["precision"] > 0.9
+    assert validation.values["recall"] > 0.9

@@ -1,0 +1,73 @@
+"""Extension: V2V vs spectral embedding (Laplacian eigenmaps).
+
+The related-work section situates V2V among embedding methods but never
+compares against the classical closed-form alternative. This bench runs
+both on identical graphs: community quality and wall-clock. Expected:
+spectral clustering is exact and far cheaper on clean planted partitions
+(it is the method of choice there); V2V's advantages — incremental
+corpora, directed/temporal/weighted walk constraints, task-agnostic
+reusable vectors — are qualitative, so the bench records the quality
+parity rather than claiming a V2V win."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, _v2v_config
+from repro import V2V
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.ml.spectral import spectral_communities
+
+
+def run(scale, community_graphs) -> list[ExperimentRecord]:
+    records = []
+    for alpha in (min(scale.alphas), max(scale.alphas)):
+        graph = community_graphs[alpha]
+        truth = graph.vertex_labels("community")
+
+        with Timer() as t_v2v:
+            model = V2V(_v2v_config(scale, 32)).fit(graph)
+            labels = KMeans(
+                scale.groups, n_init=20, seed=scale.seed
+            ).fit_predict(model.vectors)
+        p, r = pairwise_precision_recall(truth, labels)
+        records.append(
+            ExperimentRecord(
+                params={"alpha": alpha, "method": "v2v+kmeans"},
+                values={"precision": p, "recall": r, "seconds": t_v2v.seconds},
+            )
+        )
+
+        with Timer() as t_spec:
+            spec_labels = spectral_communities(
+                graph, scale.groups, n_init=20, seed=scale.seed
+            )
+        p, r = pairwise_precision_recall(truth, spec_labels)
+        records.append(
+            ExperimentRecord(
+                params={"alpha": alpha, "method": "spectral"},
+                values={"precision": p, "recall": r, "seconds": t_spec.seconds},
+            )
+        )
+    return records
+
+
+def test_ext_spectral(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=f"Extension — V2V vs spectral embedding [scale={scale.name}]",
+    )
+    emit("ext_spectral", records, rendered, results_dir)
+
+    by = {
+        (r.params["alpha"], r.params["method"]): r.values for r in records
+    }
+    strong = max(scale.alphas)
+    # Both methods solve the strong case; spectral is much faster.
+    assert by[(strong, "v2v+kmeans")]["precision"] > 0.9
+    assert by[(strong, "spectral")]["precision"] > 0.9
+    assert by[(strong, "spectral")]["seconds"] < by[(strong, "v2v+kmeans")]["seconds"]

@@ -1,0 +1,78 @@
+"""Extension: t-SNE vs PCA for embedding visualization (§IV).
+
+The paper names t-SNE alongside PCA as a principled projection but only
+shows PCA figures. This bench projects the same flight embeddings both
+ways and compares continent separation — t-SNE typically yields the
+visually tighter clusters at the cost of far more compute."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.ml.tsne import TSNE
+from repro.viz.projection import pca_projection, projection_to_csv, separation_ratio
+
+TSNE_DIM = 50
+MAX_POINTS = 400  # exact t-SNE is O(n²); subsample for the bench
+
+
+def run(scale, flights, results_dir) -> list[ExperimentRecord]:
+    rng = np.random.default_rng(scale.seed)
+    vectors = flights.vectors_by_dim[TSNE_DIM]
+    continents = flights.continents
+    if vectors.shape[0] > MAX_POINTS:
+        idx = rng.choice(vectors.shape[0], MAX_POINTS, replace=False)
+        vectors, continents = vectors[idx], continents[idx]
+
+    records = []
+    with Timer() as t_pca:
+        pca_proj = pca_projection(vectors, 2)
+    records.append(
+        ExperimentRecord(
+            params={"method": "pca"},
+            values={
+                "separation_ratio": separation_ratio(pca_proj, continents),
+                "seconds": t_pca.seconds,
+            },
+        )
+    )
+    with Timer() as t_tsne:
+        tsne_proj = TSNE(
+            2, perplexity=25, n_iter=400, seed=scale.seed
+        ).fit_transform(vectors)
+    records.append(
+        ExperimentRecord(
+            params={"method": "tsne"},
+            values={
+                "separation_ratio": separation_ratio(tsne_proj, continents),
+                "seconds": t_tsne.seconds,
+            },
+        )
+    )
+    projection_to_csv(
+        tsne_proj, continents, results_dir / "ext_tsne_projection.csv",
+        label_name="continent",
+    )
+    return records
+
+
+def test_ext_tsne(benchmark, scale, flights_data, results_dir):
+    records = benchmark.pedantic(
+        run, args=(scale, flights_data, results_dir), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Extension — PCA vs t-SNE projection of flight embeddings, "
+            f"dim={TSNE_DIM} [scale={scale.name}]"
+        ),
+    )
+    emit("ext_tsne", records, rendered, results_dir)
+
+    by = {r.params["method"]: r.values for r in records}
+    # Both produce visible continent structure; t-SNE costs far more.
+    assert by["pca"]["separation_ratio"] > 0.8
+    assert by["tsne"]["separation_ratio"] > 0.8
+    assert by["tsne"]["seconds"] > by["pca"]["seconds"]

@@ -1,0 +1,65 @@
+"""Fig 10: k-NN country-prediction accuracy vs k (votes), per dimension.
+
+Paper shape: accuracy varies mildly with k; small k (≈3) is best for
+most dimensions, with a slow decline toward k = 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, format_series
+from repro.ml import cross_validate_knn
+
+
+def run_fig10(scale, flights) -> list[ExperimentRecord]:
+    records = []
+    for dim in scale.fig10_dims:
+        for k in scale.knn_ks:
+            acc = cross_validate_knn(
+                flights.vectors_by_dim[dim],
+                flights.countries,
+                k=k,
+                metric="cosine",
+                n_splits=scale.cv_folds,
+                repeats=scale.cv_repeats,
+                seed=scale.seed,
+            )
+            records.append(
+                ExperimentRecord(
+                    params={"dim": dim, "k": k}, values={"accuracy": acc}
+                )
+            )
+    return records
+
+
+def test_fig10(benchmark, scale, flights_data, results_dir):
+    records = benchmark.pedantic(
+        run_fig10, args=(scale, flights_data), rounds=1, iterations=1
+    )
+    rendered = format_series(
+        "k",
+        records,
+        series_key="dim",
+        value="accuracy",
+        title=(
+            f"Fig 10 — country k-NN accuracy vs k, "
+            f"airports={scale.airports} [scale={scale.name}]"
+        ),
+    )
+    emit("fig10_knn_k", records, rendered, results_dir)
+
+    for dim in scale.fig10_dims:
+        series = sorted(
+            (r.params["k"], r.values["accuracy"])
+            for r in records
+            if r.params["dim"] == dim
+        )
+        accs = np.asarray([a for _, a in series])
+        ks = [k for k, _ in series]
+        best_k = ks[int(np.argmax(accs))]
+        # Small-k optimum, as in the paper (best k=3 there).
+        assert best_k <= 6, f"dim={dim}: best k {best_k}"
+        # Variation with k is mild (no cliff), matching the figure.
+        assert accs.max() - accs.min() < 0.15, f"dim={dim}"

@@ -1,0 +1,51 @@
+"""Fig 6: pairwise recall of V2V community detection vs α, one curve per
+embedding dimension.
+
+Paper shape: recall in roughly [0.90, 1.0], increasing with α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, format_series
+
+
+def extract(cells) -> list[ExperimentRecord]:
+    return [
+        ExperimentRecord(
+            params={"dim": c.dim, "alpha": c.alpha},
+            values={"recall": c.recall},
+        )
+        for c in sorted(cells, key=lambda c: (c.dim, c.alpha))
+    ]
+
+
+def test_fig6(benchmark, scale, alpha_dim_sweep, results_dir):
+    records = benchmark.pedantic(
+        extract, args=(alpha_dim_sweep,), rounds=1, iterations=1
+    )
+    rendered = format_series(
+        "alpha",
+        records,
+        series_key="dim",
+        value="recall",
+        title=(
+            f"Fig 6 — recall vs alpha per dimension, n={scale.n} "
+            f"[scale={scale.name}]"
+        ),
+    )
+    emit("fig6_recall", records, rendered, results_dir)
+
+    by_dim: dict[int, list[tuple[float, float]]] = {}
+    for r in records:
+        by_dim.setdefault(r.params["dim"], []).append(
+            (r.params["alpha"], r.values["recall"])
+        )
+    for dim, series in by_dim.items():
+        series.sort()
+        values = np.asarray([v for _, v in series])
+        assert values[-1] >= values[0] - 0.02, f"dim={dim}"
+        assert values.min() > 0.60, f"dim={dim}"
+        assert values[-1] > 0.9, f"dim={dim}"

@@ -1,0 +1,53 @@
+"""Fig 7: V2V training time and accuracy vs α at the largest dimension.
+
+Paper shape (600 dimensions): as α grows, training time *decreases*
+(strong structure → the loss plateaus sooner → early stopping kicks in)
+while precision and recall stay high / increase. We assert the ends of
+both trends; the convergence mechanism itself is unit-tested in
+tests/core/test_trainer.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, format_series, format_table
+
+
+def extract(cells, top_dim) -> list[ExperimentRecord]:
+    return [
+        ExperimentRecord(
+            params={"alpha": c.alpha},
+            values={
+                "train_seconds": c.train_seconds,
+                "epochs_run": float(c.epochs_run),
+                "precision": c.precision,
+                "recall": c.recall,
+            },
+        )
+        for c in sorted(
+            (c for c in cells if c.dim == top_dim), key=lambda c: c.alpha
+        )
+    ]
+
+
+def test_fig7(benchmark, scale, alpha_dim_sweep, results_dir):
+    records = benchmark.pedantic(
+        extract, args=(alpha_dim_sweep, scale.top_dim), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Fig 7 — training time & accuracy vs alpha, dim={scale.top_dim} "
+            f"[scale={scale.name}]"
+        ),
+    )
+    emit("fig7_training_time", records, rendered, results_dir)
+
+    epochs = np.asarray([r.values["epochs_run"] for r in records])
+    precision = np.asarray([r.values["precision"] for r in records])
+    # Strong structure converges at least as fast as weak structure
+    # (epoch count is the seconds-robust proxy for training time).
+    assert epochs[-1] <= epochs[0]
+    assert precision[-1] >= precision[0] - 0.02

@@ -1,0 +1,104 @@
+"""Table I: community detection — V2V (10-d) vs CNM vs Girvan–Newman.
+
+Paper's columns per α: V2V precision / recall / training time / clustering
+time; CNM precision / recall / runtime; GN precision / recall / runtime.
+
+Expected shape (paper): CNM and GN are (near-)exact; V2V averages ≈0.95
+precision / ≈0.99 recall; V2V *clustering* takes milliseconds while the
+graph algorithms take orders of magnitude longer — and the graph
+algorithms' runtime grows with α (edge count) while V2V training time
+shrinks.
+
+Known deviation (documented in EXPERIMENTS.md): the paper benchmarked
+SNAP's CNM build, which took 464–11693 s at n = 1000; an efficient CNM is
+far faster, so here only Girvan–Newman exhibits the "hours vs
+milliseconds" gap. The V2V-vs-GN ratio and all accuracy shapes hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, _v2v_config
+from repro import V2V
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.community import cnm_communities, girvan_newman_communities
+from repro.ml import KMeans, pairwise_precision_recall
+
+
+def run_table1(scale, community_graphs) -> list[ExperimentRecord]:
+    records = []
+    for alpha, graph in community_graphs.items():
+        truth = graph.vertex_labels("community")
+
+        model = V2V(_v2v_config(scale, scale.table1_dim))
+        with Timer() as t_train:
+            model.fit(graph)
+        with Timer() as t_cluster:
+            km = KMeans(
+                scale.groups, n_init=scale.kmeans_restarts, seed=scale.seed
+            ).fit(model.vectors)
+        v2v_p, v2v_r = pairwise_precision_recall(truth, km.labels)
+
+        with Timer() as t_cnm:
+            cnm = cnm_communities(graph, target_communities=scale.groups)
+        cnm_p, cnm_r = pairwise_precision_recall(truth, cnm)
+
+        with Timer() as t_gn:
+            gn = girvan_newman_communities(
+                graph,
+                target_communities=scale.groups,
+                sample_sources=scale.gn_sample_sources,
+                seed=scale.seed,
+            )
+        gn_p, gn_r = pairwise_precision_recall(truth, gn)
+
+        records.append(
+            ExperimentRecord(
+                params={"alpha": alpha},
+                values={
+                    "v2v_precision": v2v_p,
+                    "v2v_recall": v2v_r,
+                    "v2v_train_s": t_train.seconds,
+                    "v2v_cluster_s": t_cluster.seconds,
+                    "cnm_precision": cnm_p,
+                    "cnm_recall": cnm_r,
+                    "cnm_s": t_cnm.seconds,
+                    "gn_precision": gn_p,
+                    "gn_recall": gn_r,
+                    "gn_s": t_gn.seconds,
+                },
+            )
+        )
+    return records
+
+
+def test_table1(benchmark, scale, community_graphs, results_dir):
+    records = benchmark.pedantic(
+        run_table1, args=(scale, community_graphs), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"Table I — community detection, V2V dim={scale.table1_dim}, "
+            f"n={scale.n}, k-means restarts={scale.kmeans_restarts} "
+            f"[scale={scale.name}]"
+        ),
+    )
+    emit("table1_community", records, rendered, results_dir)
+
+    # --- shape assertions -------------------------------------------------
+    v2v_p = np.asarray([r.values["v2v_precision"] for r in records])
+    v2v_r = np.asarray([r.values["v2v_recall"] for r in records])
+    gn_p = np.asarray([r.values["gn_precision"] for r in records])
+    cluster_t = np.asarray([r.values["v2v_cluster_s"] for r in records])
+    gn_t = np.asarray([r.values["gn_s"] for r in records])
+
+    # V2V accuracy high but graph algorithms at least comparable.
+    assert v2v_p.mean() > 0.85
+    assert v2v_r.mean() > 0.85
+    assert gn_p.mean() >= v2v_p.mean() - 0.1
+    # Clustering is orders of magnitude faster than Girvan–Newman.
+    assert np.all(cluster_t < gn_t)
+    # GN runtime grows with alpha (edge count), the paper's scaling claim.
+    assert gn_t[-1] > gn_t[0]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Community detection: V2V + k-means vs graph-native algorithms.
+
+Reproduces the Section III comparison at laptop scale: detect planted
+communities via (a) clustering V2V embeddings, (b) CNM greedy modularity,
+(c) Girvan–Newman — and report pairwise precision/recall plus phase
+timings, the quantities of the paper's Table I.
+
+Run:  python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import V2VConfig
+from repro.community import (
+    V2VCommunityDetector,
+    cnm_communities,
+    girvan_newman_communities,
+    louvain_communities,
+)
+from repro.datasets.synthetic import community_benchmark
+from repro.ml import pairwise_precision_recall
+
+
+def main() -> None:
+    k = 6
+    graph = community_benchmark(alpha=0.4, n=300, groups=k, inter_edges=80, seed=1)
+    truth = graph.vertex_labels("community")
+    print(f"graph: {graph}, {k} planted communities\n")
+    rows = []
+
+    # --- V2V + k-means (the paper's approach) -------------------------
+    detector = V2VCommunityDetector(
+        k,
+        config=V2VConfig(
+            dim=16, walks_per_vertex=10, walk_length=40, epochs=5, seed=0
+        ),
+        n_init=100,  # paper: repeat Lloyd 100 times, keep the best
+    )
+    result = detector.detect(graph)
+    p, r = pairwise_precision_recall(truth, result.membership)
+    rows.append(
+        ("V2V (train)", p, r, result.train_seconds)
+    )
+    rows.append(("V2V (cluster)", p, r, result.cluster_seconds))
+
+    # --- CNM ------------------------------------------------------------
+    t0 = time.perf_counter()
+    cnm = cnm_communities(graph, target_communities=k)
+    cnm_t = time.perf_counter() - t0
+    p, r = pairwise_precision_recall(truth, cnm)
+    rows.append(("CNM", p, r, cnm_t))
+
+    # --- Girvan–Newman (sampled betweenness keeps it minutes-not-hours) -
+    t0 = time.perf_counter()
+    gn = girvan_newman_communities(
+        graph, target_communities=k, sample_sources=60, seed=0
+    )
+    gn_t = time.perf_counter() - t0
+    p, r = pairwise_precision_recall(truth, gn)
+    rows.append(("Girvan-Newman", p, r, gn_t))
+
+    # --- Louvain (extension baseline) ------------------------------------
+    t0 = time.perf_counter()
+    lv = louvain_communities(graph, seed=0)
+    lv_t = time.perf_counter() - t0
+    p, r = pairwise_precision_recall(truth, lv)
+    rows.append(("Louvain", p, r, lv_t))
+
+    print(f"{'method':<16}{'precision':>10}{'recall':>10}{'seconds':>12}")
+    print("-" * 48)
+    for name, p, r, t in rows:
+        print(f"{name:<16}{p:>10.3f}{r:>10.3f}{t:>12.4f}")
+    print(
+        "\nNote the Table I shape: graph algorithms are (near-)exact but "
+        "their runtime dwarfs the sub-second k-means step; V2V's training "
+        "cost is one-time and reusable across tasks."
+    )
+
+
+if __name__ == "__main__":
+    main()

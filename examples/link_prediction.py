@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Link prediction: "predicting relationships between pairs of vertices".
+
+The paper's conclusion names this as a V2V application without
+evaluating it; this example runs the standard protocol — hide 30% of
+edges, embed the residual graph, score held-out edges vs non-edges with
+a logistic model over pair features — and sweeps the feature operator.
+
+Run:  python examples/link_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro.core.model import V2VConfig
+from repro.datasets.synthetic import community_benchmark
+from repro.tasks.link_prediction import (
+    EDGE_OPERATORS,
+    link_prediction_experiment,
+)
+
+
+def main() -> None:
+    graph = community_benchmark(alpha=0.3, n=300, groups=6, inter_edges=60, seed=2)
+    print(f"graph: {graph}; hiding 30% of edges as test positives\n")
+
+    config = V2VConfig(
+        dim=32, walks_per_vertex=8, walk_length=30, epochs=5, seed=0
+    )
+    print(f"{'operator':<12}{'ROC AUC':>10}")
+    print("-" * 22)
+    for operator in EDGE_OPERATORS:
+        result = link_prediction_experiment(
+            graph, config=config, operator=operator, test_fraction=0.3, seed=0
+        )
+        print(f"{operator:<12}{result.auc:>10.3f}")
+
+    print(
+        "\nHadamard/L1/L2 encode per-dimension endpoint agreement and score"
+        "\nwell; 'average' cannot distinguish a pair from its midpoint and"
+        "\ntrails — the same ordering node2vec reports on real networks."
+    )
+
+
+if __name__ == "__main__":
+    main()

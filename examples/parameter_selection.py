@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Principled parameter selection (paper §VII open question, answered).
+
+Demonstrates the label-free procedures: diagnose the walk corpus, search
+the walk budget for stability, select the embedding dimension by
+silhouette (optionally trading against training time), and verify the
+chosen parameters against ground truth the selector never saw.
+
+Run:  python examples/parameter_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import V2V, V2VConfig, generate_walks, RandomWalkConfig
+from repro.core.selection import select_dimension, select_walk_budget
+from repro.datasets.synthetic import community_benchmark
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.walks.stats import corpus_stats, crossing_rate
+
+K = 6
+
+
+def main() -> None:
+    graph = community_benchmark(alpha=0.4, n=300, groups=K, inter_edges=60, seed=5)
+    truth = graph.vertex_labels("community")
+    print(f"graph: {graph}\n")
+
+    # --- 1. corpus diagnostics -----------------------------------------
+    corpus = generate_walks(
+        graph, RandomWalkConfig(walks_per_vertex=8, walk_length=30, seed=0)
+    )
+    stats = corpus_stats(corpus)
+    print(
+        f"corpus: {stats.num_tokens} tokens, coverage {stats.coverage:.2f}, "
+        f"visit-entropy ratio {stats.entropy_ratio:.3f}"
+    )
+    print(
+        f"community crossing rate {crossing_rate(corpus, truth):.3f} "
+        "(fraction of walk steps leaving a community — low is good)\n"
+    )
+
+    # --- 2. walk budget: grow until the geometry stabilizes -------------
+    budget, steps = select_walk_budget(
+        graph, walk_length=30, start=1, max_walks_per_vertex=16,
+        stability_threshold=0.35, dim=24, seed=0,
+    )
+    print("walk-budget search (10-NN overlap with the previous budget):")
+    for s in steps:
+        overlap = "--" if np.isnan(s.overlap_with_previous) else f"{s.overlap_with_previous:.3f}"
+        print(f"  t={s.walks_per_vertex:<3d} tokens={s.tokens:<8d} overlap={overlap}")
+    print(f"chosen walks_per_vertex: {budget}\n")
+
+    # --- 3. dimension: silhouette, then with a time penalty -------------
+    base = V2VConfig(walks_per_vertex=budget, walk_length=30, epochs=6,
+                     tol=1e-2, patience=2, seed=0)
+    best, scores = select_dimension(
+        graph, dims=(8, 24, 64), k=K, config=base, seed=0
+    )
+    print("dimension selection (silhouette of k-means clusters):")
+    for s in scores:
+        print(f"  dim={s.dim:<4d} score={s.score:.3f} train={s.train_seconds:.1f}s")
+    print(f"chosen (pure quality): {best}")
+
+    cheap, _ = select_dimension(
+        graph, dims=(8, 24, 64), k=K, config=base, seed=0, time_penalty=0.05
+    )
+    print(f"chosen (quality - 0.05 x seconds): {cheap}\n")
+
+    # --- 4. validate the unsupervised choice against ground truth -------
+    model = V2V(base.with_dim(best)).fit(graph)
+    labels = KMeans(K, n_init=30, seed=0).fit_predict(model.vectors)
+    p, r = pairwise_precision_recall(truth, labels)
+    print(f"validation with chosen parameters: precision {p:.3f}, recall {r:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Constrained walks: temporal (time-respecting) walks vs unconstrained.
+
+Section II-A motivates constrained walks with a service-request network:
+each request traces a timestamped path client -> frontend -> backend, and
+a vertex's "context" should be the other nodes serving *the same
+request*. This example builds that network and measures how often each
+walk variant reproduces a real request path — the property that makes the
+temporal constraint matter.
+
+Run:  python examples/temporal_walks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RandomWalkConfig, WalkMode, generate_walks
+from repro.graph.core import EdgeList, Graph
+
+NUM_CLIENTS, NUM_FRONTENDS, NUM_BACKENDS = 10, 5, 5
+
+
+def build_request_network(seed: int = 0) -> tuple[Graph, set[tuple[int, int, int]]]:
+    """Timestamped request paths through two service tiers.
+
+    Returns the graph and the set of true (client, frontend, backend)
+    request triples. Each request's two hops are 1 time unit apart;
+    distinct requests are 2 units apart, so a time window of 1.5 admits
+    only same-request continuations.
+    """
+    rng = np.random.default_rng(seed)
+    src, dst, t = [], [], []
+    triples: set[tuple[int, int, int]] = set()
+    stamp = 0.0
+    for _request in range(80):
+        client = int(rng.integers(0, NUM_CLIENTS))
+        frontend = NUM_CLIENTS + int(rng.integers(0, NUM_FRONTENDS))
+        backend = NUM_CLIENTS + NUM_FRONTENDS + int(rng.integers(0, NUM_BACKENDS))
+        src += [client, frontend]
+        dst += [frontend, backend]
+        t += [stamp, stamp + 1.0]
+        triples.add((client, frontend, backend))
+        stamp += 2.0
+    n = NUM_CLIENTS + NUM_FRONTENDS + NUM_BACKENDS
+    graph = Graph(
+        n,
+        EdgeList(
+            np.asarray(src), np.asarray(dst), np.ones(len(src)), np.asarray(t)
+        ),
+        directed=True,
+    )
+    return graph, triples
+
+
+def request_path_fidelity(corpus, triples) -> float:
+    """Fraction of 3-vertex walks from a client that are real requests."""
+    total = hits = 0
+    for walk in corpus.sentences():
+        if walk.shape[0] != 3 or walk[0] >= NUM_CLIENTS:
+            continue
+        total += 1
+        if (int(walk[0]), int(walk[1]), int(walk[2])) in triples:
+            hits += 1
+    return hits / total if total else float("nan")
+
+
+def main() -> None:
+    graph, triples = build_request_network()
+    print(f"request network: {graph}; {len(triples)} distinct request paths\n")
+
+    configs = [
+        ("uniform (unconstrained)", WalkMode.UNIFORM, None),
+        ("temporal", WalkMode.TEMPORAL, None),
+        ("temporal + window 1.5", WalkMode.TEMPORAL, 1.5),
+    ]
+    print(f"{'walk variant':<26}{'request-path fidelity':>24}")
+    print("-" * 50)
+    for label, mode, window in configs:
+        cfg = RandomWalkConfig(
+            walks_per_vertex=50,
+            walk_length=3,
+            seed=0,
+            mode=mode,
+            time_window=window,
+            start_vertices=np.arange(NUM_CLIENTS),
+        )
+        corpus = generate_walks(graph, cfg)
+        fidelity = request_path_fidelity(corpus, triples)
+        print(f"{label:<26}{fidelity:>24.3f}")
+
+    print(
+        "\nThe unconstrained walk pairs a request's frontend with an\n"
+        "arbitrary backend; plain temporal walks forbid going back in\n"
+        "time; the windowed temporal walk reproduces real request paths\n"
+        "(fidelity 1.0) — exactly the 'context = nodes serving the same\n"
+        "request' construction from the paper's Section II."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Setup shim for legacy editable installs (offline environment ships
+setuptools without the `wheel` package, so PEP 660 editables are
+unavailable; `pip install -e .` falls back to `setup.py develop`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "V2V: Vector Embedding of a Graph and Applications — full "
+        "reproduction (Nguyen & Tirthapura, IPDPSW 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,36 @@
+"""repro — full reproduction of *V2V: Vector Embedding of a Graph and
+Applications* (Nguyen & Tirthapura, IPDPSW 2018).
+
+Public API highlights::
+
+    from repro import V2V, V2VConfig, Graph
+    from repro.graph import planted_partition
+    from repro.community import V2VCommunityDetector, cnm_communities
+    from repro.ml import KMeans, KNNClassifier, PCA
+
+See README.md for the architecture overview and DESIGN.md for the
+experiment index.
+"""
+
+from repro.core.model import V2V, V2VConfig
+from repro.core.trainer import EmbeddingResult, TrainConfig, train_embeddings
+from repro.graph.core import EdgeList, Graph
+from repro.walks.corpus import WalkCorpus
+from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "V2V",
+    "V2VConfig",
+    "Graph",
+    "EdgeList",
+    "WalkCorpus",
+    "WalkMode",
+    "RandomWalkConfig",
+    "generate_walks",
+    "TrainConfig",
+    "EmbeddingResult",
+    "train_embeddings",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: timers, experiment records, table/series printers."""
+
+from repro.bench.harness import (
+    ExperimentRecord,
+    Timer,
+    format_series,
+    format_table,
+    write_records_csv,
+)
+
+__all__ = [
+    "Timer",
+    "ExperimentRecord",
+    "format_table",
+    "format_series",
+    "write_records_csv",
+]

@@ -1,0 +1,138 @@
+"""Utilities shared by the per-figure/per-table benchmark scripts.
+
+Each bench builds a list of :class:`ExperimentRecord` rows and prints
+them with :func:`format_table` (tables) or :func:`format_series`
+(figures), so bench output mirrors the paper's row/series structure and
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "Timer",
+    "ExperimentRecord",
+    "format_table",
+    "format_series",
+    "write_records_csv",
+]
+
+
+class Timer:
+    """Context-manager wall-clock timer: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class ExperimentRecord:
+    """One row of an experiment: a parameter point plus measured values."""
+
+    params: dict[str, Any] = field(default_factory=dict)
+    values: dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> dict[str, Any]:
+        return {**self.params, **self.values}
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    records: Sequence[ExperimentRecord],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render records as an aligned text table (paper-table style)."""
+    if not records:
+        return "(no records)"
+    if columns:
+        cols = list(columns)
+    else:
+        cols = []
+        for r in records:  # union of keys, first-seen order
+            for c in r.row():
+                if c not in cols:
+                    cols.append(c)
+    rows = [[_fmt(r.row().get(c, "")) for c in cols] for r in records]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rows)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    records: Sequence[ExperimentRecord],
+    *,
+    series_key: str | None = None,
+    value: str = "value",
+    title: str | None = None,
+) -> str:
+    """Render records as figure series: one block per ``series_key`` value.
+
+    Mirrors a paper figure with multiple curves (e.g. one per dimension).
+    """
+    if not records:
+        return "(no records)"
+    groups: dict[Any, list[ExperimentRecord]] = {}
+    for r in records:
+        key = r.params.get(series_key) if series_key else None
+        groups.setdefault(key, []).append(r)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, group in groups.items():
+        label = f"{series_key}={_fmt(key)}" if series_key else "series"
+        xs = ", ".join(_fmt(r.params.get(x_name)) for r in group)
+        ys = ", ".join(_fmt(r.values.get(value)) for r in group)
+        lines.append(f"[{label}] {x_name}: {xs}")
+        lines.append(f"[{label}] {value}: {ys}")
+    return "\n".join(lines)
+
+
+def write_records_csv(
+    records: Sequence[ExperimentRecord], path: str | Path
+) -> None:
+    """Dump records to CSV (union of keys, stable order)."""
+    if not records:
+        Path(path).write_text("")
+        return
+    cols: list[str] = []
+    for r in records:
+        for c in r.row():
+            if c not in cols:
+                cols.append(c)
+    with Path(path).open("w") as fh:
+        fh.write(",".join(cols) + "\n")
+        for r in records:
+            row = r.row()
+            fh.write(",".join(_fmt(row.get(c, "")) for c in cols) + "\n")

@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's three applications plus the data plumbing:
+
+- ``embed``    — read an edge list, train V2V, save vectors (.npz).
+- ``detect``   — embed (or load vectors) and k-means communities to TSV.
+- ``predict``  — k-NN label prediction with k-fold cross validation.
+- ``layout``   — ForceAtlas coordinates to CSV.
+- ``generate`` — write a synthetic benchmark graph to an edge-list file.
+
+Every command takes ``--seed`` and is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="V2V graph embeddings (IPDPSW 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_walk_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dim", type=int, default=50, help="embedding dimension")
+        p.add_argument("--walks", type=int, default=10, help="walks per vertex (t)")
+        p.add_argument("--length", type=int, default=80, help="walk length (l)")
+        p.add_argument("--window", type=int, default=5, help="context window (n)")
+        p.add_argument("--epochs", type=int, default=5)
+        p.add_argument(
+            "--mode",
+            choices=["uniform", "weighted", "vertex_weighted", "temporal", "node2vec"],
+            default="uniform",
+        )
+        p.add_argument("--time-window", type=float, default=None)
+        p.add_argument("--p", type=float, default=1.0, help="node2vec return bias")
+        p.add_argument("--q", type=float, default=1.0, help="node2vec in-out bias")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_embed = sub.add_parser("embed", help="train V2V vectors from an edge list")
+    p_embed.add_argument("graph", help="edge-list file (src dst [w [t]])")
+    p_embed.add_argument("-o", "--output", required=True, help="output .npz")
+    p_embed.add_argument("--directed", action="store_true")
+    add_walk_args(p_embed)
+
+    p_detect = sub.add_parser("detect", help="detect communities")
+    p_detect.add_argument("graph", help="edge-list file")
+    p_detect.add_argument("-k", type=int, required=True, help="community count")
+    p_detect.add_argument("-o", "--output", required=True, help="output TSV")
+    p_detect.add_argument("--directed", action="store_true")
+    p_detect.add_argument(
+        "--method",
+        choices=["v2v", "cnm", "girvan-newman", "louvain"],
+        default="v2v",
+    )
+    p_detect.add_argument("--restarts", type=int, default=100)
+    add_walk_args(p_detect)
+
+    p_predict = sub.add_parser(
+        "predict", help="cross-validated k-NN label prediction"
+    )
+    p_predict.add_argument("vectors", help=".npz written by `embed`")
+    p_predict.add_argument("labels", help="one label per line, vertex order")
+    p_predict.add_argument("-k", type=int, default=3, help="neighbors")
+    p_predict.add_argument("--folds", type=int, default=10)
+    p_predict.add_argument("--repeats", type=int, default=1)
+    p_predict.add_argument("--seed", type=int, default=0)
+
+    p_link = sub.add_parser(
+        "linkpred", help="link-prediction experiment (AUC on held-out edges)"
+    )
+    p_link.add_argument("graph", help="edge-list file")
+    p_link.add_argument("--directed", action="store_true")
+    p_link.add_argument(
+        "--operator",
+        choices=["hadamard", "average", "l1", "l2"],
+        default="hadamard",
+    )
+    p_link.add_argument("--test-fraction", type=float, default=0.3)
+    add_walk_args(p_link)
+
+    p_layout = sub.add_parser("layout", help="ForceAtlas layout to CSV")
+    p_layout.add_argument("graph", help="edge-list file")
+    p_layout.add_argument("-o", "--output", required=True, help="output CSV")
+    p_layout.add_argument("--iterations", type=int, default=200)
+    p_layout.add_argument("--seed", type=int, default=0)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic benchmark graph")
+    p_gen.add_argument("-o", "--output", required=True, help="output edge list")
+    p_gen.add_argument("--kind", choices=["communities", "flights"], default="communities")
+    p_gen.add_argument("--n", type=int, default=1000)
+    p_gen.add_argument("--groups", type=int, default=10)
+    p_gen.add_argument("--alpha", type=float, default=0.5)
+    p_gen.add_argument("--inter-edges", type=int, default=200)
+    p_gen.add_argument("--labels", help="also write ground-truth labels here")
+    p_gen.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_graph(path: str, directed: bool):
+    from repro.graph.io import read_edge_list
+
+    return read_edge_list(path, directed=directed or None)
+
+
+def _v2v_config(args):
+    from repro.core.model import V2VConfig
+    from repro.walks.engine import WalkMode
+
+    return V2VConfig(
+        dim=args.dim,
+        window=args.window,
+        walks_per_vertex=args.walks,
+        walk_length=args.length,
+        epochs=args.epochs,
+        walk_mode=WalkMode(args.mode),
+        time_window=args.time_window,
+        p=args.p,
+        q=args.q,
+        seed=args.seed,
+    )
+
+
+def _cmd_embed(args) -> int:
+    from repro.core.model import V2V
+
+    graph = _load_graph(args.graph, args.directed)
+    model = V2V(_v2v_config(args)).fit(graph)
+    model.save(args.output)
+    result = model.result
+    print(
+        f"embedded {graph.n} vertices -> {args.output} "
+        f"(dim={args.dim}, {result.epochs_run} epochs, "
+        f"{result.train_seconds:.2f}s, final loss {result.loss_history[-1]:.4f})"
+    )
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.community import (
+        cnm_communities,
+        girvan_newman_communities,
+        louvain_communities,
+    )
+    from repro.community.v2v_detector import V2VCommunityDetector
+
+    graph = _load_graph(args.graph, args.directed)
+    if args.method == "v2v":
+        detector = V2VCommunityDetector(
+            args.k, config=_v2v_config(args), n_init=args.restarts
+        )
+        result = detector.detect(graph.to_undirected() if graph.directed else graph)
+        membership = result.membership
+        print(
+            f"v2v: train {result.train_seconds:.2f}s, "
+            f"cluster {result.cluster_seconds:.4f}s"
+        )
+    elif args.method == "cnm":
+        membership = cnm_communities(graph, target_communities=args.k)
+    elif args.method == "girvan-newman":
+        membership = girvan_newman_communities(
+            graph, target_communities=args.k, seed=args.seed
+        )
+    else:
+        membership = louvain_communities(graph, seed=args.seed)
+    with Path(args.output).open("w") as fh:
+        fh.write("vertex\tcommunity\n")
+        for v, c in enumerate(membership):
+            fh.write(f"{v}\t{int(c)}\n")
+    print(
+        f"{args.method}: {int(membership.max()) + 1} communities -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.ml.cross_validation import cross_validate_knn
+
+    with np.load(args.vectors, allow_pickle=False) as data:
+        vectors = data["vectors"]
+    labels = np.asarray(
+        [line.strip() for line in Path(args.labels).read_text().splitlines() if line.strip()]
+    )
+    if labels.shape[0] != vectors.shape[0]:
+        print(
+            f"error: {labels.shape[0]} labels for {vectors.shape[0]} vectors",
+            file=sys.stderr,
+        )
+        return 2
+    acc = cross_validate_knn(
+        vectors,
+        labels,
+        k=args.k,
+        n_splits=args.folds,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(f"{args.folds}-fold k-NN (k={args.k}) accuracy: {acc:.4f}")
+    return 0
+
+
+def _cmd_linkpred(args) -> int:
+    from repro.tasks.link_prediction import link_prediction_experiment
+
+    graph = _load_graph(args.graph, args.directed)
+    result = link_prediction_experiment(
+        graph,
+        config=_v2v_config(args),
+        operator=args.operator,
+        test_fraction=args.test_fraction,
+        seed=args.seed,
+    )
+    print(
+        f"link prediction ({args.operator}, dim={result.dim}): "
+        f"ROC AUC {result.auc:.4f} on {result.test_edges} held-out edges "
+        f"({result.train_edges} training edges)"
+    )
+    return 0
+
+
+def _cmd_layout(args) -> int:
+    from repro.viz.forceatlas import force_atlas_layout
+
+    graph = _load_graph(args.graph, directed=False)
+    layout = force_atlas_layout(
+        graph, iterations=args.iterations, seed=args.seed
+    )
+    with Path(args.output).open("w") as fh:
+        fh.write("vertex,x,y\n")
+        for v, (x, y) in enumerate(layout.positions):
+            fh.write(f"{v},{x:.6f},{y:.6f}\n")
+    print(f"layout ({args.iterations} iterations) -> {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graph.io import write_edge_list
+
+    if args.kind == "communities":
+        from repro.datasets.synthetic import community_benchmark
+
+        graph = community_benchmark(
+            args.alpha,
+            n=args.n,
+            groups=args.groups,
+            inter_edges=args.inter_edges,
+            seed=args.seed,
+        )
+        label_name = "community"
+    else:
+        from repro.datasets.openflights import OpenFlightsSpec, synthetic_openflights
+
+        graph = synthetic_openflights(
+            OpenFlightsSpec(num_airports=args.n, seed=args.seed)
+        )
+        label_name = "country"
+    write_edge_list(graph, args.output)
+    print(f"{args.kind} graph (n={graph.n}, m={graph.num_edges}) -> {args.output}")
+    if args.labels:
+        values = graph.vertex_labels(label_name)
+        Path(args.labels).write_text("\n".join(str(v) for v in values) + "\n")
+        print(f"{label_name} labels -> {args.labels}")
+    return 0
+
+
+COMMANDS = {
+    "embed": _cmd_embed,
+    "detect": _cmd_detect,
+    "predict": _cmd_predict,
+    "linkpred": _cmd_linkpred,
+    "layout": _cmd_layout,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Community detection: graph-native baselines and the V2V pipeline.
+
+The paper compares V2V + k-means against two classic graph algorithms:
+CNM (Clauset–Newman–Moore greedy modularity, top-down in the paper's
+framing) and Girvan–Newman (edge-betweenness removal). Louvain and label
+propagation are provided as extensions for the ablation benches.
+"""
+
+from repro.community.cnm import cnm_communities
+from repro.community.consensus import ConsensusResult, consensus_communities
+from repro.community.girvan_newman import girvan_newman_communities
+from repro.community.label_propagation import label_propagation_communities
+from repro.community.louvain import louvain_communities
+from repro.community.v2v_detector import V2VCommunityDetector, V2VDetectionResult
+
+__all__ = [
+    "cnm_communities",
+    "consensus_communities",
+    "ConsensusResult",
+    "girvan_newman_communities",
+    "louvain_communities",
+    "label_propagation_communities",
+    "V2VCommunityDetector",
+    "V2VDetectionResult",
+]

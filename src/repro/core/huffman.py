@@ -1,0 +1,110 @@
+"""Huffman coding over vertex frequencies, for hierarchical softmax.
+
+Hierarchical softmax replaces the V-way output softmax with a walk down a
+binary Huffman tree: each vertex is a leaf, each inner node carries an
+output vector, and predicting a vertex means making the correct
+left/right decision at every inner node on its root path. Frequent
+vertices get short codes, so the expected path length is the entropy
+bound — this is what makes HS training O(log V) per example.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HuffmanCoding", "build_huffman"]
+
+
+@dataclass(frozen=True)
+class HuffmanCoding:
+    """Padded code/point matrices for vectorized hierarchical softmax.
+
+    Attributes
+    ----------
+    codes:
+        int8 matrix (V × max_depth); the left/right (0/1) decisions on
+        each leaf's root path, padded with ``-1``.
+    points:
+        int64 matrix (V × max_depth); inner-node ids aligned with
+        ``codes``, padded with ``0`` (masked by ``codes == -1``).
+    depths:
+        int64 vector; true code length per leaf (0 for ids that never
+        occur — they have no path and are never trained).
+    num_inner:
+        Number of inner nodes (= number of merges = leaves - 1 when
+        more than one leaf has mass).
+    """
+
+    codes: np.ndarray
+    points: np.ndarray
+    depths: np.ndarray
+    num_inner: int
+
+    @property
+    def max_depth(self) -> int:
+        return int(self.codes.shape[1])
+
+
+def build_huffman(counts: np.ndarray) -> HuffmanCoding:
+    """Build Huffman codes for every id with positive count.
+
+    Ids with zero count receive empty codes (depth 0). Ties are broken by
+    id for determinism.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    vocab = int(counts.shape[0])
+    leaves = np.flatnonzero(counts > 0)
+    if leaves.size == 0:
+        raise ValueError("cannot build a Huffman tree with no occurring ids")
+
+    # Heap items: (count, tiebreak, node_id). Leaves are 0..V-1; inner
+    # nodes take ids V, V+1, ... in merge order.
+    heap: list[tuple[int, int, int]] = [
+        (int(counts[v]), int(v), int(v)) for v in leaves
+    ]
+    heapq.heapify(heap)
+    next_id = vocab
+    parent: dict[int, int] = {}
+    bit: dict[int, int] = {}
+    while len(heap) > 1:
+        c1, _, n1 = heapq.heappop(heap)
+        c2, _, n2 = heapq.heappop(heap)
+        parent[n1], bit[n1] = next_id, 0
+        parent[n2], bit[n2] = next_id, 1
+        heapq.heappush(heap, (c1 + c2, next_id, next_id))
+        next_id += 1
+    root = heap[0][2]
+    num_inner = next_id - vocab
+
+    # Read off each leaf's path root->leaf. Inner node `x` is addressed
+    # as `x - vocab` in the output-vector matrix.
+    depths = np.zeros(vocab, dtype=np.int64)
+    paths: dict[int, tuple[list[int], list[int]]] = {}
+    max_depth = 0
+    for v in leaves:
+        node = int(v)
+        rev_bits: list[int] = []
+        rev_points: list[int] = []
+        while node != root:
+            rev_bits.append(bit[node])
+            rev_points.append(parent[node] - vocab)
+            node = parent[node]
+        rev_bits.reverse()
+        rev_points.reverse()
+        paths[int(v)] = (rev_bits, rev_points)
+        depths[v] = len(rev_bits)
+        max_depth = max(max_depth, len(rev_bits))
+
+    max_depth = max(max_depth, 1)
+    codes = np.full((vocab, max_depth), -1, dtype=np.int8)
+    points = np.zeros((vocab, max_depth), dtype=np.int64)
+    for v, (bits, pts) in paths.items():
+        if bits:
+            codes[v, : len(bits)] = bits
+            points[v, : len(pts)] = pts
+    return HuffmanCoding(
+        codes=codes, points=points, depths=depths, num_inner=max(num_inner, 1)
+    )

@@ -1,0 +1,242 @@
+"""The high-level V2V estimator: graph in, vertex vectors out.
+
+This is the public face of the reproduction. Typical use::
+
+    from repro import V2V, V2VConfig
+    from repro.graph import planted_partition
+
+    g = planted_partition(alpha=0.5, seed=0)
+    model = V2V(V2VConfig(dim=50, seed=0)).fit(g)
+    vectors = model.vectors            # (n, 50)
+    model.most_similar(0, topn=5)      # nearest vertices in embedding space
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.trainer import EmbeddingResult, TrainConfig, train_embeddings
+from repro.graph.core import Graph
+from repro.walks.corpus import WalkCorpus
+from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
+
+__all__ = ["V2V", "V2VConfig"]
+
+
+@dataclass(frozen=True)
+class V2VConfig:
+    """End-to-end V2V configuration (walk stage + training stage).
+
+    Paper defaults: ``window = 5``; walk count and length default to
+    t = ℓ = 1000 in the paper, scaled here to a laptop corpus (see
+    DESIGN.md). All the paper's constrained-walk modes are available via
+    ``walk_mode``/``time_window``.
+    """
+
+    dim: int = 50
+    window: int = 5
+    walks_per_vertex: int = 10
+    walk_length: int = 80
+    walk_mode: WalkMode = WalkMode.UNIFORM
+    time_window: float | None = None
+    p: float = 1.0
+    q: float = 1.0
+    objective: str = "cbow"
+    output_layer: str = "negative"
+    negatives: int = 5
+    epochs: int = 5
+    batch_size: int = 512
+    lr: float = 0.025
+    lr_min: float = 1e-4
+    subsample: float = 0.0
+    tol: float = 1e-3
+    patience: int = 2
+    early_stop: bool = True
+    streaming: bool = False
+    stream_rows: int = 1024
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        # Fail fast: constructing the stage configs runs their full
+        # validation, so a bad V2VConfig raises here, not inside fit().
+        self.walk_config()
+        self.train_config()
+
+    def walk_config(self) -> RandomWalkConfig:
+        return RandomWalkConfig(
+            walks_per_vertex=self.walks_per_vertex,
+            walk_length=self.walk_length,
+            mode=self.walk_mode,
+            time_window=self.time_window,
+            p=self.p,
+            q=self.q,
+            seed=self.seed,
+        )
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(
+            dim=self.dim,
+            window=self.window,
+            objective=self.objective,
+            output_layer=self.output_layer,
+            negatives=self.negatives,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            lr_min=self.lr_min,
+            subsample=self.subsample,
+            tol=self.tol,
+            patience=self.patience,
+            early_stop=self.early_stop,
+            streaming=self.streaming,
+            stream_rows=self.stream_rows,
+            seed=self.seed,
+        )
+
+    def with_dim(self, dim: int) -> "V2VConfig":
+        """Convenience for the dimension sweeps in Figs 5/6/9/10."""
+        return replace(self, dim=dim)
+
+
+class V2V:
+    """Vertex-to-Vector model (fit/transform interface).
+
+    The model is reusable: ``fit`` runs walks + training; ``fit_corpus``
+    trains on a pre-generated corpus (the paper trains many dimensions on
+    *the same* walk set — reusing the corpus is both faster and truer to
+    the experiment in Section V).
+    """
+
+    def __init__(self, config: V2VConfig | None = None) -> None:
+        self.config = config or V2VConfig()
+        self._result: EmbeddingResult | None = None
+        self._corpus: WalkCorpus | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, graph: Graph) -> "V2V":
+        """Generate walks on ``graph`` and train the embedding."""
+        corpus = generate_walks(graph, self.config.walk_config())
+        return self.fit_corpus(corpus)
+
+    def fit_corpus(
+        self, corpus: WalkCorpus, *, init_vectors: np.ndarray | None = None
+    ) -> "V2V":
+        """Train on an existing walk corpus (optionally warm-started)."""
+        self._corpus = corpus
+        self._result = train_embeddings(
+            corpus, self.config.train_config(), init_vectors=init_vectors
+        )
+        return self
+
+    def refit(self, graph: Graph) -> "V2V":
+        """Re-train on a (slightly) changed graph, warm-starting from the
+        current vectors.
+
+        The paper's §VII asks about graphs with missing/changing data;
+        warm-starting converges in a fraction of the cold-start epochs
+        when the change is small, because the embedding geometry is
+        already near the new optimum. Requires the new graph to have the
+        same vertex set size.
+        """
+        current = self._require_fitted()
+        if graph.n != current.vectors.shape[0]:
+            raise ValueError(
+                "refit requires the same vertex universe; "
+                f"model has {current.vectors.shape[0]} vertices, graph has {graph.n}"
+            )
+        corpus = generate_walks(graph, self.config.walk_config())
+        return self.fit_corpus(corpus, init_vectors=current.vectors)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._result is not None
+
+    def _require_fitted(self) -> EmbeddingResult:
+        if self._result is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self._result
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """(n × dim) embedding matrix; row ``v`` is vertex ``v``'s vector."""
+        return self._require_fitted().vectors
+
+    @property
+    def result(self) -> EmbeddingResult:
+        """Full training record (loss history, epochs, wall time)."""
+        return self._require_fitted()
+
+    @property
+    def corpus(self) -> WalkCorpus:
+        if self._corpus is None:
+            raise RuntimeError("model has no corpus; call fit() first")
+        return self._corpus
+
+    def embedding_for(self, vertex: int) -> np.ndarray:
+        vectors = self.vectors
+        if not 0 <= vertex < vectors.shape[0]:
+            raise IndexError(f"vertex {vertex} out of range")
+        return vectors[vertex]
+
+    # ------------------------------------------------------------------
+    # Similarity queries
+    # ------------------------------------------------------------------
+    def similarity(self, u: int, v: int) -> float:
+        """Cosine similarity between two vertex embeddings."""
+        a, b = self.embedding_for(u), self.embedding_for(v)
+        na, nb = np.linalg.norm(a), np.linalg.norm(b)
+        if na == 0 or nb == 0:
+            return 0.0
+        return float(a @ b / (na * nb))
+
+    def most_similar(self, vertex: int, topn: int = 10) -> list[tuple[int, float]]:
+        """``topn`` nearest vertices by cosine similarity (self excluded)."""
+        vectors = self.vectors
+        query = self.embedding_for(vertex)
+        norms = np.linalg.norm(vectors, axis=1)
+        qn = np.linalg.norm(query)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sims = vectors @ query / (norms * qn)
+        sims[~np.isfinite(sims)] = -np.inf
+        sims[vertex] = -np.inf
+        topn = min(topn, vectors.shape[0] - 1)
+        idx = np.argpartition(-sims, topn - 1)[:topn] if topn > 0 else np.empty(0, int)
+        idx = idx[np.argsort(-sims[idx])]
+        return [(int(i), float(sims[i])) for i in idx]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the learned vectors (+ loss history) as .npz."""
+        result = self._require_fitted()
+        np.savez_compressed(
+            Path(path),
+            vectors=result.vectors,
+            loss_history=np.asarray(result.loss_history),
+            epochs_run=result.epochs_run,
+            converged=int(result.converged),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path, config: V2VConfig | None = None) -> "V2V":
+        """Load vectors saved by :meth:`save` into a fitted model."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            model = cls(config)
+            model._result = EmbeddingResult(
+                vectors=data["vectors"],
+                loss_history=[float(x) for x in data["loss_history"]],
+                epochs_run=int(data["epochs_run"]),
+                train_seconds=0.0,
+                converged=bool(int(data["converged"])),
+                config=model.config.train_config(),
+            )
+        return model

@@ -1,0 +1,72 @@
+"""Vectorized negative sampling from the unigram^0.75 noise distribution.
+
+Draws use inverse-CDF sampling (``searchsorted`` on the cumulative
+distribution), which is O(log V) per draw, fully vectorized, and — unlike
+word2vec's 100M-slot table — exact for any distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler:
+    """Sample negative target ids, optionally avoiding given positives."""
+
+    def __init__(self, distribution: np.ndarray) -> None:
+        dist = np.asarray(distribution, dtype=np.float64)
+        if dist.ndim != 1 or dist.size == 0:
+            raise ValueError("distribution must be a non-empty 1-D array")
+        if np.any(dist < 0):
+            raise ValueError("distribution must be non-negative")
+        total = dist.sum()
+        if not np.isclose(total, 1.0):
+            if total <= 0:
+                raise ValueError("distribution must have positive mass")
+            dist = dist / total
+        self._cdf = np.cumsum(dist)
+        self._cdf[-1] = 1.0  # guard float drift so searchsorted stays in range
+        self._support = int(np.count_nonzero(dist))
+
+    @property
+    def vocab_size(self) -> int:
+        return int(self._cdf.shape[0])
+
+    @property
+    def support_size(self) -> int:
+        """Number of ids with non-zero probability."""
+        return self._support
+
+    def sample(
+        self,
+        shape: tuple[int, ...] | int,
+        rng: np.random.Generator,
+        *,
+        avoid: np.ndarray | None = None,
+        max_retries: int = 4,
+    ) -> np.ndarray:
+        """Draw ids with the noise distribution.
+
+        ``avoid`` (broadcastable to ``shape``) marks per-slot forbidden
+        ids (the positive target); collisions are re-drawn up to
+        ``max_retries`` rounds. Any survivors are left in place — exactly
+        word2vec's behaviour, where an occasional positive drawn as a
+        negative is harmless noise.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        draws = np.searchsorted(self._cdf, rng.random(shape), side="right")
+        draws = draws.astype(np.int64)
+        if avoid is not None and self._support > 1:
+            avoid_arr = np.broadcast_to(np.asarray(avoid, dtype=np.int64), shape)
+            for _ in range(max_retries):
+                clash = draws == avoid_arr
+                if not np.any(clash):
+                    break
+                redraw = np.searchsorted(
+                    self._cdf, rng.random(int(clash.sum())), side="right"
+                )
+                draws[clash] = redraw
+        return draws

@@ -1,0 +1,235 @@
+"""Principled hyper-parameter selection for V2V.
+
+The paper's conclusion (§VII) lists as open work "a principled manner of
+selecting the various parameters for representation learning — these
+should be chosen keeping in mind the time complexity of learning as well
+as their accuracy." This module implements two such procedures:
+
+- :func:`select_dimension` — train candidate dimensions on one shared
+  corpus and score each embedding with an *unsupervised* criterion
+  (silhouette of a k-means clustering, or seed-stability), optionally
+  trading quality against training time.
+- :func:`select_walk_budget` — grow the walk budget geometrically until
+  the embedding's neighborhood structure stabilizes between consecutive
+  budgets, returning the smallest sufficient budget.
+
+Both procedures need no ground-truth labels, matching the unsupervised
+setting of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import V2V, V2VConfig
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.graph.core import Graph
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import silhouette_score
+from repro.walks.corpus import WalkCorpus
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+__all__ = [
+    "DimensionScore",
+    "select_dimension",
+    "BudgetStep",
+    "select_walk_budget",
+    "neighborhood_overlap",
+]
+
+
+@dataclass(frozen=True)
+class DimensionScore:
+    """Quality/cost record for one candidate dimension."""
+
+    dim: int
+    score: float
+    train_seconds: float
+    epochs_run: int
+
+
+def _silhouette_criterion(vectors: np.ndarray, k: int, seed: int | None) -> float:
+    labels = KMeans(k, n_init=10, seed=seed).fit_predict(vectors)
+    if np.unique(labels).shape[0] < 2:
+        return -1.0
+    return silhouette_score(vectors, labels)
+
+
+def _stability_criterion(
+    corpus: WalkCorpus, config: TrainConfig, seed: int | None
+) -> float:
+    """Mean neighborhood overlap between two training seeds.
+
+    A dimension whose embedding geometry is an artifact of the random
+    init scores low; a dimension that captures real structure reproduces
+    the same nearest-neighbor sets from any seed.
+    """
+    seeds = np.random.SeedSequence(seed).spawn(2)
+    runs = []
+    for child in seeds:
+        cfg = TrainConfig(
+            **{**config.__dict__, "seed": int(child.generate_state(1)[0])}
+        )
+        runs.append(train_embeddings(corpus, cfg).vectors)
+    return neighborhood_overlap(runs[0], runs[1], k=10)
+
+
+def neighborhood_overlap(a: np.ndarray, b: np.ndarray, *, k: int = 10) -> float:
+    """Mean Jaccard overlap of each vertex's k-NN sets in two embeddings.
+
+    1.0 means the two embeddings agree exactly on local geometry; a pair
+    of random embeddings scores ≈ k / n.
+    """
+    if a.shape[0] != b.shape[0]:
+        raise ValueError("embeddings must cover the same vertices")
+    n = a.shape[0]
+    if n <= k:
+        raise ValueError("need more vertices than k")
+
+    def knn_sets(x: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(x, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        xn = x / norms
+        sims = xn @ xn.T
+        np.fill_diagonal(sims, -np.inf)
+        return np.argpartition(-sims, k - 1, axis=1)[:, :k]
+
+    na, nb = knn_sets(a), knn_sets(b)
+    overlaps = np.empty(n)
+    for i in range(n):
+        sa, sb = set(na[i].tolist()), set(nb[i].tolist())
+        overlaps[i] = len(sa & sb) / len(sa | sb)
+    return float(overlaps.mean())
+
+
+def select_dimension(
+    graph_or_corpus: Graph | WalkCorpus,
+    dims: tuple[int, ...] = (10, 20, 50, 100, 200),
+    *,
+    k: int = 10,
+    criterion: str = "silhouette",
+    time_penalty: float = 0.0,
+    config: V2VConfig | None = None,
+    seed: int | None = 0,
+) -> tuple[int, list[DimensionScore]]:
+    """Pick an embedding dimension without labels.
+
+    Parameters
+    ----------
+    graph_or_corpus:
+        A graph (walks are generated once and shared) or a pre-built
+        corpus.
+    dims:
+        Candidate dimensions.
+    k:
+        Cluster count used by the silhouette criterion.
+    criterion:
+        ``"silhouette"`` (cluster quality) or ``"stability"``
+        (seed-to-seed neighborhood agreement).
+    time_penalty:
+        Subtracts ``time_penalty * train_seconds`` from each score —
+        the paper's "keeping in mind the time complexity" knob. 0 means
+        pure quality.
+    config:
+        Base V2V config (its ``dim`` is overridden per candidate).
+
+    Returns
+    -------
+    ``(best_dim, scores)`` with per-candidate records.
+    """
+    if criterion not in ("silhouette", "stability"):
+        raise ValueError("criterion must be 'silhouette' or 'stability'")
+    if not dims:
+        raise ValueError("dims must be non-empty")
+    if time_penalty < 0:
+        raise ValueError("time_penalty must be non-negative")
+    base = config or V2VConfig(seed=seed)
+    if isinstance(graph_or_corpus, WalkCorpus):
+        corpus = graph_or_corpus
+    else:
+        corpus = generate_walks(graph_or_corpus, base.walk_config())
+
+    scores: list[DimensionScore] = []
+    for dim in dims:
+        cfg = base.with_dim(dim)
+        model = V2V(cfg).fit_corpus(corpus)
+        if criterion == "silhouette":
+            raw = _silhouette_criterion(model.vectors, k, seed)
+        else:
+            raw = _stability_criterion(corpus, cfg.train_config(), seed)
+        scores.append(
+            DimensionScore(
+                dim=dim,
+                score=raw - time_penalty * model.result.train_seconds,
+                train_seconds=model.result.train_seconds,
+                epochs_run=model.result.epochs_run,
+            )
+        )
+    best = max(scores, key=lambda s: (s.score, -s.dim))
+    return best.dim, scores
+
+
+@dataclass(frozen=True)
+class BudgetStep:
+    """One step of the walk-budget search."""
+
+    walks_per_vertex: int
+    tokens: int
+    overlap_with_previous: float
+
+
+def select_walk_budget(
+    graph: Graph,
+    *,
+    walk_length: int = 40,
+    start: int = 1,
+    max_walks_per_vertex: int = 64,
+    stability_threshold: float = 0.6,
+    dim: int = 32,
+    seed: int | None = 0,
+) -> tuple[int, list[BudgetStep]]:
+    """Find the smallest walk budget whose embedding is stable.
+
+    Doubles ``walks_per_vertex`` from ``start``; at each step trains an
+    embedding and measures :func:`neighborhood_overlap` against the
+    previous step's embedding. Stops when the overlap exceeds
+    ``stability_threshold`` — more walks would no longer change the
+    geometry materially.
+    """
+    if start < 1 or max_walks_per_vertex < start:
+        raise ValueError("need 1 <= start <= max_walks_per_vertex")
+    if not 0 < stability_threshold <= 1:
+        raise ValueError("stability_threshold must be in (0, 1]")
+    steps: list[BudgetStep] = []
+    prev_vectors: np.ndarray | None = None
+    t = start
+    chosen = max_walks_per_vertex
+    while t <= max_walks_per_vertex:
+        corpus = generate_walks(
+            graph,
+            RandomWalkConfig(
+                walks_per_vertex=t, walk_length=walk_length, seed=seed
+            ),
+        )
+        cfg = V2VConfig(dim=dim, seed=seed)
+        vectors = V2V(cfg).fit_corpus(corpus).vectors
+        overlap = (
+            float("nan")
+            if prev_vectors is None
+            else neighborhood_overlap(prev_vectors, vectors, k=10)
+        )
+        steps.append(
+            BudgetStep(
+                walks_per_vertex=t,
+                tokens=corpus.num_tokens,
+                overlap_with_previous=overlap,
+            )
+        )
+        if prev_vectors is not None and overlap >= stability_threshold:
+            chosen = t
+            break
+        prev_vectors = vectors
+        t *= 2
+    return chosen, steps

@@ -1,0 +1,93 @@
+"""SkipGram with negative sampling — the DeepWalk/node2vec objective.
+
+Included as the comparison point the paper's Related Work discusses
+(Perozzi et al., Grover & Leskovec use SkipGram; V2V uses CBOW). The
+ablation bench contrasts the two objectives on identical walk corpora.
+
+SkipGram inverts CBOW's direction: the *center* vector predicts each
+context token independently, so a (center, contexts) example expands into
+one training pair per real context slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core._math import log_sigmoid, scatter_add_rows, sigmoid
+from repro.core.negative import NegativeSampler
+
+__all__ = ["SkipGramNegativeSampling"]
+
+
+class SkipGramNegativeSampling:
+    """SkipGram objective with sampled logistic output layer."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        sampler: NegativeSampler,
+        *,
+        negatives: int = 5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if vocab_size < 1 or dim < 1:
+            raise ValueError("vocab_size and dim must be positive")
+        if negatives < 1:
+            raise ValueError("negatives must be >= 1")
+        if sampler.vocab_size != vocab_size:
+            raise ValueError("sampler vocabulary does not match vocab_size")
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.negatives = negatives
+        self.sampler = sampler
+        self.w_in = (rng.random((vocab_size, dim)) - 0.5) / dim
+        self.w_out = np.zeros((vocab_size, dim))
+
+    @property
+    def vectors(self) -> np.ndarray:
+        return self.w_in
+
+    def batch_step(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One SGD step over a (center, padded-contexts) minibatch.
+
+        The batch is flattened to (input=center, output=context) pairs so
+        the update shares the CBOW machinery's vectorized shape. Loss is
+        normalized per original example to stay comparable with CBOW's
+        loss curve.
+        """
+        mask = contexts >= 0
+        pair_in = np.repeat(centers, contexts.shape[1])[mask.ravel()]
+        pair_out = contexts[mask]
+        if pair_in.size == 0:
+            return 0.0
+
+        h = self.w_in[pair_in]  # (P, d)
+        negs = self.sampler.sample(
+            (pair_in.shape[0], self.negatives), rng, avoid=pair_out[:, None]
+        )
+        targets = np.concatenate([pair_out[:, None], negs], axis=1)
+        labels = np.zeros((pair_in.shape[0], 1 + self.negatives))
+        labels[:, 0] = 1.0
+
+        out_vecs = self.w_out[targets]
+        scores = np.einsum("pd,pkd->pk", h, out_vecs)
+        preds = sigmoid(scores)
+        loss = -(log_sigmoid(scores[:, 0]).sum() + log_sigmoid(-scores[:, 1:]).sum())
+
+        g = (labels - preds) * lr
+        grad_h = np.einsum("pk,pkd->pd", g, out_vecs)
+        scatter_add_rows(
+            self.w_out,
+            targets.ravel(),
+            (g[:, :, None] * h[:, None, :]).reshape(-1, self.dim),
+        )
+        scatter_add_rows(self.w_in, pair_in, grad_h)
+        return float(loss / centers.shape[0])

@@ -1,0 +1,343 @@
+"""Minibatch SGD training loop with linear LR decay and convergence stop.
+
+The paper (Fig 7) observes that V2V training time *decreases* as
+community structure strengthens: strong structure makes walk contexts
+predictable, the loss plateaus sooner, and training halts early. The
+trainer implements that behaviour explicitly: per-epoch mean loss is
+tracked, and training stops once the relative improvement stays below
+``tol`` for ``patience`` consecutive epochs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cbow import CBOWHierarchicalSoftmax, CBOWNegativeSampling
+from repro.core.huffman import build_huffman
+from repro.core.negative import NegativeSampler
+from repro.core.skipgram import SkipGramNegativeSampling
+from repro.core.vocab import VertexVocab
+from repro.walks.corpus import WalkCorpus
+
+__all__ = ["TrainConfig", "EmbeddingResult", "train_embeddings"]
+
+OBJECTIVES = ("cbow", "skipgram")
+OUTPUT_LAYERS = ("negative", "hierarchical")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of the embedding trainer.
+
+    Defaults follow the paper: CBOW, window ``n = 5``; dimension is
+    experiment-specific so it has no privileged default beyond a sane 50.
+    """
+
+    dim: int = 50
+    window: int = 5
+    objective: str = "cbow"
+    output_layer: str = "negative"
+    negatives: int = 5
+    epochs: int = 5
+    batch_size: int = 512
+    lr: float = 0.025
+    lr_min: float = 1e-4
+    subsample: float = 0.0
+    tol: float = 1e-3
+    patience: int = 2
+    early_stop: bool = True
+    streaming: bool = False
+    stream_rows: int = 1024
+    seed: int | None = None
+    shuffle: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError("dim must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.objective not in OBJECTIVES:
+            raise ValueError(f"objective must be one of {OBJECTIVES}")
+        if self.output_layer not in OUTPUT_LAYERS:
+            raise ValueError(f"output_layer must be one of {OUTPUT_LAYERS}")
+        if self.objective == "skipgram" and self.output_layer == "hierarchical":
+            raise ValueError("hierarchical softmax is implemented for CBOW only")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0 < self.lr:
+            raise ValueError("lr must be positive")
+        if self.lr_min < 0 or self.lr_min > self.lr:
+            raise ValueError("need 0 <= lr_min <= lr")
+        if self.negatives < 1:
+            raise ValueError("negatives must be >= 1")
+        if self.tol < 0:
+            raise ValueError("tol must be non-negative")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.stream_rows < 1:
+            raise ValueError("stream_rows must be >= 1")
+
+
+@dataclass(frozen=True)
+class EmbeddingResult:
+    """Outcome of a training run.
+
+    ``vectors`` is the (V × dim) input-embedding matrix — the V2V vectors.
+    """
+
+    vectors: np.ndarray
+    loss_history: list[float]
+    epochs_run: int
+    train_seconds: float
+    converged: bool
+    config: TrainConfig
+
+    @property
+    def dim(self) -> int:
+        return int(self.vectors.shape[1])
+
+
+def _build_objective(
+    config: TrainConfig,
+    vocab: VertexVocab,
+    rng: np.random.Generator,
+    init_vectors: np.ndarray | None = None,
+):
+    if config.output_layer == "hierarchical":
+        coding = build_huffman(vocab.counts)
+        objective = CBOWHierarchicalSoftmax(vocab.size, config.dim, coding, rng=rng)
+    else:
+        sampler = NegativeSampler(vocab.noise_distribution())
+        if config.objective == "cbow":
+            objective = CBOWNegativeSampling(
+                vocab.size, config.dim, sampler, negatives=config.negatives, rng=rng
+            )
+        else:
+            objective = SkipGramNegativeSampling(
+                vocab.size, config.dim, sampler, negatives=config.negatives, rng=rng
+            )
+    if init_vectors is not None:
+        init_vectors = np.asarray(init_vectors, dtype=np.float64)
+        if init_vectors.shape != (vocab.size, config.dim):
+            raise ValueError(
+                f"init_vectors must be ({vocab.size}, {config.dim}), "
+                f"got {init_vectors.shape}"
+            )
+        objective.w_in = init_vectors.copy()
+    return objective
+
+
+def train_embeddings(
+    corpus: WalkCorpus,
+    config: TrainConfig | None = None,
+    *,
+    init_vectors: np.ndarray | None = None,
+) -> EmbeddingResult:
+    """Train vertex embeddings on a walk corpus.
+
+    Returns an :class:`EmbeddingResult`; ``vectors`` rows for vertices
+    that never appear in the corpus keep their random initialization
+    (they carry no information, matching word2vec's treatment of
+    out-of-corpus words).
+
+    ``init_vectors`` warm-starts the input embedding matrix — used by
+    :meth:`repro.core.model.V2V.refit` to retrain after small graph
+    changes without re-learning from scratch.
+    """
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    vocab = VertexVocab.from_corpus(corpus)
+    if vocab.total_tokens == 0:
+        raise ValueError("corpus is empty; nothing to train on")
+
+    if config.streaming:
+        return _train_streaming(corpus, config, vocab, rng, init_vectors)
+
+    centers, contexts = corpus.context_arrays(config.window)
+    if centers.size == 0:
+        raise ValueError("corpus has no (center, context) examples")
+
+    if config.subsample > 0:
+        keep_p = vocab.keep_probabilities(config.subsample)
+        keep = rng.random(centers.shape[0]) < keep_p[centers]
+        if np.any(keep):  # never subsample away the whole corpus
+            centers, contexts = centers[keep], contexts[keep]
+
+    objective = _build_objective(config, vocab, rng, init_vectors)
+
+    num_examples = centers.shape[0]
+    batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
+    total_batches = batches_per_epoch * config.epochs
+
+    loss_history: list[float] = []
+    best_loss = np.inf
+    stall = 0
+    converged = False
+    start = time.perf_counter()
+    batch_index = 0
+    for _epoch in range(config.epochs):
+        order = rng.permutation(num_examples) if config.shuffle else np.arange(num_examples)
+        epoch_loss = 0.0
+        for lo in range(0, num_examples, config.batch_size):
+            sel = order[lo : lo + config.batch_size]
+            # Linear LR decay over the scheduled (not early-stopped) run.
+            frac = batch_index / max(total_batches - 1, 1)
+            lr = config.lr + (config.lr_min - config.lr) * frac
+            epoch_loss += objective.batch_step(centers[sel], contexts[sel], lr, rng)
+            batch_index += 1
+        mean_loss = epoch_loss / batches_per_epoch
+        loss_history.append(mean_loss)
+        if config.early_stop:
+            improvement = (best_loss - mean_loss) / max(abs(best_loss), 1e-12)
+            if np.isfinite(best_loss) and improvement < config.tol:
+                stall += 1
+                if stall >= config.patience:
+                    converged = True
+                    break
+            else:
+                stall = 0
+            best_loss = min(best_loss, mean_loss)
+    elapsed = time.perf_counter() - start
+
+    return EmbeddingResult(
+        vectors=objective.vectors.copy(),
+        loss_history=loss_history,
+        epochs_run=len(loss_history),
+        train_seconds=elapsed,
+        converged=converged,
+        config=config,
+    )
+
+
+def _train_streaming(
+    corpus: WalkCorpus,
+    config: TrainConfig,
+    vocab: VertexVocab,
+    rng: np.random.Generator,
+    init_vectors: np.ndarray | None,
+) -> EmbeddingResult:
+    """Memory-bounded training: context examples are extracted one walk
+    chunk at a time instead of materialized for the whole corpus.
+
+    Peak memory is O(stream_rows × walk_length × window + buffer) — the
+    path that makes the paper's t = ℓ = 1000 corpora (10⁹ tokens →
+    ~10¹⁰ context slots) trainable. Shuffling is hierarchical: walk rows
+    are permuted globally, then examples pass through a shuffle buffer
+    of several batches before being consumed — without the buffer, a
+    small chunk feeds whole batches from a handful of walks, whose
+    heavily repeated vertices over-step the SGD update.
+    """
+    num_examples = corpus.num_examples(config.window)
+    if num_examples == 0:
+        raise ValueError("corpus has no (center, context) examples")
+    objective = _build_objective(config, vocab, rng, init_vectors)
+
+    keep_p = (
+        vocab.keep_probabilities(config.subsample)
+        if config.subsample > 0
+        else None
+    )
+    batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
+    total_batches = batches_per_epoch * config.epochs
+
+    loss_history: list[float] = []
+    best_loss = np.inf
+    stall = 0
+    converged = False
+    start = time.perf_counter()
+    batch_index = 0
+    for _epoch in range(config.epochs):
+        if config.shuffle:
+            row_order = rng.permutation(corpus.num_walks)
+            shuffled = WalkCorpus(
+                corpus.walks[row_order], num_vertices=corpus.num_vertices
+            )
+        else:
+            shuffled = corpus
+        epoch_loss = 0.0
+        epoch_batches = 0
+        buffer_target = 8 * config.batch_size
+        buf_centers: list[np.ndarray] = []
+        buf_contexts: list[np.ndarray] = []
+        buffered = 0
+
+        def drain(final: bool) -> tuple[float, int]:
+            nonlocal batch_index, buf_centers, buf_contexts, buffered
+            centers = np.concatenate(buf_centers)
+            contexts = np.vstack(buf_contexts)
+            if config.shuffle:
+                perm = rng.permutation(centers.shape[0])
+                centers, contexts = centers[perm], contexts[perm]
+            # Keep a partial batch in the buffer unless this is the
+            # final drain of the epoch.
+            full = centers.shape[0] - (
+                0 if final else centers.shape[0] % config.batch_size
+            )
+            loss = 0.0
+            steps = 0
+            for lo in range(0, full, config.batch_size):
+                frac = min(batch_index, total_batches - 1) / max(
+                    total_batches - 1, 1
+                )
+                lr = config.lr + (config.lr_min - config.lr) * frac
+                loss += objective.batch_step(
+                    centers[lo : lo + config.batch_size],
+                    contexts[lo : lo + config.batch_size],
+                    lr,
+                    rng,
+                )
+                batch_index += 1
+                steps += 1
+            if full < centers.shape[0]:
+                buf_centers = [centers[full:]]
+                buf_contexts = [contexts[full:]]
+                buffered = centers.shape[0] - full
+            else:
+                buf_centers, buf_contexts, buffered = [], [], 0
+            return loss, steps
+
+        for centers, contexts in shuffled.context_batches(
+            config.window, rows_per_batch=config.stream_rows
+        ):
+            if keep_p is not None:
+                keep = rng.random(centers.shape[0]) < keep_p[centers]
+                if np.any(keep):
+                    centers, contexts = centers[keep], contexts[keep]
+            buf_centers.append(centers)
+            buf_contexts.append(contexts)
+            buffered += centers.shape[0]
+            if buffered >= buffer_target:
+                loss, steps = drain(final=False)
+                epoch_loss += loss
+                epoch_batches += steps
+        if buffered:
+            loss, steps = drain(final=True)
+            epoch_loss += loss
+            epoch_batches += steps
+        mean_loss = epoch_loss / max(epoch_batches, 1)
+        loss_history.append(mean_loss)
+        if config.early_stop:
+            improvement = (best_loss - mean_loss) / max(abs(best_loss), 1e-12)
+            if np.isfinite(best_loss) and improvement < config.tol:
+                stall += 1
+                if stall >= config.patience:
+                    converged = True
+                    break
+            else:
+                stall = 0
+            best_loss = min(best_loss, mean_loss)
+    elapsed = time.perf_counter() - start
+
+    return EmbeddingResult(
+        vectors=objective.vectors.copy(),
+        loss_history=loss_history,
+        epochs_run=len(loss_history),
+        train_seconds=elapsed,
+        converged=converged,
+        config=config,
+    )

@@ -1,0 +1,86 @@
+"""Vertex vocabulary: token frequencies and derived sampling distributions.
+
+Mirrors the word2vec vocabulary object: every vertex id is its own
+"word", counts come from the walk corpus, and the vocabulary exposes the
+``count^0.75`` noise distribution used by negative sampling plus the
+optional frequent-token subsampling probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.walks.corpus import WalkCorpus
+
+__all__ = ["VertexVocab"]
+
+
+class VertexVocab:
+    """Frequency statistics of a walk corpus over ``num_vertices`` ids."""
+
+    def __init__(self, counts: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ValueError("counts must be 1-D")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        self._counts = counts
+        self._total = int(counts.sum())
+
+    @classmethod
+    def from_corpus(cls, corpus: WalkCorpus) -> "VertexVocab":
+        return cls(corpus.token_counts())
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def size(self) -> int:
+        """Vocabulary size — the vertex-universe size, including zero-count ids."""
+        return int(self._counts.shape[0])
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total
+
+    @property
+    def observed(self) -> np.ndarray:
+        """Ids that appear at least once."""
+        return np.flatnonzero(self._counts > 0)
+
+    def frequencies(self) -> np.ndarray:
+        """Relative frequency per id (zeros stay zero)."""
+        if self._total == 0:
+            return np.zeros(self.size)
+        return self._counts / self._total
+
+    def noise_distribution(self, power: float = 0.75) -> np.ndarray:
+        """word2vec negative-sampling noise: P(v) ∝ count(v)^power.
+
+        Ids that never occur get probability 0 — they are never drawn as
+        negatives, matching word2vec's table construction.
+        """
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        weights = self._counts.astype(np.float64) ** power
+        weights[self._counts == 0] = 0.0
+        total = weights.sum()
+        if total == 0:
+            raise ValueError("cannot build noise distribution from empty vocab")
+        return weights / total
+
+    def keep_probabilities(self, subsample: float) -> np.ndarray:
+        """word2vec frequent-token subsampling keep-probability per id.
+
+        ``keep(v) = min(1, sqrt(t / f(v)) + t / f(v))`` with threshold ``t``.
+        ``subsample <= 0`` disables (all ones).
+        """
+        if subsample <= 0:
+            return np.ones(self.size)
+        freq = self.frequencies()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = subsample / freq
+            keep = np.sqrt(ratio) + ratio
+        keep[~np.isfinite(keep)] = 1.0
+        return np.minimum(keep, 1.0)

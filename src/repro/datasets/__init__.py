@@ -1,0 +1,20 @@
+"""Datasets: the paper's synthetic community benchmark and the synthetic
+OpenFlights substitute (see DESIGN.md §3 for the substitution rationale).
+"""
+
+from repro.datasets.openflights import (
+    CONTINENTS,
+    OpenFlightsSpec,
+    synthetic_openflights,
+)
+from repro.datasets.karate import karate_club
+from repro.datasets.synthetic import alpha_sweep, community_benchmark
+
+__all__ = [
+    "community_benchmark",
+    "alpha_sweep",
+    "karate_club",
+    "synthetic_openflights",
+    "OpenFlightsSpec",
+    "CONTINENTS",
+]

@@ -1,0 +1,70 @@
+"""Graph substrate: CSR-backed graphs, generators, traversal, metrics, I/O.
+
+This subpackage implements the graph layer that V2V operates on. Every
+structure is stored in flat, contiguous numpy arrays (CSR adjacency) so
+that the random-walk engine and the community-detection baselines can run
+vectorized over the whole vertex set.
+"""
+
+from repro.graph.core import Graph, EdgeList
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    planted_partition,
+    random_geometric,
+    star_graph,
+    stochastic_block_model,
+)
+from repro.graph.lfr import lfr_benchmark
+from repro.graph.perturb import add_noise_edges, drop_edges, rewire_edges
+from repro.graph.metrics import (
+    average_clustering,
+    degree_assortativity,
+    density,
+    modularity,
+    triangle_count,
+)
+from repro.graph.traversal import (
+    bfs_order,
+    bfs_distances,
+    connected_components,
+    dfs_order,
+    edge_betweenness,
+    is_connected,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "Graph",
+    "EdgeList",
+    "planted_partition",
+    "erdos_renyi",
+    "barabasi_albert",
+    "stochastic_block_model",
+    "random_geometric",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "bfs_order",
+    "bfs_distances",
+    "dfs_order",
+    "connected_components",
+    "is_connected",
+    "shortest_path_lengths",
+    "edge_betweenness",
+    "lfr_benchmark",
+    "drop_edges",
+    "add_noise_edges",
+    "rewire_edges",
+    "density",
+    "modularity",
+    "average_clustering",
+    "triangle_count",
+    "degree_assortativity",
+]

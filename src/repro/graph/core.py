@@ -1,0 +1,430 @@
+"""Core graph data structure.
+
+``Graph`` stores adjacency in compressed sparse row (CSR) form:
+
+- ``indptr``  : int64 array of length ``n + 1``; the neighbors of vertex
+  ``v`` live in ``indices[indptr[v]:indptr[v + 1]]``.
+- ``indices`` : int64 array of length ``nnz`` (directed arc count).
+- ``edge_weights`` / ``edge_times`` : optional float64 arrays aligned with
+  ``indices`` carrying per-arc weights and timestamps.
+
+Undirected graphs store every edge as two arcs, so all per-vertex
+operations (degrees, neighbor slices, random-walk steps) are O(1) slices
+into contiguous memory — the layout the walk engine's structure-of-arrays
+stepping depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Graph", "EdgeList"]
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """A plain edge list with optional weight/timestamp columns.
+
+    ``src``/``dst`` are int64 arrays of equal length. For undirected
+    graphs each edge appears once here (canonical form); ``Graph``
+    symmetrizes on construction.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    weights: np.ndarray | None = None
+    times: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        src = np.asarray(self.src, dtype=np.int64)
+        dst = np.asarray(self.dst, dtype=np.int64)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        for name in ("weights", "times"):
+            col = getattr(self, name)
+            if col is not None:
+                col = np.asarray(col, dtype=np.float64)
+                if col.shape != src.shape:
+                    raise ValueError(f"{name} must align with src/dst")
+                object.__setattr__(self, name, col)
+
+    def __len__(self) -> int:
+        return int(self.src.shape[0])
+
+
+class Graph:
+    """CSR-backed graph supporting the constrained-walk variants of V2V.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (``0 .. n-1``).
+    edges:
+        Either an :class:`EdgeList` or an iterable of ``(u, v)`` /
+        ``(u, v, w)`` / ``(u, v, w, t)`` tuples.
+    directed:
+        If True, each listed edge is a single arc ``u -> v``. If False,
+        each edge is stored as two arcs.
+    vertex_weights:
+        Optional per-vertex weights used by the vertex-weighted walk.
+    vertex_labels:
+        Optional mapping ``name -> array of length n`` of categorical or
+        numeric vertex attributes (e.g. ground-truth community, country).
+        Labels are metadata only — never consumed by the embedding.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: EdgeList | Iterable[tuple] | None = None,
+        *,
+        directed: bool = False,
+        vertex_weights: Sequence[float] | None = None,
+        vertex_labels: Mapping[str, Sequence] | None = None,
+    ) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._n = int(n)
+        self._directed = bool(directed)
+        edge_list = self._coerce_edges(edges)
+        self._validate_endpoints(edge_list)
+        self._edge_list = edge_list
+        (
+            self._indptr,
+            self._indices,
+            self._edge_weights,
+            self._edge_times,
+        ) = self._build_csr(edge_list)
+        self._in_indptr: np.ndarray | None = None
+        self._in_indices: np.ndarray | None = None
+
+        if vertex_weights is not None:
+            vw = np.asarray(vertex_weights, dtype=np.float64)
+            if vw.shape != (self._n,):
+                raise ValueError("vertex_weights must have length n")
+            if np.any(vw < 0):
+                raise ValueError("vertex_weights must be non-negative")
+            self._vertex_weights: np.ndarray | None = vw
+        else:
+            self._vertex_weights = None
+
+        self._vertex_labels: dict[str, np.ndarray] = {}
+        if vertex_labels:
+            for name, values in vertex_labels.items():
+                self.set_vertex_labels(name, values)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_edges(edges: EdgeList | Iterable[tuple] | None) -> EdgeList:
+        if edges is None:
+            empty = np.empty(0, dtype=np.int64)
+            return EdgeList(empty, empty.copy())
+        if isinstance(edges, EdgeList):
+            return edges
+        rows = list(edges)
+        if not rows:
+            empty = np.empty(0, dtype=np.int64)
+            return EdgeList(empty, empty.copy())
+        width = len(rows[0])
+        if width not in (2, 3, 4):
+            raise ValueError("edge tuples must have 2, 3 or 4 fields")
+        if any(len(r) != width for r in rows):
+            raise ValueError("all edge tuples must have the same arity")
+        arr = np.asarray(rows, dtype=np.float64)
+        src = arr[:, 0].astype(np.int64)
+        dst = arr[:, 1].astype(np.int64)
+        weights = arr[:, 2].copy() if width >= 3 else None
+        times = arr[:, 3].copy() if width == 4 else None
+        return EdgeList(src, dst, weights, times)
+
+    def _validate_endpoints(self, edge_list: EdgeList) -> None:
+        if len(edge_list) == 0:
+            return
+        lo = min(edge_list.src.min(), edge_list.dst.min())
+        hi = max(edge_list.src.max(), edge_list.dst.max())
+        if lo < 0 or hi >= self._n:
+            raise ValueError(
+                f"edge endpoint out of range [0, {self._n}): saw {lo}..{hi}"
+            )
+        if edge_list.weights is not None and np.any(edge_list.weights < 0):
+            raise ValueError("edge weights must be non-negative")
+
+    def _build_csr(
+        self, edge_list: EdgeList
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+        src, dst = edge_list.src, edge_list.dst
+        w, t = edge_list.weights, edge_list.times
+        if not self._directed and len(edge_list) > 0:
+            # Symmetrize: keep self-loops single to avoid double arcs.
+            loop = src == dst
+            rsrc, rdst = dst[~loop], src[~loop]
+            src = np.concatenate([src, rsrc])
+            dst = np.concatenate([dst, rdst])
+            if w is not None:
+                w = np.concatenate([w, w[~loop]])
+            if t is not None:
+                t = np.concatenate([t, t[~loop]])
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        if w is not None:
+            w = np.ascontiguousarray(w[order])
+        if t is not None:
+            t = np.ascontiguousarray(t[order])
+        counts = np.bincount(src, minlength=self._n)
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, np.ascontiguousarray(dst), w, t
+
+    @classmethod
+    def from_adjacency(cls, matrix: np.ndarray, *, directed: bool = False) -> "Graph":
+        """Build a graph from a dense (weighted) adjacency matrix.
+
+        Zero entries are non-edges. For undirected graphs only the upper
+        triangle (including the diagonal) is read; the matrix is expected
+        to be symmetric.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        n = matrix.shape[0]
+        if directed:
+            src, dst = np.nonzero(matrix)
+        else:
+            if not np.allclose(matrix, matrix.T):
+                raise ValueError("undirected adjacency must be symmetric")
+            src, dst = np.nonzero(np.triu(matrix))
+        weights = matrix[src, dst]
+        unit = np.allclose(weights, 1.0)
+        edge_list = EdgeList(src, dst, None if unit else weights)
+        return cls(n, edge_list, directed=directed)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges as listed (undirected edges counted once)."""
+        return len(self._edge_list)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs in the CSR structure."""
+        return int(self._indices.shape[0])
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    @property
+    def edge_weights(self) -> np.ndarray | None:
+        """Per-arc weights aligned with :attr:`indices` (None if unweighted)."""
+        return self._edge_weights
+
+    @property
+    def edge_times(self) -> np.ndarray | None:
+        """Per-arc timestamps aligned with :attr:`indices` (None if untimed)."""
+        return self._edge_times
+
+    @property
+    def vertex_weights(self) -> np.ndarray | None:
+        return self._vertex_weights
+
+    @property
+    def edge_list(self) -> EdgeList:
+        """The canonical edge list the graph was built from."""
+        return self._edge_list
+
+    @property
+    def weighted(self) -> bool:
+        return self._edge_weights is not None
+
+    @property
+    def temporal(self) -> bool:
+        return self._edge_times is not None
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self._directed else "undirected"
+        flags = []
+        if self.weighted:
+            flags.append("weighted")
+        if self.temporal:
+            flags.append("temporal")
+        extra = (", " + ", ".join(flags)) if flags else ""
+        return f"Graph(n={self._n}, m={self.num_edges}, {kind}{extra})"
+
+    # ------------------------------------------------------------------
+    # Adjacency queries
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` as a (read-only view of a) contiguous slice."""
+        self._check_vertex(v)
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def neighbor_slice(self, v: int) -> tuple[int, int]:
+        """``(start, stop)`` bounds of ``v``'s arcs inside :attr:`indices`."""
+        self._check_vertex(v)
+        return int(self._indptr[v]), int(self._indptr[v + 1])
+
+    def degree(self, v: int | None = None) -> int | np.ndarray:
+        """Out-degree of ``v``, or the full out-degree array if ``v`` is None."""
+        if v is None:
+            return np.diff(self._indptr)
+        self._check_vertex(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self._indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree array (same as out-degrees for undirected graphs)."""
+        if not self._directed:
+            return self.out_degrees()
+        return np.bincount(self._indices, minlength=self._n).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if arc ``u -> v`` exists (or either direction if undirected)."""
+        return bool(np.any(self.neighbors(u) == v))
+
+    def arcs(self) -> Iterator[tuple[int, int]]:
+        """Iterate all directed arcs ``(u, v)`` in CSR order."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                yield u, int(v)
+
+    def arc_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """All arcs as ``(src, dst)`` arrays (vectorized form of :meth:`arcs`)."""
+        src = np.repeat(np.arange(self._n, dtype=np.int64), self.out_degrees())
+        return src, self._indices.copy()
+
+    def in_adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR of the reversed graph, built lazily and cached."""
+        if self._in_indptr is None:
+            if not self._directed:
+                self._in_indptr, self._in_indices = self._indptr, self._indices
+            else:
+                src, dst = self.arc_array()
+                order = np.argsort(dst, kind="stable")
+                counts = np.bincount(dst, minlength=self._n)
+                indptr = np.zeros(self._n + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+                self._in_indptr = indptr
+                self._in_indices = np.ascontiguousarray(src[order])
+        return self._in_indptr, self._in_indices
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise IndexError(f"vertex {v} out of range [0, {self._n})")
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def set_vertex_labels(self, name: str, values: Sequence) -> None:
+        arr = np.asarray(values)
+        if arr.shape != (self._n,):
+            raise ValueError(f"labels '{name}' must have length n={self._n}")
+        self._vertex_labels[name] = arr
+
+    def vertex_labels(self, name: str) -> np.ndarray:
+        if name not in self._vertex_labels:
+            raise KeyError(f"no vertex labels named '{name}'")
+        return self._vertex_labels[name]
+
+    @property
+    def label_names(self) -> list[str]:
+        return sorted(self._vertex_labels)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def to_undirected(self) -> "Graph":
+        """Forget directions (idempotent on undirected graphs)."""
+        if not self._directed:
+            return self
+        g = Graph(
+            self._n,
+            self._edge_list,
+            directed=False,
+            vertex_weights=self._vertex_weights,
+        )
+        g._vertex_labels = dict(self._vertex_labels)
+        return g
+
+    def reverse(self) -> "Graph":
+        """Graph with every arc reversed (self for undirected graphs)."""
+        if not self._directed:
+            return self
+        e = self._edge_list
+        g = Graph(
+            self._n,
+            EdgeList(e.dst, e.src, e.weights, e.times),
+            directed=True,
+            vertex_weights=self._vertex_weights,
+        )
+        g._vertex_labels = dict(self._vertex_labels)
+        return g
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original
+        id of subgraph vertex ``i``.
+        """
+        keep = np.unique(np.asarray(vertices, dtype=np.int64))
+        if keep.size and (keep[0] < 0 or keep[-1] >= self._n):
+            raise ValueError("subgraph vertex out of range")
+        new_id = np.full(self._n, -1, dtype=np.int64)
+        new_id[keep] = np.arange(keep.size)
+        e = self._edge_list
+        mask = (new_id[e.src] >= 0) & (new_id[e.dst] >= 0)
+        sub_edges = EdgeList(
+            new_id[e.src[mask]],
+            new_id[e.dst[mask]],
+            None if e.weights is None else e.weights[mask],
+            None if e.times is None else e.times[mask],
+        )
+        vw = None if self._vertex_weights is None else self._vertex_weights[keep]
+        g = Graph(keep.size, sub_edges, directed=self._directed, vertex_weights=vw)
+        for name, values in self._vertex_labels.items():
+            g.set_vertex_labels(name, values[keep])
+        return g, keep
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense weighted adjacency (arcs summed; use on small graphs only)."""
+        mat = np.zeros((self._n, self._n), dtype=np.float64)
+        src, dst = self.arc_array()
+        w = self._edge_weights
+        np.add.at(mat, (src, dst), 1.0 if w is None else w)
+        return mat
+
+    def total_edge_weight(self) -> float:
+        """Sum of edge weights over listed edges (count if unweighted)."""
+        if self._edge_list.weights is None:
+            return float(self.num_edges)
+        return float(self._edge_list.weights.sum())

@@ -1,0 +1,300 @@
+"""Graph generators, including the paper's planted quasi-clique benchmark.
+
+The central generator is :func:`planted_partition`, which reproduces the
+synthetic dataset of Section III-A: ``n`` vertices split into ``groups``
+equal communities, each an ``alpha`` quasi-clique, plus ``inter_edges``
+uniformly random edges between distinct communities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.core import EdgeList, Graph
+
+__all__ = [
+    "planted_partition",
+    "erdos_renyi",
+    "barabasi_albert",
+    "stochastic_block_model",
+    "random_geometric",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _sample_pairs_without_replacement(
+    num_possible: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``k`` distinct integers from ``range(num_possible)``.
+
+    Uses ``rng.choice`` without replacement for small domains and a
+    rejection loop for large ones (keeps memory O(k), per the guides'
+    "be easy on the memory" rule).
+    """
+    if k > num_possible:
+        raise ValueError("cannot sample more pairs than exist")
+    if num_possible <= 4 * max(k, 1) or num_possible < 1 << 22:
+        return rng.choice(num_possible, size=k, replace=False)
+    chosen: set[int] = set()
+    out = np.empty(k, dtype=np.int64)
+    filled = 0
+    while filled < k:
+        draw = rng.integers(0, num_possible, size=2 * (k - filled))
+        for value in draw:
+            if value not in chosen:
+                chosen.add(int(value))
+                out[filled] = value
+                filled += 1
+                if filled == k:
+                    break
+    return out
+
+
+def _unrank_pair(flat: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map flat indices into the strict upper-triangle of an n×n grid."""
+    # Row r owns (n - 1 - r) entries starting at offset r*n - r*(r+1)/2.
+    # Invert via the quadratic formula, then clamp for float error.
+    b = 2 * n - 1
+    r = np.floor((b - np.sqrt(b * b - 8.0 * flat)) / 2.0).astype(np.int64)
+    starts = r * n - (r * (r + 1)) // 2
+    over = starts > flat
+    r[over] -= 1
+    starts = r * n - (r * (r + 1)) // 2
+    c = flat - starts + r + 1
+    return r, c
+
+
+def planted_partition(
+    n: int = 1000,
+    groups: int = 10,
+    alpha: float = 0.5,
+    inter_edges: int = 200,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """The paper's synthetic community benchmark (Section III-A).
+
+    ``n`` vertices are split into ``groups`` equal communities
+    ``G_1 .. G_groups``. Each community of size ``s`` receives
+    ``alpha * s * (s - 1)`` intra-community edges drawn uniformly at
+    random without replacement (``alpha = 1`` makes it a clique — the
+    paper counts ordered pairs, i.e. ``s(s-1)``, which equals the number
+    of unordered pairs counted twice; we cap at the clique size).
+    ``inter_edges`` additional edges connect vertices of distinct
+    communities. Ground truth is stored as vertex label ``"community"``.
+
+    Parameters mirror the paper defaults: ``n=1000``, ``groups=10``,
+    ``inter_edges=200``.
+    """
+    if n <= 0 or groups <= 0 or n % groups != 0:
+        raise ValueError("n must be a positive multiple of groups")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    if inter_edges < 0:
+        raise ValueError("inter_edges must be non-negative")
+    rng = _rng(seed)
+    size = n // groups
+    pairs_per_group = size * (size - 1) // 2
+    # Paper: alpha * s * (s-1) edges vs. s*(s-1) "needed to make a clique";
+    # both numerator and denominator use ordered-pair counts, so the edge
+    # *fraction* is alpha of the unordered pair count.
+    intra_per_group = min(int(round(alpha * pairs_per_group)), pairs_per_group)
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    membership = np.repeat(np.arange(groups, dtype=np.int64), size)
+    for g in range(groups):
+        base = g * size
+        if intra_per_group == 0:
+            continue
+        flat = _sample_pairs_without_replacement(pairs_per_group, intra_per_group, rng)
+        r, c = _unrank_pair(flat, size)
+        src_parts.append(base + r)
+        dst_parts.append(base + c)
+
+    # Inter-community edges: uniform over vertex pairs in distinct groups.
+    if inter_edges > 0:
+        got = 0
+        seen: set[tuple[int, int]] = set()
+        isrc = np.empty(inter_edges, dtype=np.int64)
+        idst = np.empty(inter_edges, dtype=np.int64)
+        while got < inter_edges:
+            u = rng.integers(0, n, size=2 * (inter_edges - got))
+            v = rng.integers(0, n, size=u.shape[0])
+            ok = membership[u] != membership[v]
+            for a, b in zip(u[ok], v[ok]):
+                key = (int(min(a, b)), int(max(a, b)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                isrc[got], idst[got] = key
+                got += 1
+                if got == inter_edges:
+                    break
+        src_parts.append(isrc)
+        dst_parts.append(idst)
+
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+    g = Graph(n, EdgeList(src, dst), directed=False)
+    g.set_vertex_labels("community", membership)
+    return g
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    directed: bool = False,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """G(n, p) random graph (each possible edge kept independently w.p. p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = _rng(seed)
+    if directed:
+        mask = rng.random((n, n)) < p
+        np.fill_diagonal(mask, False)
+        src, dst = np.nonzero(mask)
+    else:
+        mask = np.triu(rng.random((n, n)) < p, k=1)
+        src, dst = np.nonzero(mask)
+    return Graph(n, EdgeList(src.astype(np.int64), dst.astype(np.int64)), directed=directed)
+
+
+def barabasi_albert(
+    n: int,
+    m: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` targets.
+
+    Uses the standard repeated-endpoints trick: sampling uniformly from the
+    list of all edge endpoints is equivalent to degree-proportional sampling.
+    """
+    if m < 1 or n < m + 1:
+        raise ValueError("need n >= m + 1 and m >= 1")
+    rng = _rng(seed)
+    src: list[int] = []
+    dst: list[int] = []
+    # Endpoint pool seeded with an initial star over the first m+1 vertices.
+    repeated: list[int] = []
+    for v in range(m):
+        src.append(m)
+        dst.append(v)
+        repeated.extend((m, v))
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(repeated[rng.integers(0, len(repeated))]))
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            repeated.extend((v, t))
+    return Graph(
+        n,
+        EdgeList(np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)),
+        directed=False,
+    )
+
+
+def stochastic_block_model(
+    sizes: list[int],
+    p_matrix: np.ndarray,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Undirected SBM with block sizes ``sizes`` and edge probabilities ``p_matrix``."""
+    p = np.asarray(p_matrix, dtype=np.float64)
+    k = len(sizes)
+    if p.shape != (k, k):
+        raise ValueError("p_matrix must be k x k")
+    if not np.allclose(p, p.T):
+        raise ValueError("p_matrix must be symmetric for an undirected SBM")
+    if np.any(p < 0) or np.any(p > 1):
+        raise ValueError("probabilities must be in [0, 1]")
+    rng = _rng(seed)
+    n = int(sum(sizes))
+    membership = np.repeat(np.arange(k, dtype=np.int64), sizes)
+    iu, ju = np.triu_indices(n, k=1)
+    probs = p[membership[iu], membership[ju]]
+    keep = rng.random(iu.shape[0]) < probs
+    g = Graph(n, EdgeList(iu[keep].astype(np.int64), ju[keep].astype(np.int64)))
+    g.set_vertex_labels("community", membership)
+    return g
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    *,
+    dim: int = 2,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Random geometric graph on the unit cube; positions saved as labels."""
+    rng = _rng(seed)
+    pos = rng.random((n, dim))
+    d2 = np.sum((pos[:, None, :] - pos[None, :, :]) ** 2, axis=-1)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = d2[iu, ju] <= radius * radius
+    g = Graph(n, EdgeList(iu[keep].astype(np.int64), ju[keep].astype(np.int64)))
+    for axis in range(dim):
+        g.set_vertex_labels(f"pos{axis}", pos[:, axis])
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    iu, ju = np.triu_indices(n, k=1)
+    return Graph(n, EdgeList(iu.astype(np.int64), ju.astype(np.int64)))
+
+
+def cycle_graph(n: int) -> Graph:
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return Graph(n, EdgeList(src, dst))
+
+
+def path_graph(n: int) -> Graph:
+    if n < 1:
+        raise ValueError("path needs n >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    return Graph(n, EdgeList(src, src + 1))
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and ``n - 1`` leaves."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    dst = np.arange(1, n, dtype=np.int64)
+    return Graph(n, EdgeList(np.zeros(n - 1, dtype=np.int64), dst))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2-D lattice; vertex ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_src = ids[:, :-1].ravel()
+    right_dst = ids[:, 1:].ravel()
+    down_src = ids[:-1, :].ravel()
+    down_dst = ids[1:, :].ravel()
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+    return Graph(rows * cols, EdgeList(src, dst))

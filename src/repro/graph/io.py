@@ -1,0 +1,138 @@
+"""Edge-list and binary I/O for graphs.
+
+Text format is whitespace-separated: ``src dst [weight [time]]`` per line,
+``#``-prefixed comments allowed. Binary format is an ``.npz`` capturing the
+full graph (CSR-independent: the canonical edge list plus metadata) so a
+round trip is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.core import EdgeList, Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "save_graph", "load_graph"]
+
+
+def write_edge_list(g: Graph, path: str | Path) -> None:
+    """Write the canonical edge list as text, one edge per line."""
+    path = Path(path)
+    e = g.edge_list
+    cols = [e.src, e.dst]
+    if e.weights is not None:
+        cols.append(e.weights)
+    if e.times is not None:
+        if e.weights is None:
+            cols.append(np.ones(len(e)))  # placeholder weight column
+        cols.append(e.times)
+    with path.open("w") as fh:
+        fh.write(f"# n={g.n} directed={int(g.directed)}\n")
+        for row in zip(*cols):
+            fh.write(" ".join(_fmt(x) for x in row) + "\n")
+
+
+def _fmt(x) -> str:
+    value = float(x)
+    return str(int(value)) if value.is_integer() else repr(value)
+
+
+def read_edge_list(
+    path: str | Path,
+    *,
+    n: int | None = None,
+    directed: bool | None = None,
+) -> Graph:
+    """Read a text edge list. Header comments written by
+    :func:`write_edge_list` supply ``n`` and directedness; explicit
+    arguments override. Without either, ``n`` defaults to max id + 1.
+    """
+    path = Path(path)
+    header_n: int | None = None
+    header_directed: bool | None = None
+    rows: list[list[float]] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("n="):
+                        header_n = int(token[2:])
+                    elif token.startswith("directed="):
+                        header_directed = bool(int(token[9:]))
+                continue
+            rows.append([float(t) for t in line.split()])
+    if rows and len({len(r) for r in rows}) != 1:
+        raise ValueError("inconsistent column counts in edge list")
+    width = len(rows[0]) if rows else 2
+    arr = np.asarray(rows, dtype=np.float64) if rows else np.empty((0, width))
+    src = arr[:, 0].astype(np.int64)
+    dst = arr[:, 1].astype(np.int64)
+    weights = arr[:, 2] if width >= 3 else None
+    times = arr[:, 3] if width >= 4 else None
+    resolved_n = n if n is not None else header_n
+    if resolved_n is None:
+        resolved_n = int(max(src.max(), dst.max()) + 1) if len(src) else 0
+    resolved_directed = directed if directed is not None else bool(header_directed)
+    return Graph(
+        resolved_n,
+        EdgeList(src, dst, weights, times),
+        directed=resolved_directed,
+    )
+
+
+def save_graph(g: Graph, path: str | Path) -> None:
+    """Save a graph (edges, weights, times, vertex weights, labels) as .npz."""
+    path = Path(path)
+    e = g.edge_list
+    payload: dict[str, np.ndarray] = {
+        "src": e.src,
+        "dst": e.dst,
+        "meta": np.frombuffer(
+            json.dumps(
+                {
+                    "n": g.n,
+                    "directed": g.directed,
+                    "labels": g.label_names,
+                }
+            ).encode(),
+            dtype=np.uint8,
+        ),
+    }
+    if e.weights is not None:
+        payload["edge_weights"] = e.weights
+    if e.times is not None:
+        payload["edge_times"] = e.times
+    if g.vertex_weights is not None:
+        payload["vertex_weights"] = g.vertex_weights
+    for name in g.label_names:
+        payload[f"label_{name}"] = g.vertex_labels(name)
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Inverse of :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        edge_list = EdgeList(
+            data["src"],
+            data["dst"],
+            data["edge_weights"] if "edge_weights" in data else None,
+            data["edge_times"] if "edge_times" in data else None,
+        )
+        g = Graph(
+            int(meta["n"]),
+            edge_list,
+            directed=bool(meta["directed"]),
+            vertex_weights=(
+                data["vertex_weights"] if "vertex_weights" in data else None
+            ),
+        )
+        for name in meta["labels"]:
+            g.set_vertex_labels(name, data[f"label_{name}"])
+    return g

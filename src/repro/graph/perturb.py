@@ -1,0 +1,133 @@
+"""Graph perturbation: missing and incorrect data.
+
+The paper's conclusion (§VII) calls out "experiments on graphs with
+missing or incorrect data" as open work and conjectures that V2V is less
+sensitive to such errors than pure graph algorithms. These perturbations
+make that experiment runnable (see ``benchmarks/test_ext_robustness.py``):
+
+- :func:`drop_edges` — missing data: delete a uniform fraction of edges.
+- :func:`add_noise_edges` — incorrect data: insert spurious edges
+  between uniformly random vertex pairs.
+- :func:`rewire_edges` — combined error model: replace a fraction of
+  edges with random ones (degree-sequence-agnostic rewiring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.core import EdgeList, Graph
+
+__all__ = ["drop_edges", "add_noise_edges", "rewire_edges"]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _rebuild(g: Graph, edge_list: EdgeList) -> Graph:
+    out = Graph(
+        g.n, edge_list, directed=g.directed, vertex_weights=g.vertex_weights
+    )
+    for name in g.label_names:
+        out.set_vertex_labels(name, g.vertex_labels(name))
+    return out
+
+
+def drop_edges(
+    g: Graph, fraction: float, *, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """Remove a uniform ``fraction`` of the listed edges (missing data)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = _rng(seed)
+    e = g.edge_list
+    m = len(e)
+    keep_count = m - int(round(fraction * m))
+    keep = rng.choice(m, size=keep_count, replace=False) if m else np.empty(0, np.int64)
+    keep.sort()
+    return _rebuild(
+        g,
+        EdgeList(
+            e.src[keep],
+            e.dst[keep],
+            None if e.weights is None else e.weights[keep],
+            None if e.times is None else e.times[keep],
+        ),
+    )
+
+
+def add_noise_edges(
+    g: Graph,
+    fraction: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Add ``fraction * m`` spurious edges between random distinct pairs.
+
+    New edges get weight 1 (if the graph is weighted) and a timestamp
+    drawn uniformly from the observed range (if temporal), so the
+    perturbed graph stays valid for every walk mode.
+    """
+    if fraction < 0:
+        raise ValueError("fraction must be non-negative")
+    rng = _rng(seed)
+    e = g.edge_list
+    extra = int(round(fraction * len(e)))
+    if extra == 0 or g.n < 2:
+        return _rebuild(g, e)
+    src_new = rng.integers(0, g.n, size=extra)
+    dst_new = rng.integers(0, g.n, size=extra)
+    clash = src_new == dst_new
+    while np.any(clash):
+        dst_new[clash] = rng.integers(0, g.n, size=int(clash.sum()))
+        clash = src_new == dst_new
+    weights = times = None
+    if e.weights is not None:
+        weights = np.concatenate([e.weights, np.ones(extra)])
+    if e.times is not None:
+        lo, hi = (e.times.min(), e.times.max()) if len(e) else (0.0, 1.0)
+        times = np.concatenate([e.times, rng.uniform(lo, hi, size=extra)])
+    return _rebuild(
+        g,
+        EdgeList(
+            np.concatenate([e.src, src_new]),
+            np.concatenate([e.dst, dst_new]),
+            weights,
+            times,
+        ),
+    )
+
+
+def rewire_edges(
+    g: Graph,
+    fraction: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Replace a ``fraction`` of edges with uniformly random ones.
+
+    Keeps the edge count constant — the combined "incorrect data" model
+    (an observed edge is wrong and the true relation is elsewhere).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = _rng(seed)
+    e = g.edge_list
+    m = len(e)
+    n_rewire = int(round(fraction * m))
+    if n_rewire == 0 or g.n < 2:
+        return _rebuild(g, e)
+    which = rng.choice(m, size=n_rewire, replace=False)
+    src = e.src.copy()
+    dst = e.dst.copy()
+    src[which] = rng.integers(0, g.n, size=n_rewire)
+    dst[which] = rng.integers(0, g.n, size=n_rewire)
+    clash = src[which] == dst[which]
+    while np.any(clash):
+        idx = which[clash]
+        dst[idx] = rng.integers(0, g.n, size=idx.shape[0])
+        clash = src[which] == dst[which]
+    return _rebuild(g, EdgeList(src, dst, e.weights, e.times))

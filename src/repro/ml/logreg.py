@@ -1,0 +1,128 @@
+"""Multinomial logistic regression (softmax classifier), from scratch.
+
+The paper notes that "k-NN is not the best accuracy classification
+algorithm" (§V); this classifier is the natural stronger alternative for
+the label-prediction task and the binary scorer behind the
+link-prediction extension. Full-batch gradient descent with L2
+regularization — the objective is convex, so plain GD with a modest
+iteration count is reliable and deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegression"]
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression:
+    """Softmax regression trained by batch gradient descent.
+
+    Parameters
+    ----------
+    lr:
+        Gradient-descent step size.
+    l2:
+        L2 penalty coefficient on the weights (not the intercept).
+    max_iter:
+        Gradient steps.
+    tol:
+        Stop when the loss improvement falls below this.
+    """
+
+    def __init__(
+        self,
+        *,
+        lr: float = 0.5,
+        l2: float = 1e-4,
+        max_iter: int = 500,
+        tol: float = 1e-7,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.lr = lr
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.classes_: np.ndarray | None = None
+        self.coef_: np.ndarray | None = None  # (C, d)
+        self.intercept_: np.ndarray | None = None  # (C,)
+        self.loss_history_: list[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if y.shape != (x.shape[0],):
+            raise ValueError("y must have one label per row")
+        if x.shape[0] == 0:
+            raise ValueError("training set must be non-empty")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        n, d = x.shape
+        c = self.classes_.shape[0]
+        if c < 2:
+            raise ValueError("need at least two classes")
+        w = np.zeros((c, d))
+        b = np.zeros(c)
+        onehot = np.zeros((n, c))
+        onehot[np.arange(n), encoded] = 1.0
+
+        # Standardize features for conditioning; fold back at the end.
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0] = 1.0
+        xs = (x - mean) / std
+
+        self.loss_history_ = []
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            probs = _softmax(xs @ w.T + b)
+            loss = (
+                -np.log(np.maximum(probs[np.arange(n), encoded], 1e-300)).mean()
+                + 0.5 * self.l2 * float((w**2).sum())
+            )
+            self.loss_history_.append(loss)
+            grad_logits = (probs - onehot) / n  # (n, c)
+            grad_w = grad_logits.T @ xs + self.l2 * w
+            grad_b = grad_logits.sum(axis=0)
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+            if prev_loss - loss < self.tol:
+                break
+            prev_loss = loss
+
+        # Un-standardize: w_raw = w / std; b_raw = b - w·(mean/std).
+        self.coef_ = w / std[None, :]
+        self.intercept_ = b - (w * (mean / std)[None, :]).sum(axis=1)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise RuntimeError("classifier is not fitted")
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.coef_.shape[1]:
+            raise ValueError("query dimensionality mismatch")
+        return x @ self.coef_.T + self.intercept_
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return _softmax(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[self.decision_function(x).argmax(axis=1)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())

@@ -1,0 +1,170 @@
+"""Clustering and classification metrics.
+
+``pairwise_precision_recall`` is the paper's evaluation metric for
+community detection (Section III-B): precision/recall over vertex
+*pairs*, where a pair is a true positive when both vertices share a
+ground-truth community **and** a predicted cluster. All pair counts are
+computed from the contingency table in closed form — O(#clusters ×
+#communities) instead of O(n²) pair enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairwise_precision_recall",
+    "pairwise_f1",
+    "accuracy",
+    "purity",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "silhouette_score",
+    "confusion_counts",
+]
+
+
+def _contingency(truth: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    """Contingency table: rows = truth classes, cols = predicted clusters."""
+    truth = np.asarray(truth)
+    pred = np.asarray(pred)
+    if truth.shape != pred.shape or truth.ndim != 1:
+        raise ValueError("truth and pred must be 1-D arrays of equal length")
+    _, t = np.unique(truth, return_inverse=True)
+    _, p = np.unique(pred, return_inverse=True)
+    table = np.zeros((t.max() + 1, p.max() + 1), dtype=np.int64)
+    np.add.at(table, (t, p), 1)
+    return table
+
+
+def _pairs(x: np.ndarray) -> np.ndarray:
+    """n choose 2 elementwise."""
+    x = x.astype(np.float64)
+    return x * (x - 1.0) / 2.0
+
+
+def confusion_counts(truth: np.ndarray, pred: np.ndarray) -> tuple[float, float, float, float]:
+    """Pair-level (TP, FP, FN, TN) between a truth partition and a clustering."""
+    table = _contingency(truth, pred)
+    n = table.sum()
+    tp = _pairs(table).sum()
+    same_pred = _pairs(table.sum(axis=0)).sum()
+    same_truth = _pairs(table.sum(axis=1)).sum()
+    fp = same_pred - tp
+    fn = same_truth - tp
+    total = _pairs(np.asarray([n])).sum()
+    tn = total - tp - fp - fn
+    return float(tp), float(fp), float(fn), float(tn)
+
+
+def pairwise_precision_recall(
+    truth: np.ndarray, pred: np.ndarray
+) -> tuple[float, float]:
+    """The paper's precision/recall over vertex pairs.
+
+    precision = TP / (TP + FP): of the pairs clustered together, the
+    fraction that truly share a community. recall = TP / (TP + FN): of
+    the pairs sharing a community, the fraction clustered together.
+    Degenerate denominators yield 1.0 (an empty claim is vacuously
+    correct).
+    """
+    tp, fp, fn, _tn = confusion_counts(truth, pred)
+    precision = tp / (tp + fp) if tp + fp > 0 else 1.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 1.0
+    return float(precision), float(recall)
+
+
+def pairwise_f1(truth: np.ndarray, pred: np.ndarray) -> float:
+    p, r = pairwise_precision_recall(truth, pred)
+    return 2 * p * r / (p + r) if p + r > 0 else 0.0
+
+
+def accuracy(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Fraction of exact label matches (classification accuracy)."""
+    truth = np.asarray(truth)
+    pred = np.asarray(pred)
+    if truth.shape != pred.shape:
+        raise ValueError("shape mismatch")
+    if truth.size == 0:
+        return 1.0
+    return float((truth == pred).mean())
+
+
+def purity(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Cluster purity: sum of majority-class sizes / n."""
+    table = _contingency(truth, pred)
+    n = table.sum()
+    return float(table.max(axis=0).sum() / n) if n else 1.0
+
+
+def adjusted_rand_index(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Hubert & Arabie's chance-adjusted Rand index."""
+    table = _contingency(truth, pred)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_comb = _pairs(table).sum()
+    sum_rows = _pairs(table.sum(axis=1)).sum()
+    sum_cols = _pairs(table.sum(axis=0)).sum()
+    total = _pairs(np.asarray([n]))[0]
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_comb - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(truth: np.ndarray, pred: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization."""
+    table = _contingency(truth, pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    pij = table / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+    nz = pij > 0
+    outer = pi[:, None] * pj[None, :]
+    mi = float((pij[nz] * np.log(pij[nz] / outer[nz])).sum())
+    hi = float(-(pi[pi > 0] * np.log(pi[pi > 0])).sum())
+    hj = float(-(pj[pj > 0] * np.log(pj[pj > 0])).sum())
+    denom = (hi + hj) / 2.0
+    if denom == 0:
+        return 1.0
+    return mi / denom
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (euclidean); O(n²) exact computation.
+
+    Used to quantify the Fig 8 claim that continents separate in
+    embedding space. Singleton clusters contribute 0.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.ndim != 2 or labels.shape != (x.shape[0],):
+        raise ValueError("x must be 2-D with one label per row")
+    classes, encoded = np.unique(labels, return_inverse=True)
+    k = classes.shape[0]
+    n = x.shape[0]
+    if k < 2 or n < 3:
+        raise ValueError("need at least 2 clusters and 3 samples")
+    sq = np.einsum("ij,ij->i", x, x)
+    d = np.sqrt(np.maximum(sq[:, None] - 2 * (x @ x.T) + sq[None, :], 0.0))
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), encoded] = 1.0
+    sums = d @ onehot  # (n, k): total distance to each cluster
+    counts = onehot.sum(axis=0)
+    own = encoded
+    own_count = counts[own]
+    scores = np.zeros(n)
+    valid = own_count > 1
+    a = np.zeros(n)
+    a[valid] = sums[np.arange(n), own][valid] / (own_count[valid] - 1)
+    mean_other = sums / np.maximum(counts[None, :], 1)
+    mean_other[np.arange(n), own] = np.inf
+    b = mean_other.min(axis=1)
+    denom = np.maximum(a, b)
+    good = valid & (denom > 0)
+    scores[good] = (b[good] - a[good]) / denom[good]
+    return float(scores.mean())

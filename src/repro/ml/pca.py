@@ -1,0 +1,72 @@
+"""Principal Component Analysis via thin SVD.
+
+The paper projects V2V vectors onto the top two/three principal
+components for the Fig 4 and Fig 8 visualizations. Per the HPC guide, we
+use the economy SVD (``full_matrices=False``) — the full decomposition is
+orders of magnitude slower and its extra columns are never used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Fit principal components; transform projects onto the top ones.
+
+    Components follow a deterministic sign convention (largest-magnitude
+    loading positive), so repeated fits of the same data agree exactly.
+    """
+
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n, d = x.shape
+        if n < 2:
+            raise ValueError("need at least two samples")
+        if self.n_components > min(n, d):
+            raise ValueError(
+                f"n_components={self.n_components} exceeds min(n, d)={min(n, d)}"
+            )
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        comps = vt[: self.n_components]
+        # Deterministic sign: flip each component so its largest-|.| entry > 0.
+        signs = np.sign(comps[np.arange(comps.shape[0]), np.abs(comps).argmax(axis=1)])
+        signs[signs == 0] = 1.0
+        self.components_ = comps * signs[:, None]
+        var = (s**2) / (n - 1)
+        self.explained_variance_ = var[: self.n_components]
+        total = var.sum()
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0 else np.zeros_like(self.explained_variance_)
+        )
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Map projected points back to the original space (lossy)."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return np.asarray(z, dtype=np.float64) @ self.components_ + self.mean_

@@ -1,0 +1,66 @@
+"""Orthogonal Procrustes alignment of embeddings.
+
+Two V2V trainings of the same graph produce embeddings that agree only
+up to rotation/reflection (the CBOW objective is invariant to orthogonal
+maps of the embedding space). Comparing them — for stability analysis,
+for incremental re-training drift, or for visual overlay — requires
+aligning one onto the other first. This is the classic orthogonal
+Procrustes problem, solved exactly by one SVD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProcrustesResult", "procrustes_align", "aligned_distance"]
+
+
+@dataclass(frozen=True)
+class ProcrustesResult:
+    """Rotation and residual of an alignment ``source @ rotation ≈ target``."""
+
+    rotation: np.ndarray
+    residual: float
+    aligned: np.ndarray
+
+
+def procrustes_align(
+    source: np.ndarray, target: np.ndarray, *, allow_scaling: bool = False
+) -> ProcrustesResult:
+    """Find the orthogonal map (optionally with a global scale) that best
+    maps ``source`` onto ``target`` in the least-squares sense.
+
+    Solves min_R ||source @ R - target||_F over orthogonal R via the SVD
+    of ``source.T @ target``. With ``allow_scaling`` the optimal scalar
+    ``s = trace(Σ) / ||source||²`` multiplies the rotation.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape or source.ndim != 2:
+        raise ValueError("source and target must be equal-shape 2-D arrays")
+    u, s, vt = np.linalg.svd(source.T @ target)
+    rotation = u @ vt
+    if allow_scaling:
+        norm_sq = float((source**2).sum())
+        if norm_sq == 0:
+            raise ValueError("cannot scale-align a zero source")
+        rotation = rotation * (s.sum() / norm_sq)
+    aligned = source @ rotation
+    residual = float(np.linalg.norm(aligned - target))
+    return ProcrustesResult(rotation=rotation, residual=residual, aligned=aligned)
+
+
+def aligned_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Rotation-invariant relative distance between two embeddings.
+
+    ``||aR - b|| / ||b||`` with the optimal orthogonal ``R`` — 0 means
+    the embeddings are identical up to rotation/reflection; values near
+    ``sqrt(2)`` mean unrelated geometries.
+    """
+    result = procrustes_align(a, b)
+    denom = float(np.linalg.norm(b))
+    if denom == 0:
+        return 0.0 if result.residual == 0 else float("inf")
+    return result.residual / denom

@@ -1,0 +1,86 @@
+"""Spectral embedding (Laplacian eigenmaps) and spectral clustering.
+
+The classical, walk-free way to embed a graph: the bottom eigenvectors
+of the symmetric-normalized Laplacian ``L = I - D^{-1/2} A D^{-1/2}``.
+Included as the natural baseline the paper's related work points toward
+but never runs — the extension bench compares V2V's learned vectors
+against this closed-form embedding on the same community task.
+
+Eigenvectors come from ``scipy.sparse.linalg.eigsh`` on the sparse
+Laplacian (shift-invert-free ``sigma=None``, smallest algebraic), which
+handles the paper's graph sizes in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import eigsh
+
+from repro.graph.core import Graph
+from repro.ml.kmeans import KMeans
+
+__all__ = ["spectral_embedding", "spectral_communities"]
+
+
+def _laplacian(g: Graph) -> sparse.csr_matrix:
+    src, dst = g.arc_array()
+    w = g.edge_weights if g.edge_weights is not None else np.ones(src.shape[0])
+    a = sparse.csr_matrix((w, (src, dst)), shape=(g.n, g.n))
+    a = (a + a.T) / 2.0  # symmetrize (no-op for undirected CSR pairs)
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(deg)
+    nz = deg > 0
+    inv_sqrt[nz] = 1.0 / np.sqrt(deg[nz])
+    d_half = sparse.diags(inv_sqrt)
+    return sparse.identity(g.n, format="csr") - d_half @ a @ d_half
+
+
+def spectral_embedding(
+    g: Graph,
+    dim: int = 8,
+    *,
+    drop_first: bool = True,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Embed vertices with the ``dim`` smallest-eigenvalue eigenvectors
+    of the normalized Laplacian.
+
+    ``drop_first`` discards the trivial constant eigenvector (eigenvalue
+    0 on a connected graph), matching standard spectral clustering. Rows
+    are normalized to unit length (Ng–Jordan–Weiss), so downstream
+    k-means sees directions, not degree-driven magnitudes.
+    """
+    if g.directed:
+        raise ValueError("spectral embedding expects an undirected graph")
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    k = dim + (1 if drop_first else 0)
+    if k >= g.n:
+        raise ValueError(f"dim too large: need dim + 1 < n = {g.n}")
+    lap = _laplacian(g)
+    rng = np.random.default_rng(seed)
+    v0 = rng.random(g.n)
+    vals, vecs = eigsh(lap, k=k, which="SA", v0=v0)
+    order = np.argsort(vals)
+    vecs = vecs[:, order]
+    if drop_first:
+        vecs = vecs[:, 1:]
+    norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return vecs / norms
+
+
+def spectral_communities(
+    g: Graph,
+    k: int,
+    *,
+    n_init: int = 10,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Classic spectral clustering: k-means on the (k-1)-dimensional
+    spectral embedding (one eigenvector per extra cluster)."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    emb = spectral_embedding(g, dim=max(k - 1, 1), seed=seed)
+    return KMeans(k, n_init=n_init, seed=seed).fit_predict(emb)

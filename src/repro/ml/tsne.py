@@ -1,0 +1,134 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008).
+
+The paper cites t-SNE alongside PCA as the principled route to
+visualizing V2V vectors. This is the O(n²) exact formulation — fine for
+the paper's 1 000–10 000-vertex graphs — with the standard machinery:
+per-point perplexity calibration by binary search, early exaggeration,
+and momentum gradient descent. All pairwise quantities are computed as
+full matrices (one GEMM per iteration), never per-pair Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TSNE"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = np.einsum("ij,ij->i", x, x)
+    d2 = sq[:, None] - 2.0 * (x @ x.T) + sq[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def _conditional_probs(d2_row: np.ndarray, beta: float) -> tuple[np.ndarray, float]:
+    """p_{j|i} for one row at precision ``beta``; returns (probs, entropy)."""
+    p = np.exp(-d2_row * beta)
+    total = p.sum()
+    if total <= 0:
+        p = np.full_like(p, 1.0 / max(p.shape[0], 1))
+        return p, 0.0
+    p /= total
+    # Shannon entropy in nats, computed without log(0).
+    nz = p > 0
+    h = float(-(p[nz] * np.log(p[nz])).sum())
+    return p, h
+
+
+class TSNE:
+    """Exact t-SNE embedding to ``n_components`` dimensions."""
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        perplexity: float = 30.0,
+        learning_rate: float = 200.0,
+        n_iter: int = 500,
+        early_exaggeration: float = 12.0,
+        exaggeration_iter: int = 100,
+        momentum: float = 0.8,
+        seed: int | None = None,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if perplexity <= 1:
+            raise ValueError("perplexity must be > 1")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.early_exaggeration = early_exaggeration
+        self.exaggeration_iter = exaggeration_iter
+        self.momentum = momentum
+        self.seed = seed
+        self.kl_divergence_: float | None = None
+
+    # ------------------------------------------------------------------
+    def _joint_probabilities(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        d2 = _pairwise_sq_dists(x)
+        target_entropy = np.log(self.perplexity)
+        p_cond = np.zeros((n, n))
+        for i in range(n):
+            row = np.delete(d2[i], i)
+            lo, hi = 1e-20, 1e20
+            beta = 1.0
+            for _ in range(64):
+                probs, h = _conditional_probs(row, beta)
+                if abs(h - target_entropy) < 1e-5:
+                    break
+                if h > target_entropy:
+                    lo = beta
+                    beta = beta * 2.0 if hi >= 1e20 else (beta + hi) / 2.0
+                else:
+                    hi = beta
+                    beta = beta / 2.0 if lo <= 1e-20 else (beta + lo) / 2.0
+            p_cond[i, np.arange(n) != i] = probs
+        p = (p_cond + p_cond.T) / (2.0 * n)
+        np.maximum(p, 1e-12, out=p)
+        return p
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed rows of ``x``; returns an (n × n_components) array."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n = x.shape[0]
+        if n <= self.perplexity:
+            raise ValueError("perplexity must be smaller than the sample count")
+        rng = np.random.default_rng(self.seed)
+        p = self._joint_probabilities(x)
+
+        y = rng.normal(scale=1e-4, size=(n, self.n_components))
+        update = np.zeros_like(y)
+        exaggerated = p * self.early_exaggeration
+        for it in range(self.n_iter):
+            target = exaggerated if it < self.exaggeration_iter else p
+            d2 = _pairwise_sq_dists(y)
+            inv = 1.0 / (1.0 + d2)
+            np.fill_diagonal(inv, 0.0)
+            q_norm = inv.sum()
+            q = np.maximum(inv / max(q_norm, 1e-12), 1e-12)
+
+            # Gradient: 4 * sum_j (p_ij - q_ij) * inv_ij * (y_i - y_j)
+            coeff = (target - q) * inv
+            grad = 4.0 * (np.diag(coeff.sum(axis=1)) - coeff) @ y
+            momentum = 0.5 if it < 250 else self.momentum
+            update = momentum * update - self.learning_rate * grad
+            y += update
+            y -= y.mean(axis=0)  # keep the embedding centered
+
+        d2 = _pairwise_sq_dists(y)
+        inv = 1.0 / (1.0 + d2)
+        np.fill_diagonal(inv, 0.0)
+        q = np.maximum(inv / max(inv.sum(), 1e-12), 1e-12)
+        mask = ~np.eye(n, dtype=bool)
+        self.kl_divergence_ = float(
+            (p[mask] * np.log(p[mask] / q[mask])).sum()
+        )
+        return y

@@ -1,0 +1,6 @@
+"""Parallel execution utilities: deterministic seeding, chunking, pool map."""
+
+from repro.parallel.seeding import spawn_generators, spawn_seeds
+from repro.parallel.pool import chunk_bounds, parallel_map
+
+__all__ = ["spawn_seeds", "spawn_generators", "chunk_bounds", "parallel_map"]

@@ -1,0 +1,65 @@
+"""Chunked parallel map over picklable work items.
+
+Uses ``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1`` and
+falls back to a serial loop otherwise (or when the platform cannot fork),
+so callers get one code path. Work functions must be module-level
+(picklable); per the mpi4py/scientific-python guides, data is passed as
+contiguous numpy arrays to keep serialization cheap.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["chunk_bounds", "parallel_map", "default_workers"]
+
+
+def default_workers() -> int:
+    """A conservative worker count: physical-ish parallelism, at least 1."""
+    return max(1, (os.cpu_count() or 1))
+
+
+def chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``chunks`` contiguous, balanced slices.
+
+    The first ``total % chunks`` slices get one extra element. Empty
+    slices are dropped, so the result may be shorter than ``chunks``.
+    """
+    if total < 0 or chunks <= 0:
+        raise ValueError("total must be >= 0 and chunks >= 1")
+    base, extra = divmod(total, chunks)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items``, in-process if ``workers == 1``.
+
+    Results preserve input order. Exceptions propagate from the first
+    failing item (matching the serial semantics).
+    """
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):
+        # Sandboxed or fork-restricted environment: degrade gracefully.
+        return [fn(item) for item in items]

@@ -1,0 +1,33 @@
+"""Deterministic, statistically independent random streams for workers.
+
+Follows the numpy guidance: never hand the same seed to multiple workers;
+spawn child ``SeedSequence``s instead, which are guaranteed independent
+and reproducible from the parent entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds", "spawn_generators"]
+
+
+def spawn_seeds(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences from one parent seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return parent.spawn(count)
+
+
+def spawn_generators(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.Generator]:
+    """``count`` independent PCG64 generators from one parent seed."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]

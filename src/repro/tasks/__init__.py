@@ -1,0 +1,25 @@
+"""Application tasks built on V2V embeddings.
+
+The paper's conclusion lists "predicting relationships between pairs of
+vertices" among V2V's applications; :mod:`repro.tasks.link_prediction`
+implements that experiment end-to-end (edge split, pair features,
+logistic scorer, AUC).
+"""
+
+from repro.tasks.link_prediction import (
+    EDGE_OPERATORS,
+    LinkPredictionResult,
+    auc_score,
+    edge_features,
+    link_prediction_experiment,
+    train_test_edge_split,
+)
+
+__all__ = [
+    "EDGE_OPERATORS",
+    "edge_features",
+    "train_test_edge_split",
+    "auc_score",
+    "link_prediction_experiment",
+    "LinkPredictionResult",
+]

@@ -1,0 +1,243 @@
+"""Link prediction from vertex embeddings.
+
+Pipeline (the standard node2vec-style evaluation, implementing the
+"predicting relationships between pairs of vertices" application from
+the paper's conclusion):
+
+1. :func:`train_test_edge_split` — hide a fraction of edges (positives)
+   while keeping the residual graph connected enough to walk on; sample
+   an equal number of non-edges (negatives).
+2. Embed the *residual* graph with V2V (no peeking at test edges).
+3. :func:`edge_features` — turn a vertex pair into a feature vector with
+   one of the standard binary operators (hadamard, average, L1, L2).
+4. Fit :class:`repro.ml.logreg.LogisticRegression` on train pairs and
+   score test pairs with ROC AUC (:func:`auc_score`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import V2V, V2VConfig
+from repro.graph.core import EdgeList, Graph
+from repro.ml.logreg import LogisticRegression
+
+__all__ = [
+    "EDGE_OPERATORS",
+    "edge_features",
+    "train_test_edge_split",
+    "auc_score",
+    "link_prediction_experiment",
+    "LinkPredictionResult",
+]
+
+
+def _hadamard(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a * b
+
+
+def _average(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a + b) / 2.0
+
+
+def _weighted_l1(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.abs(a - b)
+
+
+def _weighted_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a - b) ** 2
+
+
+EDGE_OPERATORS = {
+    "hadamard": _hadamard,
+    "average": _average,
+    "l1": _weighted_l1,
+    "l2": _weighted_l2,
+}
+
+
+def edge_features(
+    vectors: np.ndarray,
+    pairs: np.ndarray,
+    *,
+    operator: str = "hadamard",
+) -> np.ndarray:
+    """Pair feature matrix: operator applied to the endpoint embeddings.
+
+    ``pairs`` is (m × 2) of vertex ids; returns (m × dim).
+    """
+    if operator not in EDGE_OPERATORS:
+        raise ValueError(f"operator must be one of {sorted(EDGE_OPERATORS)}")
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must be (m, 2)")
+    return EDGE_OPERATORS[operator](vectors[pairs[:, 0]], vectors[pairs[:, 1]])
+
+
+def train_test_edge_split(
+    g: Graph,
+    test_fraction: float = 0.3,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Graph, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split edges into a residual graph + train/test positives/negatives.
+
+    Returns ``(residual_graph, train_pos, train_neg, test_pos, test_neg)``
+    where each pair set is an (m × 2) int array. Test positives are the
+    hidden edges; train positives are the edges kept in the residual
+    graph. Negatives are uniformly sampled non-edges (disjoint between
+    train and test), one per positive.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    e = g.edge_list
+    m = len(e)
+    if m < 4:
+        raise ValueError("graph too small to split")
+    n_test = max(1, int(round(test_fraction * m)))
+    perm = rng.permutation(m)
+    test_idx = perm[:n_test]
+    keep_idx = np.sort(perm[n_test:])
+
+    residual = Graph(
+        g.n,
+        EdgeList(
+            e.src[keep_idx],
+            e.dst[keep_idx],
+            None if e.weights is None else e.weights[keep_idx],
+            None if e.times is None else e.times[keep_idx],
+        ),
+        directed=g.directed,
+        vertex_weights=g.vertex_weights,
+    )
+    for name in g.label_names:
+        residual.set_vertex_labels(name, g.vertex_labels(name))
+
+    test_pos = np.column_stack([e.src[test_idx], e.dst[test_idx]])
+    train_pos = np.column_stack([e.src[keep_idx], e.dst[keep_idx]])
+
+    existing = {
+        (int(min(u, v)), int(max(u, v))) for u, v in zip(e.src, e.dst)
+    } if not g.directed else {(int(u), int(v)) for u, v in zip(e.src, e.dst)}
+    negatives = _sample_non_edges(
+        g.n, len(test_idx) + len(keep_idx), existing, g.directed, rng
+    )
+    test_neg = negatives[: len(test_idx)]
+    train_neg = negatives[len(test_idx) :]
+    return residual, train_pos, train_neg, test_pos, test_neg
+
+
+def _sample_non_edges(
+    n: int,
+    count: int,
+    existing: set[tuple[int, int]],
+    directed: bool,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    out = np.empty((count, 2), dtype=np.int64)
+    got = 0
+    seen: set[tuple[int, int]] = set()
+    max_pairs = n * (n - 1) if directed else n * (n - 1) // 2
+    if count > max_pairs - len(existing):
+        raise ValueError("not enough non-edges to sample")
+    while got < count:
+        u = rng.integers(0, n, size=2 * (count - got))
+        v = rng.integers(0, n, size=u.shape[0])
+        for a, b in zip(u, v):
+            if a == b:
+                continue
+            key = (int(a), int(b)) if directed else (int(min(a, b)), int(max(a, b)))
+            if key in existing or key in seen:
+                continue
+            seen.add(key)
+            out[got] = (a, b)
+            got += 1
+            if got == count:
+                break
+    return out
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """ROC AUC via the Mann–Whitney U statistic (ties get half credit)."""
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape or labels.ndim != 1:
+        raise ValueError("labels and scores must be matching 1-D arrays")
+    pos = scores[labels]
+    neg = scores[~labels]
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need both positive and negative examples")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(scores.shape[0])
+    ranks[order] = np.arange(1, scores.shape[0] + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    unique, inverse, counts = np.unique(
+        sorted_scores, return_inverse=True, return_counts=True
+    )
+    if unique.shape[0] != scores.shape[0]:
+        start = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        avg = start + (counts + 1) / 2.0
+        ranks[order] = avg[inverse]
+    r_pos = ranks[labels].sum()
+    u = r_pos - pos.size * (pos.size + 1) / 2.0
+    return float(u / (pos.size * neg.size))
+
+
+@dataclass(frozen=True)
+class LinkPredictionResult:
+    """AUC plus the experiment's configuration."""
+
+    auc: float
+    operator: str
+    dim: int
+    test_edges: int
+    train_edges: int
+
+
+def link_prediction_experiment(
+    g: Graph,
+    *,
+    config: V2VConfig | None = None,
+    operator: str = "hadamard",
+    test_fraction: float = 0.3,
+    seed: int | None = 0,
+) -> LinkPredictionResult:
+    """End-to-end link prediction on ``g``; returns ROC AUC on held-out
+    edges vs sampled non-edges."""
+    config = config or V2VConfig(dim=32, seed=seed)
+    residual, train_pos, train_neg, test_pos, test_neg = train_test_edge_split(
+        g, test_fraction, seed=seed
+    )
+    model = V2V(config).fit(residual)
+    vectors = model.vectors
+
+    x_train = np.vstack(
+        [
+            edge_features(vectors, train_pos, operator=operator),
+            edge_features(vectors, train_neg, operator=operator),
+        ]
+    )
+    y_train = np.concatenate(
+        [np.ones(len(train_pos)), np.zeros(len(train_neg))]
+    )
+    clf = LogisticRegression(max_iter=300).fit(x_train, y_train)
+
+    x_test = np.vstack(
+        [
+            edge_features(vectors, test_pos, operator=operator),
+            edge_features(vectors, test_neg, operator=operator),
+        ]
+    )
+    y_test = np.concatenate([np.ones(len(test_pos)), np.zeros(len(test_neg))])
+    scores = clf.predict_proba(x_test)[:, list(clf.classes_).index(1.0)]
+    return LinkPredictionResult(
+        auc=auc_score(y_test, scores),
+        operator=operator,
+        dim=config.dim,
+        test_edges=len(test_pos),
+        train_edges=len(train_pos),
+    )

@@ -1,0 +1,26 @@
+"""Visualization substrate: force-directed layout, projections, renderers.
+
+No plotting library ships in this environment, so figures are produced
+as (a) coordinate tables (CSV) and (b) ASCII scatter plots — the *data*
+of each paper figure, which is what the benches verify quantitatively.
+"""
+
+from repro.viz.ascii import render_scatter, render_series
+from repro.viz.forceatlas import ForceAtlasLayout, force_atlas_layout
+from repro.viz.projection import (
+    cluster_boundaries,
+    pca_projection,
+    projection_to_csv,
+    separation_ratio,
+)
+
+__all__ = [
+    "ForceAtlasLayout",
+    "force_atlas_layout",
+    "pca_projection",
+    "cluster_boundaries",
+    "separation_ratio",
+    "projection_to_csv",
+    "render_scatter",
+    "render_series",
+]

@@ -1,0 +1,110 @@
+"""ASCII renderers: scatter plots and line series as terminal text.
+
+These make the examples and benches self-contained in a headless
+environment: the paper's figures are rendered as character grids, with
+group labels mapped to distinct glyphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_scatter", "render_series"]
+
+GLYPHS = "ox+*#@%&ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_scatter(
+    points: np.ndarray,
+    labels: np.ndarray | None = None,
+    *,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render 2-D points as a character grid.
+
+    Points sharing a cell show the glyph of the most common label in the
+    cell. Returns a string with ``height`` lines of ``width`` chars plus
+    a legend line when labels are given.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("points must be n×2 (extra columns ignored)")
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2×2")
+    x, y = points[:, 0], points[:, 1]
+    if labels is None:
+        encoded = np.zeros(points.shape[0], dtype=np.int64)
+        classes = np.asarray(["·"])
+    else:
+        classes, encoded = np.unique(np.asarray(labels), return_inverse=True)
+
+    def _scale(v: np.ndarray, cells: int) -> np.ndarray:
+        lo, hi = v.min(), v.max()
+        if hi == lo:
+            return np.zeros(v.shape[0], dtype=np.int64)
+        return np.minimum(((v - lo) / (hi - lo) * cells).astype(np.int64), cells - 1)
+
+    cols = _scale(x, width)
+    rows = _scale(-y, height)  # flip so +y is up
+
+    votes = np.zeros((height, width, classes.shape[0]), dtype=np.int64)
+    np.add.at(votes, (rows, cols, encoded), 1)
+    occupied = votes.sum(axis=2) > 0
+    winner = votes.argmax(axis=2)
+
+    lines = []
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            if occupied[r, c]:
+                chars.append(GLYPHS[winner[r, c] % len(GLYPHS)])
+            else:
+                chars.append(" ")
+        lines.append("".join(chars))
+    out = "\n".join(lines)
+    if labels is not None:
+        legend = "  ".join(
+            f"{GLYPHS[i % len(GLYPHS)]}={classes[i]}" for i in range(classes.shape[0])
+        )
+        out += "\nlegend: " + legend
+    return out
+
+
+def render_series(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more y(x) series as an ASCII chart with axis labels."""
+    x = np.asarray(x, dtype=np.float64)
+    if not series:
+        raise ValueError("need at least one series")
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    for name, v in ys.items():
+        if v.shape != x.shape:
+            raise ValueError(f"series '{name}' does not match x")
+    all_y = np.concatenate(list(ys.values()))
+    lo = y_min if y_min is not None else float(all_y.min())
+    hi = y_max if y_max is not None else float(all_y.max())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    span_x = (x_hi - x_lo) or 1.0
+    for idx, (name, v) in enumerate(ys.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        cols = np.minimum(((x - x_lo) / span_x * width).astype(int), width - 1)
+        rows = np.minimum(((hi - v) / (hi - lo) * height).astype(int), height - 1)
+        for r, c in zip(rows, cols):
+            grid[int(r)][int(c)] = glyph
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, name in enumerate(ys)
+    )
+    header = f"y∈[{lo:.4g}, {hi:.4g}]  x∈[{x_lo:.4g}, {x_hi:.4g}]"
+    return header + "\n" + "\n".join(lines) + "\nlegend: " + legend

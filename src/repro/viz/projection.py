@@ -1,0 +1,99 @@
+"""Projection helpers for the PCA figures (Figs 4 and 8).
+
+Besides producing coordinates, these quantify what the paper shows
+visually: ``separation_ratio`` measures how far apart label groups sit
+relative to their spread (≫ 1 means the clusters in the scatter are
+visibly separated), and ``cluster_boundaries`` reconstructs the
+centroid/Voronoi overlay of Fig 4.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.pca import PCA
+
+__all__ = [
+    "pca_projection",
+    "cluster_boundaries",
+    "separation_ratio",
+    "projection_to_csv",
+]
+
+
+def pca_projection(vectors: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Project embedding vectors onto their top principal components."""
+    return PCA(n_components).fit_transform(np.asarray(vectors, dtype=np.float64))
+
+
+def cluster_boundaries(
+    points: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Centroids and per-point assignment distances for a Voronoi overlay.
+
+    Returns ``(centroids, margins)`` where ``margins[i]`` is the gap
+    between point i's distance to the nearest *other* centroid and to its
+    own — positive margins mean the point sits inside its own cell.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes, encoded = np.unique(labels, return_inverse=True)
+    k = classes.shape[0]
+    centroids = np.zeros((k, points.shape[1]))
+    counts = np.bincount(encoded, minlength=k).astype(np.float64)
+    np.add.at(centroids, encoded, points)
+    centroids /= counts[:, None]
+    d = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+    own = d[np.arange(points.shape[0]), encoded]
+    d_other = d.copy()
+    d_other[np.arange(points.shape[0]), encoded] = np.inf
+    margins = d_other.min(axis=1) - own
+    return centroids, margins
+
+
+def separation_ratio(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean inter-centroid distance divided by mean within-group spread.
+
+    The quantitative stand-in for "the groups look separated in the
+    scatter plot": > 1 indicates visible separation.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes, encoded = np.unique(labels, return_inverse=True)
+    k = classes.shape[0]
+    if k < 2:
+        raise ValueError("need at least two label groups")
+    centroids, _ = cluster_boundaries(points, labels)
+    spread = np.zeros(k)
+    for i in range(k):
+        member = points[encoded == i]
+        spread[i] = np.linalg.norm(member - centroids[i], axis=1).mean() if member.size else 0.0
+    iu, ju = np.triu_indices(k, k=1)
+    inter = np.linalg.norm(centroids[iu] - centroids[ju], axis=1).mean()
+    mean_spread = spread.mean()
+    if mean_spread == 0:
+        return float("inf")
+    return float(inter / mean_spread)
+
+
+def projection_to_csv(
+    points: np.ndarray,
+    labels: np.ndarray,
+    path: str | Path,
+    *,
+    label_name: str = "label",
+) -> None:
+    """Write figure data as ``x,y[,z],label`` CSV (one row per vertex)."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2 or points.shape[1] not in (2, 3):
+        raise ValueError("points must be n×2 or n×3")
+    if labels.shape[0] != points.shape[0]:
+        raise ValueError("one label per point required")
+    axes = ["x", "y", "z"][: points.shape[1]]
+    with Path(path).open("w") as fh:
+        fh.write(",".join(axes) + f",{label_name}\n")
+        for row, lab in zip(points, labels):
+            fh.write(",".join(f"{v:.6f}" for v in row) + f",{lab}\n")

@@ -1,0 +1,23 @@
+"""Constrained random-walk engine (Section II-A of the paper).
+
+Walks advance in structure-of-arrays form: one vectorized step moves every
+active walk simultaneously, so generating ``t * |V|`` walks of length ``l``
+costs ``l`` numpy passes instead of ``t * |V| * l`` Python iterations.
+"""
+
+from repro.walks.alias import AliasTable, build_arc_alias
+from repro.walks.corpus import WalkCorpus
+from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
+from repro.walks.stats import CorpusStats, corpus_stats, crossing_rate
+
+__all__ = [
+    "AliasTable",
+    "build_arc_alias",
+    "WalkCorpus",
+    "RandomWalkConfig",
+    "WalkMode",
+    "generate_walks",
+    "CorpusStats",
+    "corpus_stats",
+    "crossing_rate",
+]

@@ -1,0 +1,463 @@
+"""Vectorized constrained random walks (paper Section II-A).
+
+All walk variants share one stepping loop that advances *every* active
+walk by one hop per iteration:
+
+- ``UNIFORM``          — uniform random neighbor (the basic walk).
+- ``WEIGHTED``         — P(arc) proportional to edge weight (alias tables).
+- ``VERTEX_WEIGHTED``  — P(arc) proportional to the *target vertex* weight.
+- ``TEMPORAL``         — arcs must be strictly increasing in timestamp;
+  optionally two consecutive arcs must be within ``time_window`` of each
+  other. Implemented with a vectorized per-row binary search over
+  time-sorted arcs.
+
+Directed graphs simply follow out-arcs; a walk that reaches a vertex with
+no (eligible) out-arc terminates, exactly as the paper specifies, and its
+remaining positions are padded with ``-1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.core import Graph
+from repro.parallel.seeding import spawn_seeds
+from repro.walks.alias import AliasTable, build_arc_alias
+from repro.walks.corpus import WalkCorpus
+
+__all__ = ["WalkMode", "RandomWalkConfig", "generate_walks"]
+
+PAD = -1
+
+
+class WalkMode(str, enum.Enum):
+    """Which constrained-walk variant to run."""
+
+    UNIFORM = "uniform"
+    WEIGHTED = "weighted"
+    VERTEX_WEIGHTED = "vertex_weighted"
+    TEMPORAL = "temporal"
+    NODE2VEC = "node2vec"
+
+
+@dataclass(frozen=True)
+class RandomWalkConfig:
+    """Parameters of the walk corpus.
+
+    ``walks_per_vertex`` is the paper's ``t`` and ``walk_length`` its
+    ``ℓ`` (paper default 1000 each; our benches default smaller — see
+    DESIGN.md substitutions). ``walk_length`` counts *vertices* in the
+    sequence, so a walk takes ``walk_length - 1`` hops.
+    """
+
+    walks_per_vertex: int = 10
+    walk_length: int = 80
+    mode: WalkMode = WalkMode.UNIFORM
+    time_window: float | None = None
+    p: float = 1.0
+    q: float = 1.0
+    seed: int | None = None
+    start_vertices: np.ndarray | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.walks_per_vertex < 1:
+            raise ValueError("walks_per_vertex must be >= 1")
+        if self.walk_length < 1:
+            raise ValueError("walk_length must be >= 1")
+        if self.time_window is not None and self.time_window < 0:
+            raise ValueError("time_window must be non-negative")
+        if self.time_window is not None and self.mode is not WalkMode.TEMPORAL:
+            raise ValueError("time_window only applies to temporal walks")
+        if self.p <= 0 or self.q <= 0:
+            raise ValueError("node2vec p and q must be positive")
+        if (self.p != 1.0 or self.q != 1.0) and self.mode is not WalkMode.NODE2VEC:
+            raise ValueError("p/q only apply to node2vec walks")
+
+
+def generate_walks(
+    g: Graph,
+    config: RandomWalkConfig | None = None,
+    *,
+    workers: int = 1,
+) -> WalkCorpus:
+    """Generate ``t`` walks from every vertex (or from ``start_vertices``).
+
+    Returns a :class:`WalkCorpus` whose ``walks`` matrix has one row per
+    walk, padded with ``-1`` after termination.
+
+    ``workers > 1`` splits the walk set across a process pool; each chunk
+    gets an independent spawned seed stream, so results are reproducible
+    for a fixed ``(seed, workers)`` pair (but differ across worker
+    counts, since the streams differ).
+    """
+    config = config or RandomWalkConfig()
+    if workers > 1:
+        return _generate_walks_parallel(g, config, workers)
+    mode = WalkMode(config.mode)
+    _validate_mode(g, mode)
+
+    if config.start_vertices is not None:
+        starts_once = np.asarray(config.start_vertices, dtype=np.int64)
+        if starts_once.size and (starts_once.min() < 0 or starts_once.max() >= g.n):
+            raise ValueError("start vertex out of range")
+    else:
+        starts_once = np.arange(g.n, dtype=np.int64)
+    starts = np.tile(starts_once, config.walks_per_vertex)
+    num_walks = starts.shape[0]
+
+    walks = np.full((num_walks, config.walk_length), PAD, dtype=np.int64)
+    if num_walks == 0 or g.n == 0:
+        return WalkCorpus(walks, num_vertices=g.n)
+    walks[:, 0] = starts
+    if config.walk_length == 1:
+        return WalkCorpus(walks, num_vertices=g.n)
+
+    # One independent stream per stepper keeps results reproducible and
+    # lets a future multi-process split reuse the same spawning scheme.
+    rng = np.random.default_rng(spawn_seeds(config.seed, 1)[0])
+
+    stepper = _make_stepper(g, mode, config)
+    cur = starts.copy()
+    active = np.ones(num_walks, dtype=bool)
+    state = stepper.initial_state(num_walks)
+    for step in range(1, config.walk_length):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        nxt, ok, state = stepper.step(cur[idx], idx, state, rng)
+        landed = idx[ok]
+        walks[landed, step] = nxt[ok]
+        cur[landed] = nxt[ok]
+        active[idx[~ok]] = False
+    return WalkCorpus(walks, num_vertices=g.n)
+
+
+def _chunk_task(args: tuple) -> np.ndarray:
+    """Module-level worker (picklable) generating one chunk of walks."""
+    g, config, starts, seed_state = args
+    chunk_config = RandomWalkConfig(
+        walks_per_vertex=1,
+        walk_length=config.walk_length,
+        mode=config.mode,
+        time_window=config.time_window,
+        p=config.p,
+        q=config.q,
+        seed=seed_state,
+        start_vertices=starts,
+    )
+    return generate_walks(g, chunk_config).walks
+
+
+def _generate_walks_parallel(
+    g: Graph, config: RandomWalkConfig, workers: int
+) -> WalkCorpus:
+    from repro.parallel.pool import chunk_bounds, parallel_map
+    from repro.parallel.seeding import spawn_seeds
+
+    if config.start_vertices is not None:
+        starts_once = np.asarray(config.start_vertices, dtype=np.int64)
+    else:
+        starts_once = np.arange(g.n, dtype=np.int64)
+    starts = np.tile(starts_once, config.walks_per_vertex)
+    if starts.size == 0:
+        return WalkCorpus(
+            np.full((0, config.walk_length), PAD, dtype=np.int64),
+            num_vertices=g.n,
+        )
+    bounds = chunk_bounds(starts.shape[0], workers)
+    # SeedSequence state is a plain int tuple -> picklable across processes.
+    seeds = [
+        int(s.generate_state(1)[0])
+        for s in spawn_seeds(config.seed, len(bounds))
+    ]
+    tasks = [
+        (g, config, starts[lo:hi], seed)
+        for (lo, hi), seed in zip(bounds, seeds)
+    ]
+    chunks = parallel_map(_chunk_task, tasks, workers=workers)
+    return WalkCorpus(np.vstack(chunks), num_vertices=g.n)
+
+
+def _validate_mode(g: Graph, mode: WalkMode) -> None:
+    if mode is WalkMode.WEIGHTED and g.edge_weights is None:
+        raise ValueError("WEIGHTED walk requires edge weights")
+    if mode is WalkMode.VERTEX_WEIGHTED and g.vertex_weights is None:
+        raise ValueError("VERTEX_WEIGHTED walk requires vertex weights")
+    if mode is WalkMode.TEMPORAL and g.edge_times is None:
+        raise ValueError("TEMPORAL walk requires edge timestamps")
+
+
+def _make_stepper(g: Graph, mode: WalkMode, config: RandomWalkConfig):
+    if mode is WalkMode.UNIFORM:
+        return _UniformStepper(g)
+    if mode is WalkMode.WEIGHTED:
+        return _AliasStepper(g, g.edge_weights)
+    if mode is WalkMode.VERTEX_WEIGHTED:
+        target_weights = g.vertex_weights[g.indices]
+        return _AliasStepper(g, target_weights)
+    if mode is WalkMode.NODE2VEC:
+        return _Node2VecStepper(g, config.p, config.q)
+    return _TemporalStepper(g, config.time_window)
+
+
+class _UniformStepper:
+    """Uniform neighbor choice: next = indices[indptr[v] + floor(u * deg)]."""
+
+    def __init__(self, g: Graph) -> None:
+        self.indptr = g.indptr
+        self.indices = g.indices
+        self.degrees = g.out_degrees()
+
+    def initial_state(self, num_walks: int) -> None:
+        return None
+
+    def step(
+        self,
+        cur: np.ndarray,
+        walk_ids: np.ndarray,
+        state: None,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, None]:
+        deg = self.degrees[cur]
+        ok = deg > 0
+        nxt = np.full(cur.shape[0], PAD, dtype=np.int64)
+        if np.any(ok):
+            u = rng.random(int(ok.sum()))
+            offs = (u * deg[ok]).astype(np.int64)
+            np.minimum(offs, deg[ok] - 1, out=offs)
+            nxt[ok] = self.indices[self.indptr[cur[ok]] + offs]
+        return nxt, ok, None
+
+
+class _AliasStepper:
+    """Weighted neighbor choice via flat per-vertex alias tables."""
+
+    def __init__(self, g: Graph, arc_weights: np.ndarray) -> None:
+        self.indptr = g.indptr
+        self.indices = g.indices
+        self.degrees = g.out_degrees()
+        self.table: AliasTable = build_arc_alias(g.indptr, arc_weights)
+        # Vertices whose arc weights are all zero cannot move (a zero-weight
+        # neighborhood has no valid draw under the proportional rule... but
+        # we follow the uniform-degeneration convention from build_arc_alias
+        # only when *some* weight is positive elsewhere; an all-zero row is
+        # treated as uniform too, which keeps walks alive on such rows).
+
+    def initial_state(self, num_walks: int) -> None:
+        return None
+
+    def step(
+        self,
+        cur: np.ndarray,
+        walk_ids: np.ndarray,
+        state: None,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, None]:
+        deg = self.degrees[cur]
+        ok = deg > 0
+        nxt = np.full(cur.shape[0], PAD, dtype=np.int64)
+        if np.any(ok):
+            arcs = self.table.sample(self.indptr[cur[ok]], deg[ok], rng)
+            nxt[ok] = self.indices[arcs]
+        return nxt, ok, None
+
+
+class _TemporalStepper:
+    """Time-increasing walks with optional window constraint.
+
+    Arcs inside each CSR row are pre-sorted by timestamp. Each step finds,
+    per walk, the eligible arc range ``(first time > t_cur,
+    last time <= t_cur + window]`` with a vectorized segment binary search
+    and samples uniformly inside it. Walk state is the timestamp of the
+    last traversed arc (-inf at the start, so the first hop is free).
+    """
+
+    def __init__(self, g: Graph, time_window: float | None) -> None:
+        self.indptr = g.indptr
+        self.window = time_window
+        order = _sort_rows_by_time(g.indptr, g.edge_times)
+        self.sorted_indices = np.ascontiguousarray(g.indices[order])
+        self.sorted_times = np.ascontiguousarray(g.edge_times[order])
+
+    def initial_state(self, num_walks: int) -> np.ndarray:
+        return np.full(num_walks, -np.inf)
+
+    def step(
+        self,
+        cur: np.ndarray,
+        walk_ids: np.ndarray,
+        state: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        t_cur = state[walk_ids]
+        row_start = self.indptr[cur]
+        row_stop = self.indptr[cur + 1]
+        lo = _segment_searchsorted(self.sorted_times, row_start, row_stop, t_cur, side="right")
+        if self.window is not None:
+            # A fresh walk (t = -inf) has no previous arc, so no window cap.
+            cap = np.where(np.isinf(t_cur), np.inf, t_cur + self.window)
+            hi = _segment_searchsorted(self.sorted_times, row_start, row_stop, cap, side="right")
+        else:
+            hi = row_stop
+        count = hi - lo
+        ok = count > 0
+        nxt = np.full(cur.shape[0], PAD, dtype=np.int64)
+        if np.any(ok):
+            u = rng.random(int(ok.sum()))
+            pick = lo[ok] + (u * count[ok]).astype(np.int64)
+            np.minimum(pick, hi[ok] - 1, out=pick)
+            nxt[ok] = self.sorted_indices[pick]
+            state[walk_ids[ok]] = self.sorted_times[pick]
+        return nxt, ok, state
+
+
+class _Node2VecStepper:
+    """Second-order biased walks (Grover & Leskovec 2016).
+
+    From current vertex v with previous vertex u, a neighbor x is chosen
+    with unnormalized weight 1/p if x == u (return), 1 if x is adjacent
+    to u (triangle step), 1/q otherwise (exploration). Implemented with
+    the node2vec authors' rejection-sampling trick: draw a uniform
+    neighbor, accept with weight/max_weight — fully vectorized across
+    walks, with adjacency tests done as a batched segment binary search
+    over row-sorted CSR. The first hop (no previous vertex) is uniform.
+    """
+
+    MAX_REJECTION_ROUNDS = 64
+
+    def __init__(self, g: Graph, p: float, q: float) -> None:
+        self.indptr = g.indptr
+        self.degrees = g.out_degrees()
+        self.p = p
+        self.q = q
+        # Row-sorted adjacency for O(log deg) membership tests.
+        order = _sort_rows_by_value(g.indptr, g.indices)
+        self.sorted_indices = np.ascontiguousarray(g.indices[order])
+        self.w_return = 1.0 / p
+        self.w_triangle = 1.0
+        self.w_explore = 1.0 / q
+        self.w_max = max(self.w_return, self.w_triangle, self.w_explore)
+
+    def initial_state(self, num_walks: int) -> np.ndarray:
+        return np.full(num_walks, -1, dtype=np.int64)  # previous vertex
+
+    def _uniform_pick(
+        self, cur: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        deg = self.degrees[cur]
+        u = rng.random(cur.shape[0])
+        offs = (u * deg).astype(np.int64)
+        np.minimum(offs, deg - 1, out=offs)
+        return self.sorted_indices[self.indptr[cur] + offs]
+
+    def _is_adjacent(self, u: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Vectorized: is x a neighbor of u? (both arrays, per element)."""
+        starts = self.indptr[u]
+        stops = self.indptr[u + 1]
+        pos = _segment_searchsorted(
+            self.sorted_indices, starts, stops, x, side="left"
+        )
+        in_range = pos < stops
+        found = np.zeros(u.shape[0], dtype=bool)
+        safe = np.minimum(pos, self.sorted_indices.shape[0] - 1)
+        found[in_range] = self.sorted_indices[safe[in_range]] == x[in_range]
+        return found
+
+    def step(
+        self,
+        cur: np.ndarray,
+        walk_ids: np.ndarray,
+        state: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        deg = self.degrees[cur]
+        ok = deg > 0
+        nxt = np.full(cur.shape[0], PAD, dtype=np.int64)
+        if np.any(ok):
+            prev = state[walk_ids[ok]]
+            cur_ok = cur[ok]
+            result = np.full(cur_ok.shape[0], PAD, dtype=np.int64)
+            pending = np.ones(cur_ok.shape[0], dtype=bool)
+            # First hops (prev == -1) are plain uniform draws.
+            fresh = prev < 0
+            if np.any(fresh):
+                result[fresh] = self._uniform_pick(cur_ok[fresh], rng)
+                pending[fresh] = False
+            for _ in range(self.MAX_REJECTION_ROUNDS):
+                idx = np.flatnonzero(pending)
+                if idx.size == 0:
+                    break
+                cand = self._uniform_pick(cur_ok[idx], rng)
+                w = np.where(
+                    cand == prev[idx],
+                    self.w_return,
+                    np.where(
+                        self._is_adjacent(prev[idx], cand),
+                        self.w_triangle,
+                        self.w_explore,
+                    ),
+                )
+                accept = rng.random(idx.size) < w / self.w_max
+                result[idx[accept]] = cand[accept]
+                pending[idx[accept]] = False
+            still = np.flatnonzero(pending)
+            if still.size:  # pathological p/q: fall back to uniform
+                result[still] = self._uniform_pick(cur_ok[still], rng)
+            nxt[ok] = result
+            state[walk_ids[ok]] = cur_ok
+        return nxt, ok, state
+
+
+def _sort_rows_by_value(indptr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Permutation sorting each CSR row's arcs by target id."""
+    n = indptr.shape[0] - 1
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    return np.lexsort((values, rows))
+
+
+def _sort_rows_by_time(indptr: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """Permutation sorting each CSR row's arcs by timestamp.
+
+    Implemented as one global stable argsort of (row, time) pairs, which
+    keeps the row blocks contiguous — no Python-level per-row loop.
+    """
+    n = indptr.shape[0] - 1
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    return np.lexsort((times, rows))
+
+
+def _segment_searchsorted(
+    sorted_values: np.ndarray,
+    seg_start: np.ndarray,
+    seg_stop: np.ndarray,
+    needles: np.ndarray,
+    *,
+    side: str = "right",
+) -> np.ndarray:
+    """Vectorized ``searchsorted`` restricted to per-query segments.
+
+    For each query ``i``, returns the insertion point of ``needles[i]``
+    within ``sorted_values[seg_start[i]:seg_stop[i]]`` (plus the offset
+    ``seg_start[i]``), i.e. a batched binary search over CSR rows.
+    """
+    lo = seg_start.astype(np.int64).copy()
+    hi = seg_stop.astype(np.int64).copy()
+    if side not in ("left", "right"):
+        raise ValueError("side must be 'left' or 'right'")
+    # Classic branch-free bisection: ~log2(max segment length) passes.
+    while True:
+        unfinished = lo < hi
+        if not np.any(unfinished):
+            break
+        mid = (lo + hi) // 2
+        vals = sorted_values[np.minimum(mid, sorted_values.shape[0] - 1)]
+        if side == "right":
+            go_right = unfinished & (vals <= needles)
+        else:
+            go_right = unfinished & (vals < needles)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(unfinished & ~go_right, mid, hi)
+    return lo

@@ -1,0 +1,81 @@
+"""Walk-corpus diagnostics.
+
+Answers "is this walk corpus good enough to train on?" before spending
+the training time — visit-distribution entropy, coverage, and (when
+ground-truth labels exist) the community crossing rate that predicts how
+pure the training contexts will be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.walks.corpus import PAD, WalkCorpus
+
+__all__ = ["CorpusStats", "corpus_stats", "crossing_rate"]
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary statistics of a walk corpus."""
+
+    num_walks: int
+    num_tokens: int
+    coverage: float
+    mean_walk_length: float
+    visit_entropy: float
+    max_visit_entropy: float
+
+    @property
+    def entropy_ratio(self) -> float:
+        """Visit entropy / uniform bound — 1.0 means perfectly even
+        visitation; low values flag hub-dominated corpora where rare
+        vertices get too few training contexts."""
+        if self.max_visit_entropy == 0:
+            return 1.0
+        return self.visit_entropy / self.max_visit_entropy
+
+
+def corpus_stats(corpus: WalkCorpus) -> CorpusStats:
+    """Compute the corpus summary (one pass over the token counts)."""
+    counts = corpus.token_counts()
+    total = counts.sum()
+    if total > 0:
+        p = counts[counts > 0] / total
+        entropy = float(-(p * np.log(p)).sum())
+    else:
+        entropy = 0.0
+    observed = int((counts > 0).sum())
+    max_entropy = float(np.log(observed)) if observed > 1 else 0.0
+    lengths = corpus.lengths
+    return CorpusStats(
+        num_walks=corpus.num_walks,
+        num_tokens=int(total),
+        coverage=corpus.coverage(),
+        mean_walk_length=float(lengths.mean()) if lengths.size else 0.0,
+        visit_entropy=entropy,
+        max_visit_entropy=max_entropy,
+    )
+
+
+def crossing_rate(corpus: WalkCorpus, labels: np.ndarray) -> float:
+    """Fraction of walk transitions that cross label groups.
+
+    With ground-truth communities this is the context-impurity of the
+    corpus: low crossing rates mean each vertex's training contexts come
+    from its own community, which is exactly when V2V detection works.
+    Returns NaN if the corpus has no transitions.
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (corpus.num_vertices,):
+        raise ValueError("labels must cover the corpus vertex universe")
+    w = corpus.walks
+    if w.shape[1] < 2:
+        return float("nan")
+    a, b = w[:, :-1], w[:, 1:]
+    mask = (a != PAD) & (b != PAD)
+    if not np.any(mask):
+        return float("nan")
+    return float((labels[a[mask]] != labels[b[mask]]).mean())

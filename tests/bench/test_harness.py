@@ -1,0 +1,123 @@
+"""Tests for the benchmark harness utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRecord,
+    Timer,
+    format_series,
+    format_table,
+    write_records_csv,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert 0.015 < t.seconds < 1.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.seconds
+        with t:
+            time.sleep(0.01)
+        assert t.seconds >= first
+
+
+class TestExperimentRecord:
+    def test_row_merges_params_and_values(self):
+        r = ExperimentRecord(params={"alpha": 0.1}, values={"p": 0.9})
+        assert r.row() == {"alpha": 0.1, "p": 0.9}
+
+    def test_defaults_empty(self):
+        assert ExperimentRecord().row() == {}
+
+
+class TestFormatTable:
+    def records(self):
+        return [
+            ExperimentRecord({"alpha": 0.1}, {"precision": 0.95}),
+            ExperimentRecord({"alpha": 1.0}, {"precision": 1.0}),
+        ]
+
+    def test_contains_all_cells(self):
+        out = format_table(self.records(), title="T")
+        assert "T" in out
+        assert "alpha" in out and "precision" in out
+        assert "0.95" in out and "0.1" in out
+
+    def test_column_union_across_records(self):
+        recs = [
+            ExperimentRecord({"a": 1}, {"x": 2.0}),
+            ExperimentRecord({"a": 2}, {"y": 3.0}),
+        ]
+        out = format_table(recs)
+        assert "x" in out and "y" in out
+
+    def test_explicit_columns(self):
+        out = format_table(self.records(), columns=["precision"])
+        assert "alpha" not in out
+
+    def test_empty(self):
+        assert format_table([]) == "(no records)"
+
+    def test_number_formatting(self):
+        recs = [ExperimentRecord({}, {"v": 0.000012345, "w": 123456.0, "z": 0.5})]
+        out = format_table(recs)
+        assert "1.234e-05" in out or "1.235e-05" in out
+        assert "0.5" in out
+
+    def test_aligned_columns(self):
+        out = format_table(self.records())
+        lines = out.split("\n")
+        assert len(set(len(l) for l in lines[:3])) == 1  # header/sep/first row
+
+
+class TestFormatSeries:
+    def test_groups_by_series_key(self):
+        recs = [
+            ExperimentRecord({"dim": 10, "alpha": 0.1}, {"value": 0.8}),
+            ExperimentRecord({"dim": 10, "alpha": 0.5}, {"value": 0.9}),
+            ExperimentRecord({"dim": 20, "alpha": 0.1}, {"value": 0.85}),
+        ]
+        out = format_series("alpha", recs, series_key="dim")
+        assert "[dim=10]" in out and "[dim=20]" in out
+        assert "0.8, 0.9" in out
+
+    def test_no_series_key(self):
+        recs = [ExperimentRecord({"x": 1}, {"value": 2.0})]
+        out = format_series("x", recs)
+        assert "[series]" in out
+
+    def test_custom_value_name(self):
+        recs = [ExperimentRecord({"x": 1}, {"acc": 0.7})]
+        out = format_series("x", recs, value="acc")
+        assert "acc: 0.7" in out
+
+    def test_empty(self):
+        assert format_series("x", []) == "(no records)"
+
+
+class TestCSV:
+    def test_roundtrip_columns(self, tmp_path):
+        recs = [
+            ExperimentRecord({"a": 1}, {"x": 2.5}),
+            ExperimentRecord({"a": 2}, {"x": 3.5, "y": 1.0}),
+        ]
+        p = tmp_path / "out.csv"
+        write_records_csv(recs, p)
+        lines = p.read_text().strip().split("\n")
+        assert lines[0] == "a,x,y"
+        assert lines[1].startswith("1,2.5")
+        assert lines[2] == "2,3.5,1"
+
+    def test_empty(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        write_records_csv([], p)
+        assert p.read_text() == ""

@@ -1,0 +1,85 @@
+"""Tests for CNM greedy modularity."""
+
+import numpy as np
+import pytest
+
+from repro.community.cnm import cnm_communities
+from repro.graph.core import Graph
+from repro.graph.generators import complete_graph, planted_partition
+from repro.graph.metrics import modularity
+from repro.ml.metrics import adjusted_rand_index
+
+
+class TestCNM:
+    def test_two_cliques_split(self, two_cliques):
+        labels = cnm_communities(two_cliques)
+        truth = two_cliques.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_planted_partition_recovered(self, small_benchmark):
+        labels = cnm_communities(small_benchmark)
+        truth = small_benchmark.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) > 0.95
+
+    def test_target_communities_stops_merging(self, small_benchmark):
+        labels = cnm_communities(small_benchmark, target_communities=4)
+        assert labels.max() + 1 == 4
+
+    def test_modularity_positive_on_structured(self, two_cliques):
+        labels = cnm_communities(two_cliques)
+        assert modularity(two_cliques, labels) > 0.3
+
+    def test_complete_graph_one_community(self):
+        g = complete_graph(8)
+        labels = cnm_communities(g)
+        # No split improves modularity on a clique.
+        assert labels.max() == 0
+
+    def test_disconnected_components_never_merged_wrongly(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        labels = cnm_communities(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_empty_graph(self):
+        assert cnm_communities(Graph(0)).shape == (0,)
+
+    def test_edgeless_graph_singletons(self):
+        labels = cnm_communities(Graph(4))
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            cnm_communities(directed_chain)
+
+    def test_weighted_edges_respected(self):
+        # Weight structure overrides unit topology: {0,1} and {2,3} are
+        # heavy pairs bridged by feather-light edges.
+        g = Graph(
+            4,
+            [(0, 1, 100.0), (2, 3, 100.0), (1, 2, 0.01), (0, 3, 0.01)],
+        )
+        labels = cnm_communities(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_deterministic(self, small_benchmark):
+        a = cnm_communities(small_benchmark)
+        b = cnm_communities(small_benchmark)
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_networkx_quality(self, small_benchmark):
+        nx = pytest.importorskip("networkx")
+        e = small_benchmark.edge_list
+        ref = nx.Graph(list(zip(e.src.tolist(), e.dst.tolist())))
+        ref.add_nodes_from(range(small_benchmark.n))
+        nx_comms = nx.algorithms.community.greedy_modularity_communities(ref)
+        nx_labels = np.zeros(small_benchmark.n, dtype=np.int64)
+        for i, comm in enumerate(nx_comms):
+            for v in comm:
+                nx_labels[v] = i
+        ours = modularity(small_benchmark, cnm_communities(small_benchmark))
+        theirs = modularity(small_benchmark, nx_labels)
+        assert ours >= theirs - 0.02

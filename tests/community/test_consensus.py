@@ -1,0 +1,69 @@
+"""Tests for consensus community detection."""
+
+import numpy as np
+import pytest
+
+from repro.community.consensus import consensus_communities
+from repro.core.model import V2VConfig
+from repro.graph.generators import planted_partition
+from repro.ml.metrics import adjusted_rand_index
+
+
+FAST = V2VConfig(
+    dim=12, walks_per_vertex=8, walk_length=25, epochs=8, early_stop=False
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(n=90, groups=3, alpha=0.6, inter_edges=12, seed=0)
+
+
+class TestConsensus:
+    def test_recovers_communities(self, graph):
+        result = consensus_communities(
+            graph, 3, runs=3, config=FAST, n_init=10, seed=0
+        )
+        truth = graph.vertex_labels("community")
+        assert adjusted_rand_index(truth, result.membership) > 0.9
+
+    def test_result_fields(self, graph):
+        result = consensus_communities(
+            graph, 3, runs=3, config=FAST, n_init=5, seed=0
+        )
+        assert result.num_runs == 3
+        assert result.coassignment.shape == (90, 90)
+        assert 0.0 <= result.coassignment.min()
+        assert result.coassignment.max() <= 1.0
+        np.testing.assert_allclose(np.diag(result.coassignment), 1.0)
+        np.testing.assert_allclose(
+            result.coassignment, result.coassignment.T
+        )
+        assert 0.5 <= result.mean_pair_confidence <= 1.0
+
+    def test_confidence_high_on_strong_structure(self, graph):
+        result = consensus_communities(
+            graph, 3, runs=3, config=FAST, n_init=10, seed=0
+        )
+        assert result.mean_pair_confidence > 0.9
+
+    def test_single_run_degenerates_to_detector(self, graph):
+        result = consensus_communities(
+            graph, 3, runs=1, config=FAST, n_init=10, seed=0
+        )
+        # With one run, co-assignment is binary and consensus = that run
+        # (up to label permutation).
+        assert adjusted_rand_index(
+            result.run_memberships[0], result.membership
+        ) == pytest.approx(1.0)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            consensus_communities(graph, 0)
+        with pytest.raises(ValueError):
+            consensus_communities(graph, 3, runs=0)
+
+    def test_deterministic(self, graph):
+        a = consensus_communities(graph, 3, runs=2, config=FAST, n_init=5, seed=4)
+        b = consensus_communities(graph, 3, runs=2, config=FAST, n_init=5, seed=4)
+        np.testing.assert_array_equal(a.membership, b.membership)

@@ -1,0 +1,61 @@
+"""Tests for Girvan–Newman."""
+
+import numpy as np
+import pytest
+
+from repro.community.girvan_newman import girvan_newman_communities
+from repro.graph.core import Graph
+from repro.graph.generators import planted_partition
+from repro.ml.metrics import adjusted_rand_index
+
+
+class TestGirvanNewman:
+    def test_two_cliques_split_on_bridge(self, two_cliques):
+        labels = girvan_newman_communities(two_cliques, target_communities=2)
+        truth = two_cliques.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_modularity_peak_mode(self, two_cliques):
+        labels = girvan_newman_communities(two_cliques)
+        truth = two_cliques.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_planted_partition(self):
+        g = planted_partition(n=60, groups=3, alpha=0.8, inter_edges=6, seed=0)
+        labels = girvan_newman_communities(g, target_communities=3)
+        truth = g.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_max_removals_respected(self, two_cliques):
+        # Zero removals allowed: initial single component returned.
+        labels = girvan_newman_communities(two_cliques, max_removals=0)
+        assert labels.max() == 0
+
+    def test_sampled_sources(self, two_cliques):
+        labels = girvan_newman_communities(
+            two_cliques, target_communities=2, sample_sources=4, seed=0
+        )
+        truth = two_cliques.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            girvan_newman_communities(directed_chain)
+
+    def test_empty_graph(self):
+        assert girvan_newman_communities(Graph(0)).shape == (0,)
+
+    def test_edgeless_graph(self):
+        labels = girvan_newman_communities(Graph(3))
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+    def test_target_larger_than_possible(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        # Requesting 3 communities forces removing edges until it splits.
+        labels = girvan_newman_communities(g, target_communities=3)
+        assert labels.max() + 1 == 3
+
+    def test_deterministic_without_sampling(self, two_cliques):
+        a = girvan_newman_communities(two_cliques, target_communities=2)
+        b = girvan_newman_communities(two_cliques, target_communities=2)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,43 @@
+"""Tests for label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.community.label_propagation import label_propagation_communities
+from repro.graph.core import Graph
+from repro.ml.metrics import adjusted_rand_index
+
+
+class TestLabelPropagation:
+    def test_two_cliques(self, two_cliques):
+        labels = label_propagation_communities(two_cliques, seed=0)
+        truth = two_cliques.vertex_labels("community")
+        # LP is stochastic; it should at least keep cliques pure most runs.
+        assert adjusted_rand_index(truth, labels) > 0.5
+
+    def test_converges_and_terminates(self, small_benchmark):
+        labels = label_propagation_communities(small_benchmark, seed=1)
+        assert labels.shape == (small_benchmark.n,)
+
+    def test_isolated_vertices_keep_own_label(self):
+        g = Graph(3, [(0, 1)])
+        labels = label_propagation_communities(g, seed=0)
+        assert labels[2] not in (labels[0],)
+
+    def test_empty(self):
+        assert label_propagation_communities(Graph(0)).shape == (0,)
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            label_propagation_communities(directed_chain)
+
+    def test_deterministic_given_seed(self, two_cliques):
+        a = label_propagation_communities(two_cliques, seed=5)
+        b = label_propagation_communities(two_cliques, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_weighted_votes(self):
+        # Vertex 1 is tied between 0 and 2 by count; weight breaks the tie.
+        g = Graph(3, [(0, 1, 10.0), (1, 2, 0.1)])
+        labels = label_propagation_communities(g, seed=0)
+        assert labels[0] == labels[1]

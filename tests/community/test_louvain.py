@@ -1,0 +1,71 @@
+"""Tests for the Louvain extension."""
+
+import numpy as np
+import pytest
+
+from repro.community.louvain import louvain_communities
+from repro.graph.core import Graph
+from repro.graph.generators import planted_partition
+from repro.graph.metrics import modularity
+from repro.ml.metrics import adjusted_rand_index
+
+
+class TestLouvain:
+    def test_two_cliques(self, two_cliques):
+        labels = louvain_communities(two_cliques, seed=0)
+        truth = two_cliques.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_planted_partition(self, small_benchmark):
+        labels = louvain_communities(small_benchmark, seed=0)
+        truth = small_benchmark.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_modularity_reasonable(self, small_benchmark):
+        labels = louvain_communities(small_benchmark, seed=0)
+        assert modularity(small_benchmark, labels) > 0.3
+
+    def test_empty(self):
+        assert louvain_communities(Graph(0)).shape == (0,)
+
+    def test_edgeless(self):
+        labels = louvain_communities(Graph(4), seed=0)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            louvain_communities(directed_chain)
+
+    def test_deterministic_given_seed(self, small_benchmark):
+        a = louvain_communities(small_benchmark, seed=3)
+        b = louvain_communities(small_benchmark, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_networkx_quality(self, small_benchmark):
+        nx = pytest.importorskip("networkx")
+        if not hasattr(nx.algorithms.community, "louvain_communities"):
+            pytest.skip("networkx without louvain")
+        from repro.graph.metrics import modularity
+
+        e = small_benchmark.edge_list
+        ref = nx.Graph(list(zip(e.src.tolist(), e.dst.tolist())))
+        ref.add_nodes_from(range(small_benchmark.n))
+        nx_comms = nx.algorithms.community.louvain_communities(ref, seed=0)
+        nx_labels = np.zeros(small_benchmark.n, dtype=np.int64)
+        for i, comm in enumerate(nx_comms):
+            for v in comm:
+                nx_labels[v] = i
+        ours = modularity(
+            small_benchmark, louvain_communities(small_benchmark, seed=0)
+        )
+        theirs = modularity(small_benchmark, nx_labels)
+        assert ours >= theirs - 0.03
+
+    def test_weighted(self):
+        g = Graph(
+            4, [(0, 1, 50.0), (2, 3, 50.0), (1, 2, 0.01)]
+        )
+        labels = louvain_communities(g, seed=0)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]

@@ -1,0 +1,68 @@
+"""Tests for the V2V community-detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.community.v2v_detector import V2VCommunityDetector
+from repro.core.model import V2V, V2VConfig
+from repro.graph.generators import planted_partition
+from repro.ml.metrics import pairwise_precision_recall
+
+
+@pytest.fixture(scope="module")
+def benchmark_graph():
+    return planted_partition(n=150, groups=5, alpha=0.5, inter_edges=25, seed=0)
+
+
+FAST = dict(walks_per_vertex=6, walk_length=25, epochs=5, early_stop=False)
+
+
+class TestDetector:
+    def test_detects_planted_communities(self, benchmark_graph):
+        det = V2VCommunityDetector(
+            5, config=V2VConfig(dim=16, seed=0, **FAST), n_init=20
+        )
+        result = det.detect(benchmark_graph)
+        truth = benchmark_graph.vertex_labels("community")
+        p, r = pairwise_precision_recall(truth, result.membership)
+        assert p > 0.8 and r > 0.8
+
+    def test_result_fields(self, benchmark_graph):
+        det = V2VCommunityDetector(
+            5, config=V2VConfig(dim=8, seed=0, **FAST), n_init=5
+        )
+        result = det.detect(benchmark_graph)
+        assert result.num_communities == 5
+        assert result.train_seconds > 0
+        assert result.cluster_seconds > 0
+        assert result.inertia >= 0
+        assert result.membership.shape == (150,)
+
+    def test_clustering_much_faster_than_training(self, benchmark_graph):
+        """The paper's Table I headline: clustering is a tiny fraction of
+        the one-time training cost."""
+        det = V2VCommunityDetector(
+            5, config=V2VConfig(dim=8, seed=0, **FAST), n_init=10
+        )
+        result = det.detect(benchmark_graph)
+        assert result.cluster_seconds < result.train_seconds
+
+    def test_detect_with_model_reuses_embedding(self, benchmark_graph):
+        model = V2V(V2VConfig(dim=8, seed=0, **FAST)).fit(benchmark_graph)
+        det = V2VCommunityDetector(5, config=V2VConfig(dim=8, seed=0), n_init=5)
+        result = det.detect_with_model(model)
+        assert result.model is model
+        assert result.membership.shape == (150,)
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            V2VCommunityDetector(0)
+
+    def test_seed_override(self, benchmark_graph):
+        a = V2VCommunityDetector(
+            5, config=V2VConfig(dim=8, **FAST), seed=1, n_init=3
+        ).detect(benchmark_graph)
+        b = V2VCommunityDetector(
+            5, config=V2VConfig(dim=8, **FAST), seed=1, n_init=3
+        ).detect(benchmark_graph)
+        np.testing.assert_array_equal(a.membership, b.membership)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.core import EdgeList, Graph
+from repro.graph.generators import planted_partition
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """Undirected triangle 0-1-2."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Undirected path 0-1-2-3."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def directed_chain() -> Graph:
+    """Directed chain 0 -> 1 -> 2 -> 3 (3 is a dead end)."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3)], directed=True)
+
+
+@pytest.fixture
+def weighted_star() -> Graph:
+    """Star centered at 0 with edge weights 1, 2, 3."""
+    return Graph(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)])
+
+
+@pytest.fixture
+def temporal_line() -> Graph:
+    """Directed temporal chain with increasing timestamps."""
+    return Graph(
+        4,
+        [(0, 1, 1.0, 10.0), (1, 2, 1.0, 20.0), (2, 3, 1.0, 30.0)],
+        directed=True,
+    )
+
+
+@pytest.fixture
+def two_cliques() -> Graph:
+    """Two 4-cliques joined by a single bridge edge (3, 4)."""
+    edges = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    edges.append((3, 4))
+    g = Graph(8, edges)
+    g.set_vertex_labels("community", np.asarray([0, 0, 0, 0, 1, 1, 1, 1]))
+    return g
+
+
+@pytest.fixture(scope="session")
+def small_benchmark() -> Graph:
+    """A small planted-partition graph with clear communities."""
+    return planted_partition(n=120, groups=4, alpha=0.5, inter_edges=20, seed=7)

@@ -1,0 +1,190 @@
+"""Tests for the CBOW objectives, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core._math import sigmoid
+from repro.core.cbow import CBOWHierarchicalSoftmax, CBOWNegativeSampling
+from repro.core.huffman import build_huffman
+from repro.core.negative import NegativeSampler
+
+
+class FixedSampler:
+    """Duck-typed sampler returning a constant negative set (for exact
+    gradient verification, which needs deterministic negatives)."""
+
+    def __init__(self, vocab_size, fixed):
+        self.vocab_size = vocab_size
+        self._fixed = np.asarray(fixed, dtype=np.int64)
+
+    def sample(self, shape, rng, avoid=None, max_retries=0):
+        return np.broadcast_to(self._fixed, shape).copy()
+
+
+def uniform_sampler(v):
+    return NegativeSampler(np.ones(v) / v)
+
+
+class TestConstruction:
+    def test_shapes(self):
+        m = CBOWNegativeSampling(10, 4, uniform_sampler(10))
+        assert m.w_in.shape == (10, 4)
+        assert m.w_out.shape == (10, 4)
+        assert m.vectors is m.w_in
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CBOWNegativeSampling(0, 4, uniform_sampler(1))
+        with pytest.raises(ValueError):
+            CBOWNegativeSampling(10, 0, uniform_sampler(10))
+        with pytest.raises(ValueError):
+            CBOWNegativeSampling(10, 4, uniform_sampler(5))
+        with pytest.raises(ValueError):
+            CBOWNegativeSampling(10, 4, uniform_sampler(10), negatives=0)
+
+    def test_init_scale(self):
+        m = CBOWNegativeSampling(100, 50, uniform_sampler(100), rng=np.random.default_rng(0))
+        assert np.abs(m.w_in).max() <= 0.5 / 50
+        assert np.all(m.w_out == 0.0)
+
+
+class TestNegativeSamplingGradients:
+    def _loss(self, w_in, w_out, center, contexts, negs):
+        h = w_in[contexts].mean(axis=0)
+        pos = float(h @ w_out[center])
+        loss = -np.log(sigmoid(np.asarray([pos])))[0]
+        for k in negs:
+            loss -= np.log(sigmoid(np.asarray([-(h @ w_out[k])])))[0]
+        return loss
+
+    def test_gradient_check(self):
+        """The SGD update must equal -lr * dL/dparam to first order."""
+        rng = np.random.default_rng(0)
+        v, d = 6, 5
+        negs = [3, 4]
+        m = CBOWNegativeSampling(
+            v, d, FixedSampler(v, negs), negatives=2, rng=rng
+        )
+        m.w_in = rng.normal(size=(v, d)) * 0.3
+        m.w_out = rng.normal(size=(v, d)) * 0.3
+        center = np.asarray([0])
+        contexts = np.asarray([[1, 2, -1]])
+        lr = 1e-6
+        w_in0, w_out0 = m.w_in.copy(), m.w_out.copy()
+        m.batch_step(center, contexts, lr, rng)
+        analytic_in = (m.w_in - w_in0) / lr
+        analytic_out = (m.w_out - w_out0) / lr
+
+        eps = 1e-6
+        for mat, grad in ((w_in0, analytic_in), (w_out0, analytic_out)):
+            which_in = mat is w_in0
+            num = np.zeros_like(mat)
+            for i in range(v):
+                for j in range(d):
+                    for sign in (+1, -1):
+                        wi = w_in0.copy()
+                        wo = w_out0.copy()
+                        (wi if which_in else wo)[i, j] += sign * eps
+                        val = self._loss(wi, wo, 0, [1, 2], negs)
+                        num[i, j] += sign * val
+            num /= 2 * eps
+            np.testing.assert_allclose(grad, -num, atol=1e-4)
+
+    def test_loss_decreases_under_training(self, rng):
+        v, d = 20, 8
+        m = CBOWNegativeSampling(v, d, uniform_sampler(v), rng=rng)
+        centers = rng.integers(0, 10, 200)
+        contexts = (centers[:, None] + rng.integers(1, 3, (200, 4))) % 10
+        losses = [m.batch_step(centers, contexts, 0.02, rng) for _ in range(30)]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_loss_positive(self, rng):
+        m = CBOWNegativeSampling(10, 4, uniform_sampler(10), rng=rng)
+        loss = m.batch_step(
+            np.asarray([0, 1]), np.asarray([[2, 3], [4, -1]]), 0.01, rng
+        )
+        assert loss > 0
+
+    def test_untouched_rows_unchanged(self, rng):
+        v = 10
+        m = CBOWNegativeSampling(v, 4, FixedSampler(v, [5]), negatives=1, rng=rng)
+        before = m.w_in.copy()
+        m.batch_step(np.asarray([0]), np.asarray([[1, 2]]), 0.1, rng)
+        # w_in rows other than the contexts {1, 2} must not move.
+        moved = np.any(m.w_in != before, axis=1)
+        assert set(np.flatnonzero(moved).tolist()) <= {1, 2}
+
+
+class TestHierarchicalSoftmax:
+    def _model(self, counts, d=5, rng=None):
+        rng = rng or np.random.default_rng(0)
+        coding = build_huffman(np.asarray(counts))
+        return CBOWHierarchicalSoftmax(len(counts), d, coding, rng=rng), coding
+
+    def test_shapes(self):
+        m, coding = self._model([3, 2, 1, 1])
+        assert m.w_out.shape == (coding.num_inner, 5)
+
+    def test_coding_mismatch_rejected(self):
+        coding = build_huffman(np.asarray([1, 1]))
+        with pytest.raises(ValueError):
+            CBOWHierarchicalSoftmax(3, 4, coding)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        counts = [5, 4, 3, 2]
+        m, coding = self._model(counts, d=4, rng=rng)
+        m.w_in = rng.normal(size=m.w_in.shape) * 0.3
+        m.w_out = rng.normal(size=m.w_out.shape) * 0.3
+
+        def loss_fn(wi, wo, center, ctx):
+            h = wi[ctx].mean(axis=0)
+            total = 0.0
+            depth = int(coding.depths[center])
+            for step in range(depth):
+                code = coding.codes[center, step]
+                point = coding.points[center, step]
+                s = float(h @ wo[point])
+                p = sigmoid(np.asarray([s if code == 0 else -s]))[0]
+                total -= np.log(p)
+            return total
+
+        lr = 1e-6
+        w_in0, w_out0 = m.w_in.copy(), m.w_out.copy()
+        m.batch_step(np.asarray([0]), np.asarray([[1, 3, -1]]), lr, rng)
+        analytic_in = (m.w_in - w_in0) / lr
+        analytic_out = (m.w_out - w_out0) / lr
+
+        eps = 1e-6
+        num_in = np.zeros_like(w_in0)
+        num_out = np.zeros_like(w_out0)
+        for mat, num in ((w_in0, num_in), (w_out0, num_out)):
+            which_in = mat is w_in0
+            for i in range(mat.shape[0]):
+                for j in range(mat.shape[1]):
+                    vals = []
+                    for sign in (+1, -1):
+                        wi, wo = w_in0.copy(), w_out0.copy()
+                        (wi if which_in else wo)[i, j] += sign * eps
+                        vals.append(loss_fn(wi, wo, 0, [1, 3]))
+                    num[i, j] = (vals[0] - vals[1]) / (2 * eps)
+        np.testing.assert_allclose(analytic_in, -num_in, atol=1e-4)
+        np.testing.assert_allclose(analytic_out, -num_out, atol=1e-4)
+
+    def test_loss_decreases(self, rng):
+        counts = np.ones(12, dtype=np.int64) * 5
+        coding = build_huffman(counts)
+        m = CBOWHierarchicalSoftmax(12, 6, coding, rng=rng)
+        centers = rng.integers(0, 6, 300)
+        contexts = (centers[:, None] + rng.integers(1, 3, (300, 4))) % 6
+        losses = [m.batch_step(centers, contexts, 0.02, rng) for _ in range(30)]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_zero_depth_center_noop(self, rng):
+        # Vertex 2 never occurs -> empty code -> no update, zero loss.
+        coding = build_huffman(np.asarray([3, 3, 0]))
+        m = CBOWHierarchicalSoftmax(3, 4, coding, rng=rng)
+        before_out = m.w_out.copy()
+        loss = m.batch_step(np.asarray([2]), np.asarray([[0, 1]]), 0.1, rng)
+        assert loss == 0.0
+        np.testing.assert_array_equal(m.w_out, before_out)

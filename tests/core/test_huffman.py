@@ -1,0 +1,95 @@
+"""Tests for Huffman coding."""
+
+import numpy as np
+import pytest
+
+from repro.core.huffman import build_huffman
+
+
+class TestBuildHuffman:
+    def test_two_leaves(self):
+        coding = build_huffman(np.asarray([5, 3]))
+        assert coding.num_inner == 1
+        assert coding.depths.tolist() == [1, 1]
+        # Codes must differ at the single inner node.
+        assert coding.codes[0, 0] != coding.codes[1, 0]
+
+    def test_frequent_gets_short_code(self):
+        counts = np.asarray([100, 1, 1, 1, 1])
+        coding = build_huffman(counts)
+        assert coding.depths[0] == coding.depths.min()
+        assert coding.depths[0] < coding.depths[1]
+
+    def test_prefix_free(self):
+        counts = np.asarray([7, 5, 3, 2, 1, 1])
+        coding = build_huffman(counts)
+        codes = []
+        for v in range(6):
+            d = int(coding.depths[v])
+            codes.append(tuple(coding.codes[v, :d].tolist()))
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert a[: len(b)] != b or len(a) == len(b) and a != b
+
+    def test_codes_unique(self):
+        counts = np.asarray([4, 3, 2, 1])
+        coding = build_huffman(counts)
+        paths = set()
+        for v in range(4):
+            d = int(coding.depths[v])
+            paths.add(tuple(coding.codes[v, :d].tolist()))
+        assert len(paths) == 4
+
+    def test_expected_length_optimal_uniform(self):
+        # 4 equal counts -> perfectly balanced tree, depth 2 everywhere.
+        coding = build_huffman(np.full(4, 10))
+        assert np.all(coding.depths == 2)
+        assert coding.num_inner == 3
+
+    def test_zero_count_ids_have_no_path(self):
+        coding = build_huffman(np.asarray([3, 0, 2]))
+        assert coding.depths[1] == 0
+        assert np.all(coding.codes[1] == -1)
+
+    def test_single_leaf(self):
+        coding = build_huffman(np.asarray([0, 7, 0]))
+        # One leaf: no merges, empty code, but num_inner floors at 1
+        # so the output matrix is well-formed.
+        assert coding.depths[1] == 0
+        assert coding.num_inner == 1
+
+    def test_points_within_inner_range(self):
+        counts = np.asarray([9, 8, 7, 6, 5, 4, 3, 2, 1])
+        coding = build_huffman(counts)
+        for v in range(9):
+            d = int(coding.depths[v])
+            pts = coding.points[v, :d]
+            assert np.all(pts >= 0)
+            assert np.all(pts < coding.num_inner)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            build_huffman(np.zeros(3, dtype=np.int64))
+
+    def test_kraft_inequality_equality(self):
+        # A full binary tree satisfies sum(2^-depth) == 1.
+        counts = np.asarray([13, 11, 7, 5, 3, 2])
+        coding = build_huffman(counts)
+        kraft = sum(2.0 ** -int(d) for d in coding.depths if d > 0)
+        assert np.isclose(kraft, 1.0)
+
+    def test_deterministic(self):
+        counts = np.asarray([5, 5, 5, 5])
+        a = build_huffman(counts)
+        b = build_huffman(counts)
+        np.testing.assert_array_equal(a.codes, b.codes)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_weighted_path_length_optimal(self):
+        # Huffman minimizes sum(count * depth); compare against the
+        # known optimum for this classic example.
+        counts = np.asarray([45, 13, 12, 16, 9, 5])
+        coding = build_huffman(counts)
+        cost = int((counts * coding.depths).sum())
+        assert cost == 224  # CLRS example optimum

@@ -1,0 +1,74 @@
+"""Tests for the shared numerics."""
+
+import numpy as np
+import pytest
+
+from repro.core._math import (
+    log_sigmoid,
+    masked_context_mean,
+    scatter_add_rows,
+    sigmoid,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.asarray([0.0]))[0] == 0.5
+
+    def test_saturation_no_overflow(self):
+        out = sigmoid(np.asarray([-1e6, 1e6]))
+        assert 0.0 < out[0] < 1e-4
+        assert 1.0 - 1e-4 < out[1] <= 1.0
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+
+class TestLogSigmoid:
+    def test_matches_log_of_sigmoid(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(log_sigmoid(x), np.log(sigmoid(x)), atol=1e-9)
+
+    def test_no_minus_inf(self):
+        assert np.isfinite(log_sigmoid(np.asarray([-1e9]))[0])
+
+
+class TestScatterAddRows:
+    def test_matches_add_at(self, rng):
+        target = rng.random((20, 4))
+        expect = target.copy()
+        idx = rng.integers(0, 20, 100)
+        rows = rng.random((100, 4))
+        np.add.at(expect, idx, rows)
+        scatter_add_rows(target, idx, rows)
+        np.testing.assert_allclose(target, expect, atol=1e-12)
+
+    def test_empty_noop(self):
+        target = np.ones((3, 2))
+        scatter_add_rows(target, np.empty(0, dtype=np.int64), np.empty((0, 2)))
+        np.testing.assert_array_equal(target, np.ones((3, 2)))
+
+    def test_all_same_index(self):
+        target = np.zeros((2, 3))
+        idx = np.zeros(5, dtype=np.int64)
+        rows = np.ones((5, 3))
+        scatter_add_rows(target, idx, rows)
+        np.testing.assert_array_equal(target[0], [5, 5, 5])
+        np.testing.assert_array_equal(target[1], [0, 0, 0])
+
+
+class TestMaskedContextMean:
+    def test_mean_over_real_slots(self):
+        w_in = np.asarray([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0]])
+        contexts = np.asarray([[0, 1, -1], [2, -1, -1]])
+        h, mask, counts = masked_context_mean(w_in, contexts)
+        np.testing.assert_allclose(h[0], [0.5, 0.5])
+        np.testing.assert_allclose(h[1], [2.0, 2.0])
+        assert counts.tolist() == [2, 1]
+        assert mask.tolist() == [[True, True, False], [True, False, False]]
+
+    def test_all_pad_row_rejected(self):
+        w_in = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            masked_context_mean(w_in, np.asarray([[-1, -1]]))

@@ -1,0 +1,136 @@
+"""Tests for the high-level V2V estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import V2V, V2VConfig
+from repro.graph.generators import planted_partition
+from repro.walks.engine import WalkMode
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    g = planted_partition(n=60, groups=3, alpha=0.6, inter_edges=10, seed=0)
+    cfg = V2VConfig(dim=12, walks_per_vertex=5, walk_length=15, epochs=4, seed=0)
+    return g, V2V(cfg).fit(g)
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = V2VConfig()
+        assert c.window == 5
+        assert c.walk_mode is WalkMode.UNIFORM
+
+    def test_with_dim(self):
+        c = V2VConfig(dim=10, seed=3).with_dim(99)
+        assert c.dim == 99
+        assert c.seed == 3
+
+    def test_subconfigs_consistent(self):
+        c = V2VConfig(dim=33, window=4, walks_per_vertex=7, seed=5)
+        assert c.walk_config().walks_per_vertex == 7
+        assert c.walk_config().seed == 5
+        assert c.train_config().dim == 33
+        assert c.train_config().window == 4
+
+
+class TestFit:
+    def test_vectors_shape(self, fitted):
+        g, model = fitted
+        assert model.vectors.shape == (60, 12)
+        assert model.is_fitted
+
+    def test_unfitted_raises(self):
+        m = V2V()
+        assert not m.is_fitted
+        with pytest.raises(RuntimeError):
+            _ = m.vectors
+        with pytest.raises(RuntimeError):
+            _ = m.corpus
+
+    def test_corpus_retained(self, fitted):
+        _g, model = fitted
+        assert model.corpus.num_walks == 60 * 5
+
+    def test_fit_corpus_reuse(self, fitted):
+        """Training different dims on the same corpus (paper Section V)."""
+        _g, model = fitted
+        other = V2V(V2VConfig(dim=6, epochs=2, seed=0)).fit_corpus(model.corpus)
+        assert other.vectors.shape == (60, 6)
+
+    def test_reproducible(self):
+        g = planted_partition(n=40, groups=2, alpha=0.5, inter_edges=5, seed=1)
+        cfg = V2VConfig(dim=8, walks_per_vertex=3, walk_length=10, epochs=2, seed=7)
+        a = V2V(cfg).fit(g)
+        b = V2V(cfg).fit(g)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_embedding_for_bounds(self, fitted):
+        _g, model = fitted
+        assert model.embedding_for(0).shape == (12,)
+        with pytest.raises(IndexError):
+            model.embedding_for(60)
+        with pytest.raises(IndexError):
+            model.embedding_for(-1)
+
+
+class TestSimilarity:
+    def test_self_similarity_one(self, fitted):
+        _g, model = fitted
+        assert np.isclose(model.similarity(3, 3), 1.0)
+
+    def test_symmetric(self, fitted):
+        _g, model = fitted
+        assert np.isclose(model.similarity(1, 2), model.similarity(2, 1))
+
+    def test_range(self, fitted):
+        _g, model = fitted
+        for u, v in [(0, 1), (0, 30), (10, 55)]:
+            assert -1.0 - 1e-9 <= model.similarity(u, v) <= 1.0 + 1e-9
+
+    def test_most_similar_excludes_self(self, fitted):
+        _g, model = fitted
+        top = model.most_similar(5, topn=10)
+        assert len(top) == 10
+        assert all(v != 5 for v, _ in top)
+        sims = [s for _, s in top]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_most_similar_prefers_own_community(self, fitted):
+        g, model = fitted
+        truth = g.vertex_labels("community")
+        hits = 0
+        for v in range(0, 60, 10):
+            top = model.most_similar(v, topn=5)
+            hits += sum(truth[u] == truth[v] for u, _ in top)
+        assert hits >= 20  # of 30 possible
+
+    def test_topn_clamped(self, fitted):
+        _g, model = fitted
+        assert len(model.most_similar(0, topn=500)) == 59
+
+    def test_zero_vector_similarity(self):
+        m = V2V()
+        from repro.core.trainer import EmbeddingResult, TrainConfig
+
+        vecs = np.zeros((3, 4))
+        vecs[1, 0] = 1.0
+        m._result = EmbeddingResult(
+            vectors=vecs, loss_history=[1.0], epochs_run=1,
+            train_seconds=0.0, converged=False, config=TrainConfig(),
+        )
+        assert m.similarity(0, 1) == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, fitted, tmp_path):
+        _g, model = fitted
+        p = tmp_path / "model.npz"
+        model.save(p)
+        loaded = V2V.load(p)
+        np.testing.assert_array_equal(loaded.vectors, model.vectors)
+        assert loaded.result.epochs_run == model.result.epochs_run
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            V2V().save(tmp_path / "x.npz")

@@ -1,0 +1,72 @@
+"""Tests for the negative sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.negative import NegativeSampler
+
+
+class TestConstruction:
+    def test_normalizes(self):
+        s = NegativeSampler(np.asarray([2.0, 2.0]))
+        assert s.vocab_size == 2
+        assert s.support_size == 2
+
+    def test_rejects_bad_distributions(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(np.asarray([]))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.asarray([0.5, -0.5]))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.zeros(3))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.ones((2, 2)))
+
+    def test_support_counts_nonzero(self):
+        s = NegativeSampler(np.asarray([0.5, 0.0, 0.5]))
+        assert s.support_size == 2
+
+
+class TestSampling:
+    def test_distribution_matched(self, rng):
+        s = NegativeSampler(np.asarray([0.1, 0.3, 0.6]))
+        draws = s.sample(120000, rng)
+        freq = np.bincount(draws, minlength=3) / 120000
+        np.testing.assert_allclose(freq, [0.1, 0.3, 0.6], atol=0.01)
+
+    def test_zero_mass_never_drawn(self, rng):
+        s = NegativeSampler(np.asarray([0.5, 0.0, 0.5]))
+        draws = s.sample(10000, rng)
+        assert not np.any(draws == 1)
+
+    def test_shape_tuple(self, rng):
+        s = NegativeSampler(np.ones(4) / 4)
+        assert s.sample((3, 5), rng).shape == (3, 5)
+
+    def test_int_shape(self, rng):
+        s = NegativeSampler(np.ones(4) / 4)
+        assert s.sample(7, rng).shape == (7,)
+
+    def test_avoid_reduces_collisions(self, rng):
+        s = NegativeSampler(np.asarray([0.9, 0.1]))
+        avoid = np.zeros((2000, 1), dtype=np.int64)
+        draws = s.sample((2000, 3), rng, avoid=avoid)
+        # With avoid=0 and heavy mass on 0, retries should push most
+        # draws to 1 (collisions may survive max_retries occasionally).
+        assert (draws == 0).mean() < 0.6
+
+    def test_avoid_single_support_no_hang(self, rng):
+        s = NegativeSampler(np.asarray([1.0]))
+        draws = s.sample(5, rng, avoid=np.zeros(5, dtype=np.int64))
+        assert np.all(draws == 0)  # nothing else to draw; returns anyway
+
+    def test_deterministic_given_rng(self):
+        s = NegativeSampler(np.ones(10) / 10)
+        a = s.sample(100, np.random.default_rng(3))
+        b = s.sample(100, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_draws_in_range(self, rng):
+        s = NegativeSampler(np.ones(7) / 7)
+        draws = s.sample(10000, rng)
+        assert draws.min() >= 0 and draws.max() < 7

@@ -1,0 +1,83 @@
+"""Tests for the vertex vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.core.vocab import VertexVocab
+from repro.walks.corpus import WalkCorpus
+
+
+class TestVocab:
+    def test_from_corpus(self):
+        walks = np.asarray([[0, 1, 0], [2, -1, -1]])
+        vocab = VertexVocab.from_corpus(WalkCorpus(walks, num_vertices=4))
+        assert vocab.counts.tolist() == [2, 1, 1, 0]
+        assert vocab.total_tokens == 4
+        assert vocab.size == 4
+        assert vocab.observed.tolist() == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VertexVocab(np.asarray([[1, 2]]))  # 2-D
+        with pytest.raises(ValueError):
+            VertexVocab(np.asarray([1, -1]))
+
+    def test_frequencies_sum_to_one(self):
+        v = VertexVocab(np.asarray([3, 1, 0]))
+        f = v.frequencies()
+        assert np.isclose(f.sum(), 1.0)
+        assert f[2] == 0.0
+
+    def test_frequencies_empty(self):
+        v = VertexVocab(np.zeros(3, dtype=np.int64))
+        assert np.all(v.frequencies() == 0)
+
+
+class TestNoiseDistribution:
+    def test_power_smoothing(self):
+        v = VertexVocab(np.asarray([16, 1]))
+        dist = v.noise_distribution(power=0.75)
+        # 16^0.75 = 8, so ratio 8:1 not 16:1.
+        assert np.isclose(dist[0] / dist[1], 8.0)
+
+    def test_power_zero_uniform_over_support(self):
+        v = VertexVocab(np.asarray([5, 1, 0]))
+        dist = v.noise_distribution(power=0.0)
+        assert np.isclose(dist[0], dist[1])
+        assert dist[2] == 0.0
+
+    def test_zero_count_excluded(self):
+        v = VertexVocab(np.asarray([2, 0, 2]))
+        assert v.noise_distribution()[1] == 0.0
+
+    def test_empty_vocab_rejected(self):
+        v = VertexVocab(np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            v.noise_distribution()
+
+    def test_negative_power_rejected(self):
+        v = VertexVocab(np.asarray([1]))
+        with pytest.raises(ValueError):
+            v.noise_distribution(power=-1)
+
+
+class TestSubsampling:
+    def test_disabled_returns_ones(self):
+        v = VertexVocab(np.asarray([10, 1]))
+        assert np.all(v.keep_probabilities(0.0) == 1.0)
+
+    def test_frequent_tokens_downweighted(self):
+        v = VertexVocab(np.asarray([1000, 1]))
+        keep = v.keep_probabilities(1e-3)
+        assert keep[0] < 1.0
+        assert keep[1] == 1.0
+
+    def test_bounded_by_one(self):
+        v = VertexVocab(np.asarray([1, 1, 1000]))
+        keep = v.keep_probabilities(1e-2)
+        assert np.all(keep <= 1.0)
+        assert np.all(keep >= 0.0)
+
+    def test_zero_count_keep_one(self):
+        v = VertexVocab(np.asarray([10, 0]))
+        assert v.keep_probabilities(1e-3)[1] == 1.0

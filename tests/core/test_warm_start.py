@@ -1,0 +1,103 @@
+"""Tests for warm-started / incremental training."""
+
+import numpy as np
+import pytest
+
+from repro import V2V, V2VConfig
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.graph.generators import planted_partition
+from repro.graph.perturb import drop_edges
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(n=90, groups=3, alpha=0.6, inter_edges=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def corpus(graph):
+    return generate_walks(
+        graph, RandomWalkConfig(walks_per_vertex=6, walk_length=20, seed=0)
+    )
+
+
+class TestInitVectors:
+    def test_shape_validated(self, corpus):
+        with pytest.raises(ValueError):
+            train_embeddings(
+                corpus,
+                TrainConfig(dim=8, epochs=1, seed=0),
+                init_vectors=np.zeros((90, 9)),
+            )
+        with pytest.raises(ValueError):
+            train_embeddings(
+                corpus,
+                TrainConfig(dim=8, epochs=1, seed=0),
+                init_vectors=np.zeros((91, 8)),
+            )
+
+    def test_init_is_copied_not_aliased(self, corpus):
+        init = np.full((90, 8), 0.01)
+        before = init.copy()
+        train_embeddings(
+            corpus, TrainConfig(dim=8, epochs=1, seed=0), init_vectors=init
+        )
+        np.testing.assert_array_equal(init, before)
+
+    def test_warm_start_lowers_initial_loss(self, corpus):
+        cfg = TrainConfig(dim=12, epochs=3, seed=0, early_stop=False)
+        cold = train_embeddings(corpus, cfg)
+        warm = train_embeddings(corpus, cfg, init_vectors=cold.vectors)
+        # Continuing from trained vectors starts at a lower loss than
+        # training from random init.
+        assert warm.loss_history[0] < cold.loss_history[0]
+
+    def test_hierarchical_softmax_accepts_init(self, corpus):
+        cfg = TrainConfig(
+            dim=8, epochs=1, seed=0, output_layer="hierarchical"
+        )
+        res = train_embeddings(
+            corpus, cfg, init_vectors=np.full((90, 8), 0.01)
+        )
+        assert res.vectors.shape == (90, 8)
+
+
+class TestRefit:
+    def test_refit_requires_fitted(self, graph):
+        with pytest.raises(RuntimeError):
+            V2V().refit(graph)
+
+    def test_refit_requires_same_universe(self, graph):
+        cfg = V2VConfig(dim=8, walks_per_vertex=4, walk_length=15, epochs=2, seed=0)
+        model = V2V(cfg).fit(graph)
+        smaller = planted_partition(n=60, groups=3, alpha=0.6, inter_edges=6, seed=1)
+        with pytest.raises(ValueError):
+            model.refit(smaller)
+
+    def test_refit_after_perturbation(self, graph):
+        cfg = V2VConfig(
+            dim=12, walks_per_vertex=6, walk_length=20, epochs=6,
+            tol=1e-2, patience=1, seed=0,
+        )
+        model = V2V(cfg).fit(graph)
+        perturbed = drop_edges(graph, 0.1, seed=1)
+        cold_epochs = V2V(cfg).fit(perturbed).result.epochs_run
+        warm = model.refit(perturbed)
+        # Warm start converges at least as fast as cold start.
+        assert warm.result.epochs_run <= cold_epochs
+        assert warm.vectors.shape == (90, 12)
+
+    def test_refit_preserves_quality(self, graph):
+        from repro.ml import KMeans, pairwise_precision_recall
+
+        cfg = V2VConfig(
+            dim=12, walks_per_vertex=6, walk_length=20, epochs=5, seed=0
+        )
+        model = V2V(cfg).fit(graph)
+        perturbed = drop_edges(graph, 0.15, seed=2)
+        model.refit(perturbed)
+        labels = KMeans(3, n_init=10, seed=0).fit_predict(model.vectors)
+        truth = graph.vertex_labels("community")
+        p, r = pairwise_precision_recall(truth, labels)
+        assert p > 0.8 and r > 0.8

@@ -1,0 +1,87 @@
+"""Tests on Zachary's karate club — the classic real-world sanity check."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.karate import karate_club
+from repro.graph.traversal import is_connected
+from repro.ml.metrics import accuracy, adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return karate_club()
+
+
+class TestDataset:
+    def test_canonical_shape(self, karate):
+        assert karate.n == 34
+        assert karate.num_edges == 78
+        assert not karate.directed
+
+    def test_connected(self, karate):
+        assert is_connected(karate)
+
+    def test_hubs_are_the_leaders(self, karate):
+        deg = karate.out_degrees()
+        top_two = set(np.argsort(-deg)[:2].tolist())
+        assert top_two == {0, 33}  # instructor and administrator
+
+    def test_faction_labels(self, karate):
+        faction = karate.vertex_labels("faction")
+        assert faction.shape == (34,)
+        assert set(faction.tolist()) == {0, 1}
+        assert faction[0] == 0 and faction[33] == 1
+
+    def test_matches_networkx(self, karate):
+        nx = pytest.importorskip("networkx")
+        ref = nx.karate_club_graph()
+        assert karate.num_edges == ref.number_of_edges()
+        ours = {
+            (int(min(u, v)), int(max(u, v)))
+            for u, v in zip(karate.edge_list.src, karate.edge_list.dst)
+        }
+        theirs = {(min(u, v), max(u, v)) for u, v in ref.edges()}
+        assert ours == theirs
+
+
+class TestCommunityRecovery:
+    def test_cnm_recovers_factions(self, karate):
+        from repro.community import cnm_communities
+
+        labels = cnm_communities(karate, target_communities=2)
+        truth = karate.vertex_labels("faction")
+        # The classic result: near-perfect split with one or two
+        # borderline members (vertex 8 historically flips).
+        best = max(
+            accuracy(truth, labels), accuracy(truth, 1 - labels)
+        )
+        assert best > 0.85
+
+    def test_louvain_modular(self, karate):
+        from repro.community import louvain_communities
+        from repro.graph.metrics import modularity
+
+        labels = louvain_communities(karate, seed=0)
+        assert modularity(karate, labels) > 0.35  # known optimum ≈ 0.42
+
+    def test_v2v_recovers_factions(self, karate):
+        from repro import V2V, V2VConfig
+        from repro.ml import KMeans
+
+        model = V2V(
+            V2VConfig(
+                dim=8, walks_per_vertex=20, walk_length=20, epochs=10,
+                early_stop=False, seed=0,
+            )
+        ).fit(karate)
+        labels = KMeans(2, n_init=30, seed=0).fit_predict(model.vectors)
+        truth = karate.vertex_labels("faction")
+        assert adjusted_rand_index(truth, labels) > 0.6
+
+    def test_spectral_recovers_factions(self, karate):
+        from repro.ml.spectral import spectral_communities
+
+        labels = spectral_communities(karate, 2, seed=0)
+        truth = karate.vertex_labels("faction")
+        assert adjusted_rand_index(truth, labels) > 0.6

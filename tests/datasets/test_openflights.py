@@ -1,0 +1,121 @@
+"""Tests for the synthetic OpenFlights substitute."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.openflights import (
+    CONTINENTS,
+    OpenFlightsSpec,
+    great_circle,
+    synthetic_openflights,
+)
+from repro.graph.traversal import connected_components
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return synthetic_openflights(OpenFlightsSpec(num_airports=400, seed=0))
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_antipodal_half_circumference(self):
+        d = great_circle(0.0, 0.0, 0.0, 180.0)
+        assert np.isclose(d, np.pi * 6371.0, rtol=1e-6)
+
+    def test_known_distance(self):
+        # London (51.5, -0.13) to Paris (48.85, 2.35) ≈ 344 km.
+        d = great_circle(51.5, -0.13, 48.85, 2.35)
+        assert 330 < d < 360
+
+    def test_symmetry(self):
+        assert np.isclose(
+            great_circle(10.0, 20.0, -30.0, 50.0),
+            great_circle(-30.0, 50.0, 10.0, 20.0),
+        )
+
+    def test_broadcasting(self):
+        lats = np.asarray([0.0, 10.0])
+        d = great_circle(lats[:, None], 0.0, lats[None, :], 0.0)
+        assert d.shape == (2, 2)
+        assert d[0, 0] == 0.0
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenFlightsSpec(num_airports=5)
+        with pytest.raises(ValueError):
+            OpenFlightsSpec(countries_per_continent=0)
+        with pytest.raises(ValueError):
+            OpenFlightsSpec(routes_per_airport=0)
+        with pytest.raises(ValueError):
+            OpenFlightsSpec(decay_length_km=0)
+        with pytest.raises(ValueError):
+            OpenFlightsSpec(hub_exponent=1.0)
+
+
+class TestSyntheticOpenFlights:
+    def test_directed_graph(self, flights):
+        assert flights.directed
+        assert flights.n == 400
+
+    def test_labels_present(self, flights):
+        for name in ("continent", "country", "lat", "lon"):
+            assert name in flights.label_names
+
+    def test_all_continents_present(self, flights):
+        names = set(flights.vertex_labels("continent").tolist())
+        assert names == {c[0] for c in CONTINENTS}
+
+    def test_country_prefix_matches_continent(self, flights):
+        continents = flights.vertex_labels("continent")
+        countries = flights.vertex_labels("country")
+        for cont, country in zip(continents, countries):
+            assert country.startswith(cont + "-")
+
+    def test_coordinates_valid(self, flights):
+        lat = flights.vertex_labels("lat")
+        lon = flights.vertex_labels("lon")
+        assert np.all((lat >= -90) & (lat <= 90))
+        assert np.all((lon >= -180) & (lon <= 180))
+
+    def test_mean_out_degree_near_spec(self, flights):
+        deg = flights.out_degrees()
+        assert 4.0 < deg.mean() < 8.0  # spec default 6
+
+    def test_hubs_exist(self, flights):
+        deg = flights.out_degrees()
+        assert deg.max() >= 3 * deg.mean()
+
+    def test_routes_geographically_local(self, flights):
+        """Most routes must be intra-continental — the property that
+        makes continents recoverable from topology (Figs 8-10)."""
+        continents = flights.vertex_labels("continent")
+        src, dst = flights.arc_array()
+        intra = (continents[src] == continents[dst]).mean()
+        assert intra > 0.5
+
+    def test_weakly_connected_mostly(self, flights):
+        comp = connected_components(flights)
+        largest = np.bincount(comp).max()
+        assert largest > 0.9 * flights.n
+
+    def test_no_self_loops(self, flights):
+        src, dst = flights.arc_array()
+        assert np.all(src != dst)
+
+    def test_reproducible(self):
+        a = synthetic_openflights(OpenFlightsSpec(num_airports=100, seed=5))
+        b = synthetic_openflights(OpenFlightsSpec(num_airports=100, seed=5))
+        np.testing.assert_array_equal(a.edge_list.src, b.edge_list.src)
+        np.testing.assert_array_equal(
+            a.vertex_labels("continent"), b.vertex_labels("continent")
+        )
+
+    def test_seeds_differ(self):
+        a = synthetic_openflights(OpenFlightsSpec(num_airports=100, seed=1))
+        b = synthetic_openflights(OpenFlightsSpec(num_airports=100, seed=2))
+        assert not np.array_equal(a.edge_list.dst, b.edge_list.dst)

@@ -1,0 +1,43 @@
+"""Tests for the paper's synthetic benchmark dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import PAPER_ALPHAS, alpha_sweep, community_benchmark
+
+
+class TestCommunityBenchmark:
+    def test_paper_defaults(self):
+        g = community_benchmark(0.3, seed=0)
+        assert g.n == 1000
+        assert np.bincount(g.vertex_labels("community")).tolist() == [100] * 10
+
+    def test_scaled_down(self):
+        g = community_benchmark(0.5, n=100, groups=5, inter_edges=10, seed=0)
+        assert g.n == 100
+        assert g.vertex_labels("community").max() == 4
+
+
+class TestAlphaSweep:
+    def test_paper_grid(self):
+        assert PAPER_ALPHAS == (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+    def test_sweep_yields_all(self):
+        out = list(
+            alpha_sweep((0.2, 0.8), n=60, groups=3, inter_edges=6, seed=0)
+        )
+        assert [a for a, _ in out] == [0.2, 0.8]
+        assert out[0][1].num_edges < out[1][1].num_edges
+
+    def test_sweep_reproducible(self):
+        a = list(alpha_sweep((0.5,), n=60, groups=3, inter_edges=6, seed=1))
+        b = list(alpha_sweep((0.5,), n=60, groups=3, inter_edges=6, seed=1))
+        np.testing.assert_array_equal(
+            a[0][1].edge_list.src, b[0][1].edge_list.src
+        )
+
+    def test_sweep_graphs_independent(self):
+        out = list(alpha_sweep((0.5, 0.5), n=60, groups=3, inter_edges=6, seed=0))
+        assert not np.array_equal(
+            out[0][1].edge_list.src, out[1][1].edge_list.src
+        )

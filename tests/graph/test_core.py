@@ -1,0 +1,233 @@
+"""Tests for the CSR Graph core."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import EdgeList, Graph
+
+
+class TestEdgeList:
+    def test_basic_construction(self):
+        e = EdgeList(np.asarray([0, 1]), np.asarray([1, 2]))
+        assert len(e) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.asarray([0, 1]), np.asarray([1]))
+
+    def test_weight_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.asarray([0]), np.asarray([1]), weights=np.asarray([1.0, 2.0]))
+
+    def test_times_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.asarray([0]), np.asarray([1]), times=np.asarray([1.0, 2.0]))
+
+    def test_dtype_coercion(self):
+        e = EdgeList([0.0, 1.0], [1.0, 2.0], weights=[1, 2])
+        assert e.src.dtype == np.int64
+        assert e.weights.dtype == np.float64
+
+
+class TestGraphConstruction:
+    def test_empty_graph(self):
+        g = Graph(5)
+        assert g.n == 5
+        assert g.num_edges == 0
+        assert g.num_arcs == 0
+
+    def test_zero_vertex_graph(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert len(g) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_tuple_edges(self, triangle):
+        assert triangle.num_edges == 3
+        assert triangle.num_arcs == 6  # symmetrized
+
+    def test_weighted_tuples(self):
+        g = Graph(3, [(0, 1, 2.5), (1, 2, 0.5)])
+        assert g.weighted
+        assert g.edge_weights is not None
+        assert g.edge_weights.shape == (4,)
+
+    def test_temporal_tuples(self):
+        g = Graph(3, [(0, 1, 1.0, 5.0), (1, 2, 1.0, 6.0)], directed=True)
+        assert g.temporal
+        assert g.edge_times.shape == (2,)
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1), (1, 2, 1.0)])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0,)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+        with pytest.raises(ValueError):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 1, -1.0)])
+
+    def test_directed_arcs_not_symmetrized(self, directed_chain):
+        assert directed_chain.num_arcs == 3
+        assert directed_chain.directed
+
+    def test_self_loop_single_arc_undirected(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        # Self-loop stored once; the 0-1 edge twice.
+        assert g.num_arcs == 3
+
+    def test_vertex_weights_validated(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)], vertex_weights=[1.0, 2.0])  # wrong length
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 1)], vertex_weights=[-1.0, 2.0])  # negative
+
+    def test_from_adjacency_undirected(self):
+        a = np.asarray([[0, 1, 0], [1, 0, 2], [0, 2, 0]], dtype=float)
+        g = Graph.from_adjacency(a)
+        assert g.num_edges == 2
+        assert g.weighted  # weight 2 present
+
+    def test_from_adjacency_unit_weights_dropped(self):
+        a = np.asarray([[0, 1], [1, 0]], dtype=float)
+        g = Graph.from_adjacency(a)
+        assert not g.weighted
+
+    def test_from_adjacency_asymmetric_rejected(self):
+        a = np.asarray([[0, 1], [0, 0]], dtype=float)
+        with pytest.raises(ValueError):
+            Graph.from_adjacency(a, directed=False)
+
+    def test_from_adjacency_directed(self):
+        a = np.asarray([[0, 1], [0, 0]], dtype=float)
+        g = Graph.from_adjacency(a, directed=True)
+        assert g.num_arcs == 1
+
+    def test_from_adjacency_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_adjacency(np.zeros((2, 3)))
+
+
+class TestAdjacencyQueries:
+    def test_neighbors_sorted_by_construction(self, triangle):
+        assert set(triangle.neighbors(0).tolist()) == {1, 2}
+        assert set(triangle.neighbors(1).tolist()) == {0, 2}
+
+    def test_neighbors_out_of_range(self, triangle):
+        with pytest.raises(IndexError):
+            triangle.neighbors(3)
+
+    def test_degree_scalar_and_vector(self, path4):
+        assert path4.degree(0) == 1
+        assert path4.degree(1) == 2
+        np.testing.assert_array_equal(path4.degree(), [1, 2, 2, 1])
+
+    def test_in_degrees_directed(self, directed_chain):
+        np.testing.assert_array_equal(directed_chain.in_degrees(), [0, 1, 1, 1])
+        np.testing.assert_array_equal(directed_chain.out_degrees(), [1, 1, 1, 0])
+
+    def test_in_degrees_undirected_equal_out(self, triangle):
+        np.testing.assert_array_equal(triangle.in_degrees(), triangle.out_degrees())
+
+    def test_has_edge(self, directed_chain):
+        assert directed_chain.has_edge(0, 1)
+        assert not directed_chain.has_edge(1, 0)
+
+    def test_arcs_iterator_matches_arc_array(self, triangle):
+        it = list(triangle.arcs())
+        src, dst = triangle.arc_array()
+        assert it == list(zip(src.tolist(), dst.tolist()))
+
+    def test_neighbor_slice(self, path4):
+        s, e = path4.neighbor_slice(1)
+        np.testing.assert_array_equal(path4.indices[s:e], path4.neighbors(1))
+
+    def test_in_adjacency_directed(self, directed_chain):
+        indptr, indices = directed_chain.in_adjacency()
+        # In-neighbors of 2 is exactly {1}.
+        assert indices[indptr[2] : indptr[3]].tolist() == [1]
+
+    def test_in_adjacency_undirected_is_csr(self, triangle):
+        indptr, indices = triangle.in_adjacency()
+        assert indptr is triangle.indptr
+        assert indices is triangle.indices
+
+
+class TestLabels:
+    def test_set_and_get(self, triangle):
+        triangle.set_vertex_labels("color", ["r", "g", "b"])
+        assert triangle.vertex_labels("color")[1] == "g"
+        assert triangle.label_names == ["color"]
+
+    def test_wrong_length_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.set_vertex_labels("x", [1, 2])
+
+    def test_missing_label_keyerror(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.vertex_labels("nope")
+
+    def test_constructor_labels(self):
+        g = Graph(2, [(0, 1)], vertex_labels={"a": [1, 2]})
+        assert g.vertex_labels("a").tolist() == [1, 2]
+
+
+class TestDerivedGraphs:
+    def test_to_undirected(self, directed_chain):
+        u = directed_chain.to_undirected()
+        assert not u.directed
+        assert u.has_edge(1, 0)
+
+    def test_to_undirected_idempotent(self, triangle):
+        assert triangle.to_undirected() is triangle
+
+    def test_reverse(self, directed_chain):
+        r = directed_chain.reverse()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        np.testing.assert_array_equal(r.out_degrees(), directed_chain.in_degrees())
+
+    def test_reverse_undirected_identity(self, triangle):
+        assert triangle.reverse() is triangle
+
+    def test_subgraph_preserves_structure(self, two_cliques):
+        sub, mapping = two_cliques.subgraph([0, 1, 2, 3])
+        assert sub.n == 4
+        assert sub.num_edges == 6  # the clique
+        np.testing.assert_array_equal(mapping, [0, 1, 2, 3])
+
+    def test_subgraph_drops_cross_edges(self, two_cliques):
+        sub, _ = two_cliques.subgraph([2, 3, 4, 5])
+        # Within {2,3}: 1 edge; within {4,5}: 1 edge; bridge (3,4): 1 edge.
+        assert sub.num_edges == 3
+
+    def test_subgraph_labels_carried(self, two_cliques):
+        sub, _ = two_cliques.subgraph([4, 5])
+        assert sub.vertex_labels("community").tolist() == [1, 1]
+
+    def test_subgraph_out_of_range(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.subgraph([0, 9])
+
+    def test_adjacency_matrix_roundtrip(self, triangle):
+        a = triangle.adjacency_matrix()
+        assert a.shape == (3, 3)
+        np.testing.assert_array_equal(a, a.T)
+        assert a.sum() == 6
+
+    def test_total_edge_weight(self, weighted_star):
+        assert weighted_star.total_edge_weight() == 6.0
+
+    def test_total_edge_weight_unweighted_counts(self, triangle):
+        assert triangle.total_edge_weight() == 3.0

@@ -1,0 +1,90 @@
+"""Cross-cutting edge cases for the graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import EdgeList, Graph
+from repro.graph.traversal import bfs_distances, connected_components, edge_betweenness
+
+
+class TestTemporalDirectedDerived:
+    def test_subgraph_keeps_times_and_weights(self, temporal_line):
+        sub, mapping = temporal_line.subgraph([0, 1, 2])
+        assert sub.temporal and sub.weighted and sub.directed
+        assert sub.num_edges == 2
+        np.testing.assert_allclose(np.sort(sub.edge_list.times), [10.0, 20.0])
+
+    def test_to_undirected_duplicates_times(self, temporal_line):
+        und = temporal_line.to_undirected()
+        assert und.temporal
+        assert und.num_arcs == 6  # each edge both ways
+
+    def test_reverse_keeps_times(self, temporal_line):
+        rev = temporal_line.reverse()
+        assert rev.temporal
+        assert rev.has_edge(1, 0)
+        np.testing.assert_allclose(
+            np.sort(rev.edge_list.times), np.sort(temporal_line.edge_list.times)
+        )
+
+
+class TestLargeIds:
+    def test_vertex_ids_near_n(self):
+        n = 10_000
+        g = Graph(n, [(0, n - 1), (n - 2, n - 1)])
+        assert g.has_edge(0, n - 1)
+        assert g.degree(n - 1) == 2
+
+    def test_many_isolated_vertices(self):
+        g = Graph(1000, [(0, 1)])
+        comp = connected_components(g)
+        # 1 two-vertex component + 998 singletons = 999 components.
+        assert comp.max() == 998
+
+
+class TestParallelEdges:
+    def test_parallel_edges_kept_as_arcs(self):
+        # The graph model is a multigraph: repeated edges are repeated arcs.
+        g = Graph(2, [(0, 1), (0, 1)])
+        assert g.num_edges == 2
+        assert g.num_arcs == 4
+
+    def test_parallel_weighted_edges_sum_in_adjacency(self):
+        g = Graph(2, [(0, 1, 2.0), (0, 1, 3.0)])
+        a = g.adjacency_matrix()
+        assert a[0, 1] == 5.0
+
+
+class TestBetweennessEdgeCases:
+    def test_graph_with_isolated_vertices(self):
+        g = Graph(5, [(0, 1), (1, 2)])
+        bw = edge_betweenness(g, normalized=False)
+        assert bw[(0, 1)] == 2.0  # paths 0-1, 0-2
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        bw = edge_betweenness(g, normalized=False)
+        assert bw[(0, 1)] == 1.0
+
+    def test_disconnected_components_independent(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        bw = edge_betweenness(g, normalized=False)
+        assert bw[(0, 1)] == bw[(3, 4)]
+
+
+class TestBFSSelfLoop:
+    def test_self_loop_does_not_break_bfs(self):
+        g = Graph(3, [(0, 0), (0, 1), (1, 2)])
+        np.testing.assert_array_equal(bfs_distances(g, 0), [0, 1, 2])
+
+
+class TestEdgeListColumnsRoundTrip:
+    def test_times_without_weights_via_edgelist(self):
+        e = EdgeList(
+            np.asarray([0, 1]),
+            np.asarray([1, 2]),
+            weights=None,
+            times=np.asarray([5.0, 6.0]),
+        )
+        g = Graph(3, e, directed=True)
+        assert g.temporal and not g.weighted

@@ -1,0 +1,199 @@
+"""Tests for graph generators, including the paper's planted partition."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    planted_partition,
+    random_geometric,
+    star_graph,
+    stochastic_block_model,
+)
+from repro.graph.metrics import density
+from repro.graph.traversal import connected_components
+
+
+class TestPlantedPartition:
+    def test_paper_defaults_shape(self):
+        g = planted_partition(seed=0)
+        assert g.n == 1000
+        truth = g.vertex_labels("community")
+        counts = np.bincount(truth)
+        assert counts.shape == (10,)
+        assert np.all(counts == 100)
+
+    def test_edge_count_formula(self):
+        # alpha=0.5, groups of 100 -> 0.5 * 100*99/2 = 2475 intra per group.
+        g = planted_partition(n=1000, groups=10, alpha=0.5, inter_edges=200, seed=1)
+        assert g.num_edges == 10 * 2475 + 200
+
+    def test_alpha_one_makes_cliques(self):
+        g = planted_partition(n=40, groups=2, alpha=1.0, inter_edges=0, seed=0)
+        truth = g.vertex_labels("community")
+        # Every pair inside a group must be connected.
+        for grp in (0, 1):
+            members = np.flatnonzero(truth == grp)
+            for i in members:
+                nbrs = set(g.neighbors(int(i)).tolist())
+                assert nbrs >= (set(members.tolist()) - {int(i)})
+
+    def test_alpha_zero_no_intra(self):
+        g = planted_partition(n=40, groups=2, alpha=0.0, inter_edges=10, seed=0)
+        truth = g.vertex_labels("community")
+        e = g.edge_list
+        assert np.all(truth[e.src] != truth[e.dst])
+        assert g.num_edges == 10
+
+    def test_inter_edges_cross_groups(self):
+        g = planted_partition(n=100, groups=5, alpha=0.2, inter_edges=30, seed=3)
+        truth = g.vertex_labels("community")
+        e = g.edge_list
+        cross = truth[e.src] != truth[e.dst]
+        assert cross.sum() == 30
+
+    def test_no_duplicate_edges(self):
+        g = planted_partition(n=100, groups=5, alpha=0.9, inter_edges=50, seed=2)
+        e = g.edge_list
+        canon = set()
+        for u, v in zip(e.src, e.dst):
+            key = (min(u, v), max(u, v))
+            assert key not in canon
+            canon.add(key)
+
+    def test_no_self_loops(self):
+        g = planted_partition(n=100, groups=5, alpha=0.5, inter_edges=20, seed=4)
+        e = g.edge_list
+        assert np.all(e.src != e.dst)
+
+    def test_reproducible(self):
+        a = planted_partition(n=60, groups=3, alpha=0.4, inter_edges=9, seed=11)
+        b = planted_partition(n=60, groups=3, alpha=0.4, inter_edges=9, seed=11)
+        np.testing.assert_array_equal(a.edge_list.src, b.edge_list.src)
+        np.testing.assert_array_equal(a.edge_list.dst, b.edge_list.dst)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            planted_partition(n=10, groups=3)  # not a multiple
+        with pytest.raises(ValueError):
+            planted_partition(alpha=1.5)
+        with pytest.raises(ValueError):
+            planted_partition(inter_edges=-1)
+
+    def test_density_scales_with_alpha(self):
+        d_lo = density(planted_partition(n=200, groups=4, alpha=0.1, inter_edges=0, seed=0))
+        d_hi = density(planted_partition(n=200, groups=4, alpha=0.9, inter_edges=0, seed=0))
+        assert d_hi > 5 * d_lo
+
+
+class TestErdosRenyi:
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges == 45
+
+    def test_expected_density(self):
+        g = erdos_renyi(200, 0.1, seed=0)
+        assert 0.07 < density(g) < 0.13
+
+    def test_directed(self):
+        g = erdos_renyi(20, 1.0, directed=True, seed=0)
+        assert g.num_arcs == 20 * 19
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 50, 3
+        g = barabasi_albert(n, m, seed=0)
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_connected(self):
+        g = barabasi_albert(80, 2, seed=1)
+        assert connected_components(g).max() == 0
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(300, 2, seed=2)
+        deg = g.out_degrees()
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+
+class TestSBM:
+    def test_block_structure(self):
+        p = np.asarray([[0.9, 0.01], [0.01, 0.9]])
+        g = stochastic_block_model([30, 30], p, seed=0)
+        truth = g.vertex_labels("community")
+        e = g.edge_list
+        intra = (truth[e.src] == truth[e.dst]).mean()
+        assert intra > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], np.asarray([[0.5, 0.2], [0.3, 0.5]]))
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], np.asarray([[1.5, 0], [0, 1.5]]))
+
+
+class TestRandomGeometric:
+    def test_radius_controls_edges(self):
+        sparse = random_geometric(60, 0.05, seed=0)
+        dense = random_geometric(60, 0.5, seed=0)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_positions_stored(self):
+        g = random_geometric(10, 0.3, seed=0)
+        assert "pos0" in g.label_names and "pos1" in g.label_names
+
+    def test_edges_respect_radius(self):
+        g = random_geometric(40, 0.25, seed=1)
+        x = g.vertex_labels("pos0")
+        y = g.vertex_labels("pos1")
+        e = g.edge_list
+        d = np.hypot(x[e.src] - x[e.dst], y[e.src] - y[e.dst])
+        assert np.all(d <= 0.25 + 1e-12)
+
+
+class TestDeterministicShapes:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert np.all(g.out_degrees() == 5)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert np.all(g.out_degrees() == 2)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(i) == 1 for i in range(1, 5))
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        # Corner has degree 2, center degree 4.
+        assert g.degree(0) == 2
+        assert g.degree(5) == 4

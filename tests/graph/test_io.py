@@ -1,0 +1,104 @@
+"""Round-trip tests for graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import EdgeList, Graph
+from repro.graph.generators import planted_partition
+from repro.graph.io import load_graph, read_edge_list, save_graph, write_edge_list
+
+
+class TestEdgeListText:
+    def test_roundtrip_plain(self, tmp_path, triangle):
+        p = tmp_path / "g.txt"
+        write_edge_list(triangle, p)
+        g = read_edge_list(p)
+        assert g.n == 3
+        assert g.num_edges == 3
+        assert not g.directed
+
+    def test_roundtrip_directed(self, tmp_path, directed_chain):
+        p = tmp_path / "g.txt"
+        write_edge_list(directed_chain, p)
+        g = read_edge_list(p)
+        assert g.directed
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_star):
+        p = tmp_path / "g.txt"
+        write_edge_list(weighted_star, p)
+        g = read_edge_list(p)
+        assert g.weighted
+        np.testing.assert_allclose(
+            np.sort(g.edge_list.weights), [1.0, 2.0, 3.0]
+        )
+
+    def test_roundtrip_temporal(self, tmp_path, temporal_line):
+        p = tmp_path / "g.txt"
+        write_edge_list(temporal_line, p)
+        g = read_edge_list(p)
+        assert g.temporal
+        np.testing.assert_allclose(np.sort(g.edge_list.times), [10.0, 20.0, 30.0])
+
+    def test_header_n_preserves_isolated(self, tmp_path):
+        g0 = Graph(10, [(0, 1)])
+        p = tmp_path / "g.txt"
+        write_edge_list(g0, p)
+        assert read_edge_list(p).n == 10
+
+    def test_explicit_overrides(self, tmp_path, triangle):
+        p = tmp_path / "g.txt"
+        write_edge_list(triangle, p)
+        g = read_edge_list(p, n=7)
+        assert g.n == 7
+
+    def test_no_header_defaults(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n1 4\n")
+        g = read_edge_list(p)
+        assert g.n == 5
+        assert not g.directed
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# a comment\n\n0 1\n")
+        assert read_edge_list(p).num_edges == 1
+
+    def test_inconsistent_columns_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n1 2 3.0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("")
+        assert read_edge_list(p).n == 0
+
+
+class TestBinary:
+    def test_full_roundtrip(self, tmp_path):
+        g0 = planted_partition(n=60, groups=3, alpha=0.5, inter_edges=6, seed=0)
+        g0.set_vertex_labels("name", np.asarray([f"v{i}" for i in range(60)]))
+        p = tmp_path / "g.npz"
+        save_graph(g0, p)
+        g = load_graph(p)
+        assert g.n == g0.n
+        assert g.num_edges == g0.num_edges
+        np.testing.assert_array_equal(
+            g.vertex_labels("community"), g0.vertex_labels("community")
+        )
+        assert g.vertex_labels("name")[5] == "v5"
+
+    def test_weighted_temporal_roundtrip(self, tmp_path, temporal_line):
+        p = tmp_path / "g.npz"
+        save_graph(temporal_line, p)
+        g = load_graph(p)
+        assert g.directed and g.temporal and g.weighted
+        np.testing.assert_allclose(g.edge_list.times, temporal_line.edge_list.times)
+
+    def test_vertex_weights_roundtrip(self, tmp_path):
+        g0 = Graph(3, [(0, 1)], vertex_weights=[1.0, 2.0, 3.0])
+        p = tmp_path / "g.npz"
+        save_graph(g0, p)
+        np.testing.assert_allclose(load_graph(p).vertex_weights, [1.0, 2.0, 3.0])

@@ -1,0 +1,131 @@
+"""Tests for graph metrics (density, modularity, clustering, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.metrics import (
+    average_clustering,
+    degree_assortativity,
+    degree_histogram,
+    density,
+    modularity,
+    triangle_count,
+)
+
+
+class TestDensity:
+    def test_complete_graph_density_one(self):
+        assert density(complete_graph(6)) == 1.0
+
+    def test_empty_density_zero(self):
+        assert density(Graph(5)) == 0.0
+
+    def test_tiny_graph(self):
+        assert density(Graph(1)) == 0.0
+
+    def test_directed_uses_ordered_pairs(self):
+        g = Graph(3, [(0, 1), (1, 0)], directed=True)
+        assert np.isclose(density(g), 2 / 6)
+
+
+class TestModularity:
+    def test_two_cliques_partition_positive(self, two_cliques):
+        truth = two_cliques.vertex_labels("community")
+        q = modularity(two_cliques, truth)
+        assert q > 0.3
+
+    def test_single_community_zero(self, triangle):
+        assert np.isclose(modularity(triangle, np.zeros(3, dtype=int)), 0.0)
+
+    def test_bad_partition_lower(self, two_cliques):
+        truth = two_cliques.vertex_labels("community")
+        scrambled = np.asarray([0, 1, 0, 1, 0, 1, 0, 1])
+        assert modularity(two_cliques, truth) > modularity(two_cliques, scrambled)
+
+    def test_matches_networkx(self, two_cliques):
+        nx = pytest.importorskip("networkx")
+        e = two_cliques.edge_list
+        ref = nx.Graph(list(zip(e.src.tolist(), e.dst.tolist())))
+        truth = two_cliques.vertex_labels("community")
+        comms = [set(np.flatnonzero(truth == c).tolist()) for c in (0, 1)]
+        expected = nx.algorithms.community.modularity(ref, comms)
+        assert np.isclose(modularity(two_cliques, truth), expected)
+
+    def test_weighted_modularity(self):
+        g = Graph(4, [(0, 1, 10.0), (2, 3, 10.0), (1, 2, 0.1)])
+        member = np.asarray([0, 0, 1, 1])
+        assert modularity(g, member) > 0.4
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            modularity(directed_chain, np.zeros(4, dtype=int))
+
+    def test_shape_validated(self, triangle):
+        with pytest.raises(ValueError):
+            modularity(triangle, np.zeros(2, dtype=int))
+
+    def test_empty_graph(self):
+        assert modularity(Graph(3), np.zeros(3, dtype=int)) == 0.0
+
+
+class TestTriangles:
+    def test_triangle_graph(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_complete_graph(self):
+        assert triangle_count(complete_graph(5)) == 10  # C(5,3)
+
+    def test_path_no_triangles(self, path4):
+        assert triangle_count(path4) == 0
+
+    def test_large_path_uses_sweep(self):
+        # Exercise the > 512-vertex neighbor-intersection branch.
+        g = path_graph(600)
+        assert triangle_count(g) == 0
+
+    def test_large_with_triangles(self):
+        edges = [(i, i + 1) for i in range(599)] + [(0, 2)]
+        g = Graph(600, edges)
+        assert triangle_count(g) == 1
+
+
+class TestClustering:
+    def test_complete_graph_coefficient_one(self):
+        assert np.isclose(average_clustering(complete_graph(5)), 1.0)
+
+    def test_star_coefficient_zero(self):
+        assert average_clustering(star_graph(5)) == 0.0
+
+    def test_matches_networkx(self, two_cliques):
+        nx = pytest.importorskip("networkx")
+        e = two_cliques.edge_list
+        ref = nx.Graph(list(zip(e.src.tolist(), e.dst.tolist())))
+        expected = nx.average_clustering(ref)
+        assert np.isclose(average_clustering(two_cliques), expected)
+
+    def test_empty(self):
+        assert average_clustering(Graph(0)) == 0.0
+
+
+class TestAssortativity:
+    def test_star_is_disassortative(self):
+        r = degree_assortativity(star_graph(10))
+        assert r < 0 or np.isnan(r)  # star: all edges hub-leaf
+
+    def test_regular_graph_nan(self):
+        # Cycle: all degrees equal -> zero variance -> NaN.
+        assert np.isnan(degree_assortativity(cycle_graph(6)))
+
+    def test_empty_graph_nan(self):
+        assert np.isnan(degree_assortativity(Graph(3)))
+
+
+class TestDegreeHistogram:
+    def test_path(self, path4):
+        hist = degree_histogram(path4)
+        assert hist[1] == 2 and hist[2] == 2
+
+    def test_empty(self):
+        assert degree_histogram(Graph(0)).tolist() == [0]

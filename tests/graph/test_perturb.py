@@ -1,0 +1,114 @@
+"""Tests for graph perturbations (missing/incorrect data models)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import planted_partition
+from repro.graph.perturb import add_noise_edges, drop_edges, rewire_edges
+
+
+@pytest.fixture
+def base():
+    return planted_partition(n=80, groups=4, alpha=0.5, inter_edges=10, seed=0)
+
+
+class TestDropEdges:
+    def test_fraction_removed(self, base):
+        out = drop_edges(base, 0.25, seed=0)
+        assert out.num_edges == base.num_edges - round(0.25 * base.num_edges)
+
+    def test_zero_noop(self, base):
+        out = drop_edges(base, 0.0, seed=0)
+        assert out.num_edges == base.num_edges
+
+    def test_one_removes_all(self, base):
+        assert drop_edges(base, 1.0, seed=0).num_edges == 0
+
+    def test_surviving_edges_are_original(self, base):
+        out = drop_edges(base, 0.5, seed=0)
+        orig = {
+            (int(min(u, v)), int(max(u, v)))
+            for u, v in zip(base.edge_list.src, base.edge_list.dst)
+        }
+        for u, v in zip(out.edge_list.src, out.edge_list.dst):
+            assert (int(min(u, v)), int(max(u, v))) in orig
+
+    def test_labels_preserved(self, base):
+        out = drop_edges(base, 0.3, seed=0)
+        np.testing.assert_array_equal(
+            out.vertex_labels("community"), base.vertex_labels("community")
+        )
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(ValueError):
+            drop_edges(base, -0.1)
+        with pytest.raises(ValueError):
+            drop_edges(base, 1.5)
+
+    def test_reproducible(self, base):
+        a = drop_edges(base, 0.4, seed=7)
+        b = drop_edges(base, 0.4, seed=7)
+        np.testing.assert_array_equal(a.edge_list.src, b.edge_list.src)
+
+    def test_weights_carried(self):
+        g = Graph(4, [(0, 1, 5.0), (1, 2, 3.0), (2, 3, 1.0), (0, 3, 2.0)])
+        out = drop_edges(g, 0.5, seed=0)
+        assert out.weighted
+        assert out.num_edges == 2
+
+
+class TestAddNoise:
+    def test_count_added(self, base):
+        out = add_noise_edges(base, 0.2, seed=0)
+        assert out.num_edges == base.num_edges + round(0.2 * base.num_edges)
+
+    def test_no_self_loops(self, base):
+        out = add_noise_edges(base, 0.5, seed=1)
+        e = out.edge_list
+        assert np.all(e.src != e.dst)
+
+    def test_zero_noop(self, base):
+        assert add_noise_edges(base, 0.0, seed=0).num_edges == base.num_edges
+
+    def test_negative_rejected(self, base):
+        with pytest.raises(ValueError):
+            add_noise_edges(base, -0.1)
+
+    def test_temporal_noise_gets_valid_times(self, temporal_line):
+        out = add_noise_edges(temporal_line, 1.0, seed=0)
+        assert out.temporal
+        times = out.edge_list.times
+        assert times.min() >= 10.0 and times.max() <= 30.0
+
+    def test_weighted_noise_gets_unit_weight(self, weighted_star):
+        out = add_noise_edges(weighted_star, 1.0, seed=0)
+        assert out.weighted
+        assert out.edge_list.weights.shape[0] == 6
+
+
+class TestRewire:
+    def test_edge_count_constant(self, base):
+        out = rewire_edges(base, 0.3, seed=0)
+        assert out.num_edges == base.num_edges
+
+    def test_zero_noop_exact(self, base):
+        out = rewire_edges(base, 0.0, seed=0)
+        np.testing.assert_array_equal(out.edge_list.src, base.edge_list.src)
+
+    def test_full_rewire_destroys_structure(self, base):
+        from repro.graph.metrics import modularity
+
+        truth = base.vertex_labels("community")
+        q_orig = modularity(base, truth)
+        q_rewired = modularity(rewire_edges(base, 1.0, seed=0), truth)
+        assert q_rewired < q_orig / 2
+
+    def test_no_self_loops(self, base):
+        out = rewire_edges(base, 1.0, seed=3)
+        e = out.edge_list
+        assert np.all(e.src != e.dst)
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(ValueError):
+            rewire_edges(base, 2.0)

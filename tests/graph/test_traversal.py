@@ -1,0 +1,158 @@
+"""Tests for BFS/DFS, components, shortest paths, edge betweenness."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import cycle_graph, path_graph, complete_graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    edge_betweenness,
+    is_connected,
+    shortest_path_lengths,
+)
+
+
+class TestBFS:
+    def test_distances_on_path(self, path4):
+        np.testing.assert_array_equal(bfs_distances(path4, 0), [0, 1, 2, 3])
+        np.testing.assert_array_equal(bfs_distances(path4, 2), [2, 1, 0, 1])
+
+    def test_unreachable_marked(self):
+        g = Graph(4, [(0, 1)])
+        d = bfs_distances(g, 0)
+        assert d[2] == -1 and d[3] == -1
+
+    def test_directed_respects_direction(self, directed_chain):
+        np.testing.assert_array_equal(bfs_distances(directed_chain, 0), [0, 1, 2, 3])
+        np.testing.assert_array_equal(bfs_distances(directed_chain, 3), [-1, -1, -1, 0])
+
+    def test_order_is_level_sorted(self, two_cliques):
+        order = bfs_order(two_cliques, 0)
+        d = bfs_distances(two_cliques, 0)
+        assert np.all(np.diff(d[order]) >= 0)
+        assert order[0] == 0
+
+    def test_isolated_source(self):
+        g = Graph(3, [(1, 2)])
+        assert bfs_order(g, 0).tolist() == [0]
+
+
+class TestDFS:
+    def test_visits_component(self, two_cliques):
+        order = dfs_order(two_cliques, 0)
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_preorder_starts_at_source(self, path4):
+        assert dfs_order(path4, 2)[0] == 2
+
+    def test_dfs_path_order(self, path4):
+        assert dfs_order(path4, 0).tolist() == [0, 1, 2, 3]
+
+    def test_stops_at_component(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert sorted(dfs_order(g, 0).tolist()) == [0, 1]
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        assert connected_components(triangle).max() == 0
+        assert is_connected(triangle)
+
+    def test_multiple_components(self):
+        g = Graph(6, [(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len(set(comp.tolist())) == 4  # two pairs + two isolated
+        assert not is_connected(g)
+
+    def test_directed_weak_components(self):
+        g = Graph(3, [(0, 1), (2, 1)], directed=True)
+        comp = connected_components(g)
+        assert comp[0] == comp[1] == comp[2]
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph(0))
+
+
+class TestShortestPaths:
+    def test_all_pairs_cycle(self):
+        g = cycle_graph(6)
+        d = shortest_path_lengths(g)
+        assert d[0, 3] == 3
+        assert d[0, 5] == 1
+        np.testing.assert_array_equal(d, d.T)
+
+    def test_subset_sources(self, path4):
+        d = shortest_path_lengths(path4, sources=np.asarray([0]))
+        assert d.shape == (1, 4)
+        np.testing.assert_array_equal(d[0], [0, 1, 2, 3])
+
+
+class TestEdgeBetweenness:
+    def test_bridge_has_max_betweenness(self, two_cliques):
+        bw = edge_betweenness(two_cliques)
+        top = max(bw, key=bw.get)
+        assert top == (3, 4)
+
+    def test_path_middle_edge_highest(self):
+        g = path_graph(5)
+        bw = edge_betweenness(g, normalized=False)
+        # Edge (1,2) carries paths: {0,1}x{2,3,4} = 6; (0,1) carries 4.
+        assert bw[(1, 2)] == 6.0
+        assert bw[(0, 1)] == 4.0
+
+    def test_symmetric_graph_uniform(self):
+        g = complete_graph(4)
+        bw = edge_betweenness(g, normalized=False)
+        values = list(bw.values())
+        assert np.allclose(values, values[0])
+        assert np.isclose(values[0], 1.0)  # only endpoints use each edge
+
+    def test_normalization(self):
+        g = path_graph(4)
+        raw = edge_betweenness(g, normalized=False)
+        norm = edge_betweenness(g, normalized=True)
+        pairs = 4 * 3 / 2
+        for k in raw:
+            assert np.isclose(norm[k], raw[k] / pairs)
+
+    def test_sampled_sources_approximates(self, two_cliques):
+        exact = edge_betweenness(two_cliques, normalized=False)
+        approx = edge_betweenness(
+            two_cliques, sources=np.arange(8), normalized=False
+        )
+        for k in exact:
+            assert np.isclose(exact[k], approx[k])
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            edge_betweenness(directed_chain)
+
+    def test_empty_sources_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            edge_betweenness(triangle, sources=np.asarray([], dtype=np.int64))
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(5)
+        n = 20
+        edges = set()
+        while len(edges) < 40:
+            u, v = rng.integers(0, n, 2)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        g = Graph(n, sorted(edges))
+        ref_g = nx.Graph(sorted(edges))
+        ref_g.add_nodes_from(range(n))
+        ours = edge_betweenness(g, normalized=True)
+        theirs_raw = nx.edge_betweenness_centrality(ref_g, normalized=True)
+        theirs = {
+            (min(u, v), max(u, v)): val for (u, v), val in theirs_raw.items()
+        }
+        for k, v in ours.items():
+            assert np.isclose(v, theirs[k], atol=1e-9), k

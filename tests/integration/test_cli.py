@@ -1,0 +1,204 @@
+"""Tests for the command-line interface (run in-process via cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def small_edge_list(tmp_path):
+    """A tiny benchmark graph on disk plus its ground-truth labels."""
+    graph_path = tmp_path / "graph.txt"
+    labels_path = tmp_path / "labels.txt"
+    rc = main(
+        [
+            "generate",
+            "-o", str(graph_path),
+            "--kind", "communities",
+            "--n", "60",
+            "--groups", "3",
+            "--alpha", "0.6",
+            "--inter-edges", "8",
+            "--labels", str(labels_path),
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    return graph_path, labels_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(["embed", "g.txt", "-o", "v.npz"])
+        assert args.dim == 50 and args.window == 5 and args.mode == "uniform"
+
+
+class TestGenerate:
+    def test_writes_graph_and_labels(self, small_edge_list):
+        graph_path, labels_path = small_edge_list
+        assert graph_path.exists()
+        labels = labels_path.read_text().strip().split("\n")
+        assert len(labels) == 60
+
+    def test_flights_kind(self, tmp_path):
+        out = tmp_path / "flights.txt"
+        rc = main(
+            ["generate", "-o", str(out), "--kind", "flights", "--n", "60", "--seed", "1"]
+        )
+        assert rc == 0
+        assert out.exists()
+
+
+class TestEmbed:
+    def test_embed_writes_npz(self, small_edge_list, tmp_path, capsys):
+        graph_path, _ = small_edge_list
+        out = tmp_path / "vectors.npz"
+        rc = main(
+            [
+                "embed", str(graph_path), "-o", str(out),
+                "--dim", "8", "--walks", "4", "--length", "15",
+                "--epochs", "2", "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        with np.load(out) as data:
+            assert data["vectors"].shape == (60, 8)
+        assert "embedded 60 vertices" in capsys.readouterr().out
+
+    def test_node2vec_mode(self, small_edge_list, tmp_path):
+        graph_path, _ = small_edge_list
+        out = tmp_path / "v.npz"
+        rc = main(
+            [
+                "embed", str(graph_path), "-o", str(out),
+                "--dim", "4", "--walks", "2", "--length", "10",
+                "--epochs", "1", "--mode", "node2vec", "--p", "0.5", "--q", "2.0",
+            ]
+        )
+        assert rc == 0
+
+
+class TestDetect:
+    @pytest.mark.parametrize("method", ["v2v", "cnm", "louvain"])
+    def test_methods_write_tsv(self, small_edge_list, tmp_path, method):
+        graph_path, _ = small_edge_list
+        out = tmp_path / f"{method}.tsv"
+        argv = [
+            "detect", str(graph_path), "-k", "3", "-o", str(out),
+            "--method", method, "--dim", "8", "--walks", "4",
+            "--length", "15", "--epochs", "2", "--restarts", "5",
+        ]
+        assert main(argv) == 0
+        lines = out.read_text().strip().split("\n")
+        assert lines[0] == "vertex\tcommunity"
+        assert len(lines) == 61
+
+    def test_v2v_detect_quality(self, small_edge_list, tmp_path):
+        graph_path, labels_path = small_edge_list
+        out = tmp_path / "comm.tsv"
+        main(
+            [
+                "detect", str(graph_path), "-k", "3", "-o", str(out),
+                "--dim", "12", "--walks", "6", "--length", "20",
+                "--epochs", "4", "--restarts", "10", "--seed", "0",
+            ]
+        )
+        pred = np.asarray(
+            [int(l.split("\t")[1]) for l in out.read_text().strip().split("\n")[1:]]
+        )
+        truth = np.asarray(
+            [int(x) for x in labels_path.read_text().strip().split("\n")]
+        )
+        from repro.ml.metrics import adjusted_rand_index
+
+        assert adjusted_rand_index(truth, pred) > 0.8
+
+
+class TestPredict:
+    def test_cross_validation_output(self, small_edge_list, tmp_path, capsys):
+        graph_path, labels_path = small_edge_list
+        vec_path = tmp_path / "v.npz"
+        main(
+            [
+                "embed", str(graph_path), "-o", str(vec_path),
+                "--dim", "12", "--walks", "6", "--length", "20",
+                "--epochs", "4", "--seed", "0",
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "predict", str(vec_path), str(labels_path),
+                "-k", "3", "--folds", "5", "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        acc = float(out.strip().rsplit(" ", 1)[1])
+        assert acc > 0.6
+
+    def test_label_count_mismatch(self, small_edge_list, tmp_path, capsys):
+        graph_path, _ = small_edge_list
+        vec_path = tmp_path / "v.npz"
+        main(
+            [
+                "embed", str(graph_path), "-o", str(vec_path),
+                "--dim", "4", "--walks", "2", "--length", "8", "--epochs", "1",
+            ]
+        )
+        bad_labels = tmp_path / "bad.txt"
+        bad_labels.write_text("a\nb\n")
+        rc = main(["predict", str(vec_path), str(bad_labels)])
+        assert rc == 2
+
+
+class TestLinkPred:
+    def test_reports_auc(self, small_edge_list, capsys):
+        graph_path, _ = small_edge_list
+        rc = main(
+            [
+                "linkpred", str(graph_path),
+                "--dim", "12", "--walks", "6", "--length", "20",
+                "--epochs", "4", "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ROC AUC" in out
+        auc = float(out.split("ROC AUC")[1].split()[0])
+        assert 0.5 < auc <= 1.0
+
+    def test_operator_choice(self, small_edge_list, capsys):
+        graph_path, _ = small_edge_list
+        rc = main(
+            [
+                "linkpred", str(graph_path), "--operator", "l1",
+                "--dim", "8", "--walks", "4", "--length", "15",
+                "--epochs", "2", "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        assert "l1" in capsys.readouterr().out
+
+
+class TestLayout:
+    def test_writes_csv(self, small_edge_list, tmp_path):
+        graph_path, _ = small_edge_list
+        out = tmp_path / "layout.csv"
+        rc = main(
+            ["layout", str(graph_path), "-o", str(out), "--iterations", "30"]
+        )
+        assert rc == 0
+        lines = out.read_text().strip().split("\n")
+        assert lines[0] == "vertex,x,y"
+        assert len(lines) == 61

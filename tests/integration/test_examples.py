@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Only the fast examples run here (the heavier sweeps are exercised by the
+benchmark suite); each is executed as a subprocess from a temp cwd so
+any files it writes stay out of the repo.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, tmp_path) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", tmp_path)
+        assert "nearest neighbors" in out
+        assert "legend:" in out
+
+    def test_temporal_walks(self, tmp_path):
+        out = run_example("temporal_walks.py", tmp_path)
+        assert "request-path fidelity" in out
+        # The windowed temporal walk must reach perfect fidelity.
+        windowed = [l for l in out.splitlines() if "window 1.5" in l][0]
+        assert windowed.strip().endswith("1.000")
+
+    def test_link_prediction(self, tmp_path):
+        out = run_example("link_prediction.py", tmp_path)
+        assert "ROC AUC" in out
+        hadamard = [l for l in out.splitlines() if l.startswith("hadamard")][0]
+        assert float(hadamard.split()[-1]) > 0.7
+
+    def test_karate_club(self, tmp_path):
+        out = run_example("karate_club.py", tmp_path)
+        assert "ARI vs factions" in out
+        assert "legend:" in out
+
+    def test_flight_visualization_writes_csv(self, tmp_path):
+        out = run_example("flight_visualization.py", tmp_path)
+        assert "continent separation" in out
+        assert (tmp_path / "fig8a_openflights_pca2d.csv").exists()
+        assert (tmp_path / "fig8b_openflights_pca3d.csv").exists()

@@ -1,0 +1,139 @@
+"""Tests for the link-prediction task."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import V2VConfig
+from repro.graph.core import Graph
+from repro.graph.generators import planted_partition
+from repro.tasks.link_prediction import (
+    EDGE_OPERATORS,
+    auc_score,
+    edge_features,
+    link_prediction_experiment,
+    train_test_edge_split,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(n=150, groups=5, alpha=0.4, inter_edges=30, seed=0)
+
+
+class TestEdgeFeatures:
+    def test_operators_shapes(self, rng):
+        vectors = rng.random((10, 6))
+        pairs = np.asarray([[0, 1], [2, 3]])
+        for op in EDGE_OPERATORS:
+            out = edge_features(vectors, pairs, operator=op)
+            assert out.shape == (2, 6)
+
+    def test_hadamard_values(self):
+        vectors = np.asarray([[1.0, 2.0], [3.0, 4.0]])
+        out = edge_features(vectors, np.asarray([[0, 1]]), operator="hadamard")
+        np.testing.assert_allclose(out, [[3.0, 8.0]])
+
+    def test_l1_symmetric(self, rng):
+        vectors = rng.random((5, 4))
+        a = edge_features(vectors, np.asarray([[0, 1]]), operator="l1")
+        b = edge_features(vectors, np.asarray([[1, 0]]), operator="l1")
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self, rng):
+        vectors = rng.random((5, 4))
+        with pytest.raises(ValueError):
+            edge_features(vectors, np.asarray([[0, 1]]), operator="bogus")
+        with pytest.raises(ValueError):
+            edge_features(vectors, np.asarray([0, 1]))
+
+
+class TestEdgeSplit:
+    def test_split_sizes(self, graph):
+        residual, train_pos, train_neg, test_pos, test_neg = train_test_edge_split(
+            graph, 0.3, seed=0
+        )
+        m = graph.num_edges
+        assert len(test_pos) == round(0.3 * m)
+        assert len(train_pos) == m - len(test_pos)
+        assert len(test_neg) == len(test_pos)
+        assert len(train_neg) == len(train_pos)
+        assert residual.num_edges == len(train_pos)
+
+    def test_negatives_are_non_edges(self, graph):
+        _res, _tp, train_neg, _sp, test_neg = train_test_edge_split(
+            graph, 0.3, seed=0
+        )
+        existing = {
+            (int(min(u, v)), int(max(u, v)))
+            for u, v in zip(graph.edge_list.src, graph.edge_list.dst)
+        }
+        for u, v in np.vstack([train_neg, test_neg]):
+            assert (int(min(u, v)), int(max(u, v))) not in existing
+
+    def test_negatives_disjoint(self, graph):
+        _res, _tp, train_neg, _sp, test_neg = train_test_edge_split(
+            graph, 0.3, seed=0
+        )
+        canon = lambda arr: {
+            (int(min(u, v)), int(max(u, v))) for u, v in arr
+        }
+        assert not canon(train_neg) & canon(test_neg)
+
+    def test_labels_survive_split(self, graph):
+        residual, *_ = train_test_edge_split(graph, 0.2, seed=0)
+        assert "community" in residual.label_names
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            train_test_edge_split(graph, 0.0)
+        with pytest.raises(ValueError):
+            train_test_edge_split(graph, 1.0)
+        with pytest.raises(ValueError):
+            train_test_edge_split(Graph(3, [(0, 1)]), 0.5)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.asarray([0, 0, 1, 1])
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted(self):
+        labels = np.asarray([1, 1, 0, 0])
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_half(self, rng):
+        labels = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.05
+
+    def test_ties_half_credit(self):
+        labels = np.asarray([0, 1, 0, 1])
+        scores = np.asarray([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auc_score(np.ones(3), np.ones(3))  # no negatives
+        with pytest.raises(ValueError):
+            auc_score(np.zeros(2), np.zeros(3))
+
+
+class TestExperiment:
+    def test_auc_beats_chance(self, graph):
+        cfg = V2VConfig(
+            dim=24, walks_per_vertex=6, walk_length=25, epochs=5, seed=0
+        )
+        result = link_prediction_experiment(
+            graph, config=cfg, operator="hadamard", seed=0
+        )
+        assert result.auc > 0.75
+        assert result.operator == "hadamard"
+        assert result.test_edges + result.train_edges == graph.num_edges
+
+    def test_result_reproducible(self, graph):
+        cfg = V2VConfig(dim=16, walks_per_vertex=4, walk_length=20, epochs=3, seed=0)
+        a = link_prediction_experiment(graph, config=cfg, seed=1)
+        b = link_prediction_experiment(graph, config=cfg, seed=1)
+        assert a.auc == b.auc

@@ -1,0 +1,91 @@
+"""Scaled-down checks of the paper's qualitative claims.
+
+Full-scale reproductions live in benchmarks/; these tests assert the same
+*shapes* at a size small enough for the unit-test suite:
+
+- Figs 5/6: V2V community precision/recall increase with α.
+- Table I: clustering V2V vectors is orders of magnitude faster than
+  running the graph-native algorithms.
+- Fig 7 mechanism: training converges in fewer epochs when structure is
+  strong (asserted in tests/core/test_trainer.py).
+- Fig 8: continents separate in PCA space of a flight-route embedding.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import V2V, V2VConfig
+from repro.community import cnm_communities, girvan_newman_communities
+from repro.datasets.openflights import OpenFlightsSpec, synthetic_openflights
+from repro.graph.generators import planted_partition
+from repro.ml import KMeans, pairwise_precision_recall
+from repro.viz.projection import pca_projection, separation_ratio
+
+FAST = dict(walks_per_vertex=6, walk_length=25, epochs=5, early_stop=False)
+
+
+def detect(graph, k, dim=16, seed=0):
+    model = V2V(V2VConfig(dim=dim, seed=seed, **FAST)).fit(graph)
+    labels = KMeans(k, n_init=10, seed=seed).fit_predict(model.vectors)
+    return labels
+
+
+class TestAccuracyVsAlpha:
+    def test_precision_recall_increase_with_alpha(self):
+        scores = {}
+        for alpha in (0.1, 0.6):
+            g = planted_partition(
+                n=150, groups=5, alpha=alpha, inter_edges=50, seed=1
+            )
+            labels = detect(g, 5)
+            truth = g.vertex_labels("community")
+            p, r = pairwise_precision_recall(truth, labels)
+            scores[alpha] = (p, r)
+        assert scores[0.6][0] >= scores[0.1][0]
+        assert scores[0.6][1] >= scores[0.1][1] - 0.02
+
+
+class TestRuntimeComparison:
+    def test_clustering_faster_than_graph_algorithms(self):
+        """Table I shape: k-means on fitted vectors is far cheaper than
+        CNM or Girvan–Newman on the same graph."""
+        g = planted_partition(n=150, groups=5, alpha=0.5, inter_edges=25, seed=0)
+        model = V2V(V2VConfig(dim=10, seed=0, **FAST)).fit(g)
+
+        t0 = time.perf_counter()
+        KMeans(5, n_init=10, seed=0).fit(model.vectors)
+        cluster_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cnm_communities(g)
+        cnm_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        girvan_newman_communities(
+            g, target_communities=5, sample_sources=30, seed=0, max_removals=60
+        )
+        gn_time = time.perf_counter() - t0
+
+        assert cluster_time < cnm_time
+        assert cluster_time < gn_time
+
+    def test_graph_algorithms_match_ground_truth(self):
+        """Table I: CNM and GN recover the planted partition (they hit
+        1.000/1.000 in the paper)."""
+        g = planted_partition(n=100, groups=4, alpha=0.7, inter_edges=15, seed=0)
+        truth = g.vertex_labels("community")
+        p, r = pairwise_precision_recall(truth, cnm_communities(g))
+        assert p > 0.95 and r > 0.95
+
+
+class TestOpenFlightsShape:
+    def test_continent_separation_in_pca(self):
+        """Fig 8 shape: continents form separated groups in the PCA
+        projection of the embedding, without geographic features."""
+        g = synthetic_openflights(OpenFlightsSpec(num_airports=250, seed=2))
+        model = V2V(V2VConfig(dim=24, seed=0, **FAST)).fit(g)
+        proj = pca_projection(model.vectors, 2)
+        continents = g.vertex_labels("continent")
+        assert separation_ratio(proj, continents) > 0.8

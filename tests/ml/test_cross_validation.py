@@ -1,0 +1,73 @@
+"""Tests for k-fold cross validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cross_validation import KFold, cross_validate_knn
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        kf = KFold(5, seed=0)
+        seen = []
+        for train, test in kf.split(23):
+            seen.extend(test.tolist())
+            assert set(train.tolist()) | set(test.tolist()) == set(range(23))
+            assert not set(train.tolist()) & set(test.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in KFold(10, seed=1).split(105)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 105
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(10).split(5))
+
+    def test_n_splits_validated(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+    def test_deterministic(self):
+        a = [t.tolist() for _, t in KFold(4, seed=9).split(20)]
+        b = [t.tolist() for _, t in KFold(4, seed=9).split(20)]
+        assert a == b
+
+    def test_shuffled(self):
+        a = [t.tolist() for _, t in KFold(4, seed=1).split(20)]
+        b = [t.tolist() for _, t in KFold(4, seed=2).split(20)]
+        assert a != b
+
+
+class TestCrossValidateKNN:
+    def test_separable_data_high_accuracy(self, rng):
+        x = np.vstack(
+            [rng.normal(0, 0.2, (40, 3)), rng.normal(5, 0.2, (40, 3))]
+        )
+        y = np.repeat([0, 1], 40)
+        acc = cross_validate_knn(x, y, k=3, metric="euclidean", n_splits=5, seed=0)
+        assert acc > 0.95
+
+    def test_random_labels_near_chance(self, rng):
+        x = rng.random((100, 3))
+        y = rng.integers(0, 2, 100)
+        acc = cross_validate_knn(x, y, k=3, n_splits=5, seed=0)
+        assert acc < 0.75
+
+    def test_repeats_average(self, rng):
+        x = rng.random((50, 2))
+        y = rng.integers(0, 2, 50)
+        acc = cross_validate_knn(x, y, k=1, n_splits=5, repeats=3, seed=0)
+        assert 0.0 <= acc <= 1.0
+
+    def test_repeats_validated(self, rng):
+        with pytest.raises(ValueError):
+            cross_validate_knn(rng.random((20, 2)), np.zeros(20), repeats=0)
+
+    def test_deterministic(self, rng):
+        x = rng.random((40, 2))
+        y = rng.integers(0, 2, 40)
+        a = cross_validate_knn(x, y, seed=4, n_splits=4)
+        b = cross_validate_knn(x, y, seed=4, n_splits=4)
+        assert a == b

@@ -1,0 +1,128 @@
+"""Tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import KMeans, _kmeanspp_init, _squared_distances
+from repro.ml.metrics import adjusted_rand_index
+
+
+def blobs(rng, centers, n_per=30, scale=0.1):
+    pts, labels = [], []
+    for i, c in enumerate(centers):
+        pts.append(np.asarray(c) + rng.normal(scale=scale, size=(n_per, len(c))))
+        labels += [i] * n_per
+    return np.vstack(pts), np.asarray(labels)
+
+
+class TestSquaredDistances:
+    def test_matches_naive(self, rng):
+        x = rng.random((10, 3))
+        c = rng.random((4, 3))
+        d2 = _squared_distances(x, c)
+        naive = ((x[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(d2, naive, atol=1e-10)
+
+    def test_non_negative(self, rng):
+        x = rng.random((50, 2)) * 1000
+        assert np.all(_squared_distances(x, x[:3]) >= 0)
+
+
+class TestKMeansPP:
+    def test_centers_are_data_points(self, rng):
+        x = rng.random((20, 2))
+        centers = _kmeanspp_init(x, 5, rng)
+        for c in centers:
+            assert np.any(np.all(np.isclose(x, c), axis=1))
+
+    def test_duplicate_points_handled(self, rng):
+        x = np.zeros((10, 2))
+        centers = _kmeanspp_init(x, 3, rng)
+        assert centers.shape == (3, 2)
+
+    def test_spreads_centers(self, rng):
+        x, _ = blobs(rng, [(0, 0), (10, 10), (20, 0)], n_per=20)
+        centers = _kmeanspp_init(x, 3, rng)
+        d = ((centers[:, None] - centers[None, :]) ** 2).sum(-1)
+        iu = np.triu_indices(3, 1)
+        assert d[iu].min() > 25  # no two seeds in the same blob
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, rng):
+        x, truth = blobs(rng, [(0, 0), (5, 5), (-5, 5)])
+        result = KMeans(3, n_init=5, seed=0).fit(x)
+        assert adjusted_rand_index(truth, result.labels) == 1.0
+
+    def test_inertia_is_wcss(self, rng):
+        x, _ = blobs(rng, [(0, 0), (5, 5)])
+        result = KMeans(2, n_init=3, seed=0).fit(x)
+        wcss = sum(
+            ((x[result.labels == j] - result.centers[j]) ** 2).sum()
+            for j in range(2)
+        )
+        assert np.isclose(result.inertia, wcss)
+
+    def test_more_restarts_never_worse(self, rng):
+        x = rng.random((100, 4))
+        one = KMeans(8, n_init=1, seed=0).fit(x).inertia
+        many = KMeans(8, n_init=20, seed=0).fit(x).inertia
+        assert many <= one + 1e-9
+
+    def test_k_one(self, rng):
+        x = rng.random((10, 3))
+        result = KMeans(1, n_init=1, seed=0).fit(x)
+        assert np.all(result.labels == 0)
+        np.testing.assert_allclose(result.centers[0], x.mean(axis=0))
+
+    def test_k_equals_n(self, rng):
+        x = rng.random((5, 2))
+        result = KMeans(5, n_init=2, seed=0).fit(x)
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3, 4]
+        assert result.inertia < 1e-12
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(10).fit(rng.random((5, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2, n_init=0)
+        with pytest.raises(ValueError):
+            KMeans(2, max_iter=0)
+        with pytest.raises(ValueError):
+            KMeans(2, init="bogus")
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(5))
+
+    def test_random_init_works(self, rng):
+        x, truth = blobs(rng, [(0, 0), (8, 8)])
+        result = KMeans(2, n_init=5, init="random", seed=0).fit(x)
+        assert adjusted_rand_index(truth, result.labels) == 1.0
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.random((60, 3))
+        a = KMeans(4, n_init=3, seed=5).fit(x)
+        b = KMeans(4, n_init=3, seed=5).fit(x)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_fit_predict(self, rng):
+        x, _ = blobs(rng, [(0, 0), (9, 9)])
+        labels = KMeans(2, n_init=2, seed=0).fit_predict(x)
+        assert labels.shape == (60,)
+
+    def test_empty_cluster_reseeded(self):
+        # Adversarial: duplicate points force empty clusters in Lloyd.
+        x = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 10])
+        result = KMeans(3, n_init=1, seed=1).fit(x)
+        assert result.labels.shape == (10,)
+        # All 3 clusters exist or degenerate gracefully (labels valid).
+        assert result.labels.max() < 3
+
+    def test_labels_match_nearest_center(self, rng):
+        x = rng.random((80, 3))
+        result = KMeans(5, n_init=2, seed=0).fit(x)
+        d2 = _squared_distances(x, result.centers)
+        np.testing.assert_array_equal(result.labels, d2.argmin(axis=1))

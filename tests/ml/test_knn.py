@@ -1,0 +1,109 @@
+"""Tests for the k-NN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNNClassifier
+
+
+class TestFitValidation:
+    def test_shape_checks(self):
+        clf = KNNClassifier()
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros(5), np.zeros(5))  # 1-D x
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((5, 2)), np.zeros(4))  # label mismatch
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((0, 2)), np.zeros(0))  # empty
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(metric="manhattan")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict(np.zeros((1, 2)))
+
+    def test_dim_mismatch_on_predict(self):
+        clf = KNNClassifier(k=1).fit(np.zeros((3, 2)), np.asarray([0, 1, 0]))
+        with pytest.raises(ValueError):
+            clf.predict(np.zeros((1, 3)))
+
+
+class TestNearestNeighbor:
+    def test_k1_exact_match(self):
+        x = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        y = np.asarray(["a", "b"])
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.predict(np.asarray([[0.0, 0.9]]))[0] == "a"
+        assert clf.predict(np.asarray([[0.9, 0.1]]))[0] == "b"
+
+    def test_cosine_ignores_magnitude(self):
+        x = np.asarray([[1.0, 0.0], [0.0, 1.0]])
+        y = np.asarray([0, 1])
+        clf = KNNClassifier(k=1, metric="cosine").fit(x, y)
+        # A huge vector along axis 0 is still class 0 by cosine.
+        assert clf.predict(np.asarray([[1000.0, 1.0]]))[0] == 0
+
+    def test_euclidean_uses_magnitude(self):
+        x = np.asarray([[1.0, 0.0], [10.0, 0.0]])
+        y = np.asarray([0, 1])
+        clf = KNNClassifier(k=1, metric="euclidean").fit(x, y)
+        assert clf.predict(np.asarray([[8.0, 0.0]]))[0] == 1
+
+
+class TestMajorityVote:
+    def test_majority_wins(self):
+        x = np.asarray([[1, 0], [0.9, 0.1], [0, 1]], dtype=float)
+        y = np.asarray([0, 0, 1])
+        clf = KNNClassifier(k=3).fit(x, y)
+        assert clf.predict(np.asarray([[1.0, 0.05]]))[0] == 0
+
+    def test_tie_breaks_to_nearest(self):
+        x = np.asarray([[1, 0], [0, 1]], dtype=float)
+        y = np.asarray([0, 1])
+        clf = KNNClassifier(k=2).fit(x, y)
+        # 1 vote each; class of the closer neighbor must win.
+        assert clf.predict(np.asarray([[0.9, 0.1]]))[0] == 0
+        assert clf.predict(np.asarray([[0.1, 0.9]]))[0] == 1
+
+    def test_k_clamped_to_train_size(self):
+        x = np.asarray([[1, 0], [0, 1]], dtype=float)
+        y = np.asarray([0, 1])
+        clf = KNNClassifier(k=50).fit(x, y)
+        assert clf.predict(np.asarray([[1.0, 0.0]])).shape == (1,)
+
+    def test_string_labels(self):
+        x = np.eye(3)
+        y = np.asarray(["FR", "DE", "US"])
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.predict(np.eye(3)).tolist() == ["FR", "DE", "US"]
+
+
+class TestScore:
+    def test_perfect_on_train_k1(self, rng):
+        x = rng.random((30, 4))
+        y = rng.integers(0, 3, 30)
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_clustered_generalization(self, rng):
+        centers = np.asarray([[0, 0], [10, 10], [0, 10]], dtype=float)
+        train = np.vstack(
+            [c + rng.normal(scale=0.5, size=(20, 2)) for c in centers]
+        )
+        labels = np.repeat([0, 1, 2], 20)
+        test = np.vstack(
+            [c + rng.normal(scale=0.5, size=(10, 2)) for c in centers]
+        )
+        test_labels = np.repeat([0, 1, 2], 10)
+        clf = KNNClassifier(k=3, metric="euclidean").fit(train, labels)
+        assert clf.score(test, test_labels) > 0.95
+
+    def test_zero_vector_queries_handled(self):
+        x = np.asarray([[1.0, 0.0], [0.0, 1.0]])
+        clf = KNNClassifier(k=1).fit(x, np.asarray([0, 1]))
+        out = clf.predict(np.zeros((1, 2)))
+        assert out[0] in (0, 1)  # no NaN crash

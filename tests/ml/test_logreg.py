@@ -1,0 +1,108 @@
+"""Tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logreg import LogisticRegression
+
+
+def blobs(rng, centers, n_per=40, scale=0.4):
+    x = np.vstack(
+        [np.asarray(c) + rng.normal(scale=scale, size=(n_per, len(c))) for c in centers]
+    )
+    y = np.repeat(np.arange(len(centers)), n_per)
+    return x, y
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lr=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+    def test_fit_inputs(self, rng):
+        clf = LogisticRegression()
+        with pytest.raises(ValueError):
+            clf.fit(rng.random(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            clf.fit(rng.random((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            clf.fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(ValueError):
+            clf.fit(rng.random((5, 2)), np.zeros(5))  # single class
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_dim_mismatch(self, rng):
+        clf = LogisticRegression().fit(rng.random((10, 3)), rng.integers(0, 2, 10))
+        with pytest.raises(ValueError):
+            clf.predict(rng.random((2, 4)))
+
+
+class TestBinary:
+    def test_separable(self, rng):
+        x, y = blobs(rng, [(0, 0), (5, 5)])
+        clf = LogisticRegression().fit(x, y)
+        assert clf.score(x, y) > 0.98
+
+    def test_loss_decreases(self, rng):
+        x, y = blobs(rng, [(0, 0), (3, 3)])
+        clf = LogisticRegression(max_iter=100).fit(x, y)
+        assert clf.loss_history_[-1] < clf.loss_history_[0]
+
+    def test_probabilities_normalized(self, rng):
+        x, y = blobs(rng, [(0, 0), (4, 4)])
+        clf = LogisticRegression().fit(x, y)
+        probs = clf.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_confidence_grows_with_distance(self, rng):
+        x, y = blobs(rng, [(0, 0), (6, 0)])
+        clf = LogisticRegression().fit(x, y)
+        near = clf.predict_proba(np.asarray([[3.2, 0.0]]))[0, 1]
+        far = clf.predict_proba(np.asarray([[6.0, 0.0]]))[0, 1]
+        assert far > near
+
+
+class TestMulticlass:
+    def test_three_classes(self, rng):
+        x, y = blobs(rng, [(0, 0), (6, 0), (0, 6)])
+        clf = LogisticRegression().fit(x, y)
+        assert clf.score(x, y) > 0.97
+
+    def test_string_labels(self, rng):
+        x, _ = blobs(rng, [(0, 0), (6, 6)])
+        y = np.asarray(["no"] * 40 + ["yes"] * 40)
+        clf = LogisticRegression().fit(x, y)
+        assert set(clf.predict(x)) <= {"no", "yes"}
+        assert clf.score(x, y) > 0.95
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = blobs(rng, [(0, 0), (2, 2)])
+        small = LogisticRegression(l2=1e-6).fit(x, y)
+        large = LogisticRegression(l2=1.0).fit(x, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_feature_scaling_invariance(self, rng):
+        """Standardization inside fit makes wildly-scaled features fine."""
+        x, y = blobs(rng, [(0, 0), (4, 4)])
+        x_scaled = x * np.asarray([1e-4, 1e4])
+        clf = LogisticRegression().fit(x_scaled, y)
+        assert clf.score(x_scaled, y) > 0.95
+
+    def test_better_than_knn_on_overlapping_gaussians(self, rng):
+        """The 'not the best classifier' remark: logreg beats 1-NN on
+        noisy, overlapping classes (1-NN memorizes noise)."""
+        from repro.ml.knn import KNNClassifier
+
+        x, y = blobs(rng, [(0, 0), (1.5, 1.5)], n_per=150, scale=1.0)
+        test_x, test_y = blobs(rng, [(0, 0), (1.5, 1.5)], n_per=80, scale=1.0)
+        lr_acc = LogisticRegression().fit(x, y).score(test_x, test_y)
+        knn_acc = KNNClassifier(k=1, metric="euclidean").fit(x, y).score(test_x, test_y)
+        assert lr_acc >= knn_acc

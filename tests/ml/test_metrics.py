@@ -1,0 +1,176 @@
+"""Tests for clustering/classification metrics, especially the paper's
+pairwise precision/recall."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    adjusted_rand_index,
+    confusion_counts,
+    normalized_mutual_information,
+    pairwise_f1,
+    pairwise_precision_recall,
+    purity,
+    silhouette_score,
+)
+
+
+def brute_force_pair_counts(truth, pred):
+    """O(n²) reference implementation of pair TP/FP/FN/TN."""
+    n = len(truth)
+    tp = fp = fn = tn = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            same_t = truth[i] == truth[j]
+            same_p = pred[i] == pred[j]
+            if same_t and same_p:
+                tp += 1
+            elif not same_t and same_p:
+                fp += 1
+            elif same_t and not same_p:
+                fn += 1
+            else:
+                tn += 1
+    return tp, fp, fn, tn
+
+
+class TestPairwisePrecisionRecall:
+    def test_perfect_clustering(self):
+        truth = np.asarray([0, 0, 1, 1, 2, 2])
+        p, r = pairwise_precision_recall(truth, truth)
+        assert p == 1.0 and r == 1.0
+
+    def test_relabeled_perfect(self):
+        truth = np.asarray([0, 0, 1, 1])
+        pred = np.asarray([7, 7, 3, 3])
+        assert pairwise_precision_recall(truth, pred) == (1.0, 1.0)
+
+    def test_all_one_cluster_recall_one(self):
+        truth = np.asarray([0, 0, 1, 1])
+        pred = np.zeros(4, dtype=int)
+        p, r = pairwise_precision_recall(truth, pred)
+        assert r == 1.0
+        assert np.isclose(p, 2 / 6)  # 2 true pairs of 6 predicted
+
+    def test_singletons_precision_one(self):
+        truth = np.asarray([0, 0, 1, 1])
+        pred = np.arange(4)
+        p, r = pairwise_precision_recall(truth, pred)
+        assert p == 1.0  # vacuous
+        assert r == 0.0
+
+    def test_matches_brute_force(self, rng):
+        truth = rng.integers(0, 4, 40)
+        pred = rng.integers(0, 5, 40)
+        tp, fp, fn, tn = brute_force_pair_counts(truth, pred)
+        ctp, cfp, cfn, ctn = confusion_counts(truth, pred)
+        assert (tp, fp, fn, tn) == (ctp, cfp, cfn, ctn)
+        p, r = pairwise_precision_recall(truth, pred)
+        assert np.isclose(p, tp / (tp + fp))
+        assert np.isclose(r, tp / (tp + fn))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_precision_recall(np.zeros(3), np.zeros(4))
+
+    def test_f1_harmonic_mean(self):
+        truth = np.asarray([0, 0, 1, 1])
+        pred = np.asarray([0, 0, 0, 1])
+        p, r = pairwise_precision_recall(truth, pred)
+        assert np.isclose(pairwise_f1(truth, pred), 2 * p * r / (p + r))
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.asarray([1, 2, 3]), np.asarray([1, 2, 4])) == pytest.approx(2 / 3)
+
+    def test_strings(self):
+        assert accuracy(np.asarray(["a", "b"]), np.asarray(["a", "b"])) == 1.0
+
+    def test_empty(self):
+        assert accuracy(np.asarray([]), np.asarray([])) == 1.0
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(2), np.zeros(3))
+
+
+class TestPurity:
+    def test_perfect(self):
+        truth = np.asarray([0, 0, 1, 1])
+        assert purity(truth, truth) == 1.0
+
+    def test_mixed(self):
+        truth = np.asarray([0, 0, 1, 1])
+        pred = np.asarray([0, 0, 0, 0])
+        assert purity(truth, pred) == 0.5
+
+
+class TestARI:
+    def test_perfect_is_one(self, rng):
+        truth = rng.integers(0, 3, 30)
+        assert adjusted_rand_index(truth, truth) == pytest.approx(1.0)
+
+    def test_random_near_zero(self, rng):
+        truth = rng.integers(0, 4, 2000)
+        pred = rng.integers(0, 4, 2000)
+        assert abs(adjusted_rand_index(truth, pred)) < 0.05
+
+    def test_label_permutation_invariant(self, rng):
+        truth = rng.integers(0, 3, 50)
+        pred = rng.integers(0, 3, 50)
+        shifted = (pred + 1) % 3
+        assert np.isclose(
+            adjusted_rand_index(truth, pred), adjusted_rand_index(truth, shifted)
+        )
+
+
+class TestNMI:
+    def test_perfect_is_one(self, rng):
+        truth = rng.integers(0, 3, 40)
+        # Guard: degenerate single-class draws give NMI 1 trivially.
+        if len(set(truth.tolist())) > 1:
+            assert normalized_mutual_information(truth, truth) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        truth = rng.integers(0, 4, 3000)
+        pred = rng.integers(0, 4, 3000)
+        assert normalized_mutual_information(truth, pred) < 0.02
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 3, 60)
+        b = rng.integers(0, 4, 60)
+        assert np.isclose(
+            normalized_mutual_information(a, b),
+            normalized_mutual_information(b, a),
+        )
+
+
+class TestSilhouette:
+    def test_separated_blobs_high(self, rng):
+        x = np.vstack(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(10, 0.1, (20, 2))]
+        )
+        labels = np.repeat([0, 1], 20)
+        assert silhouette_score(x, labels) > 0.9
+
+    def test_random_labels_low(self, rng):
+        x = rng.random((60, 2))
+        labels = rng.integers(0, 2, 60)
+        assert silhouette_score(x, labels) < 0.3
+
+    def test_matched_labels_beat_swapped(self, rng):
+        x = np.vstack(
+            [rng.normal(0, 0.5, (15, 2)), rng.normal(5, 0.5, (15, 2))]
+        )
+        good = np.repeat([0, 1], 15)
+        bad = good.copy()
+        bad[:8] = 1  # corrupt
+        assert silhouette_score(x, good) > silhouette_score(x, bad)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            silhouette_score(rng.random((5, 2)), np.zeros(5))  # 1 cluster
+        with pytest.raises(ValueError):
+            silhouette_score(rng.random((5, 2)), np.zeros(4))

@@ -1,0 +1,108 @@
+"""Tests for the k-NN graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.ml.neighbors import cosine_similarity_matrix, knn_graph
+
+
+def blobs(rng):
+    return np.vstack(
+        [rng.normal(0, 0.2, (15, 4)), rng.normal(6, 0.2, (15, 4))]
+    )
+
+
+class TestCosineSimilarityMatrix:
+    def test_diagonal_ones(self, rng):
+        x = rng.normal(size=(8, 3))
+        sims = cosine_similarity_matrix(x)
+        np.testing.assert_allclose(np.diag(sims), 1.0, atol=1e-12)
+
+    def test_symmetric_and_bounded(self, rng):
+        sims = cosine_similarity_matrix(rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(sims, sims.T, atol=1e-12)
+        assert sims.max() <= 1.0 + 1e-9
+        assert sims.min() >= -1.0 - 1e-9
+
+    def test_zero_rows_handled(self):
+        x = np.zeros((3, 2))
+        x[0, 0] = 1.0
+        sims = cosine_similarity_matrix(x)
+        assert np.all(np.isfinite(sims))
+
+    def test_1d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cosine_similarity_matrix(rng.normal(size=5))
+
+
+class TestKnnGraph:
+    def test_basic_structure(self, rng):
+        g = knn_graph(blobs(rng), k=3)
+        assert g.n == 30
+        assert not g.directed
+        # Union graph: every vertex has degree >= k.
+        assert g.out_degrees().min() >= 3
+
+    def test_blobs_stay_separate(self, rng):
+        # Euclidean: the first blob sits at the origin, where cosine
+        # directions are pure noise.
+        g = knn_graph(blobs(rng), k=3, metric="euclidean")
+        e = g.edge_list
+        cross = ((e.src < 15) != (e.dst < 15)).sum()
+        assert cross == 0  # no edges between far-apart blobs
+
+    def test_mutual_is_subgraph_of_union(self, rng):
+        x = rng.normal(size=(20, 3))
+        union = knn_graph(x, k=4, mutual=False)
+        mutual = knn_graph(x, k=4, mutual=True)
+        assert mutual.num_edges <= union.num_edges
+        union_pairs = {
+            (int(min(u, v)), int(max(u, v)))
+            for u, v in zip(union.edge_list.src, union.edge_list.dst)
+        }
+        for u, v in zip(mutual.edge_list.src, mutual.edge_list.dst):
+            assert (int(min(u, v)), int(max(u, v))) in union_pairs
+
+    def test_weights_positive(self, rng):
+        for metric in ("cosine", "euclidean"):
+            g = knn_graph(rng.normal(size=(15, 3)), k=3, metric=metric)
+            assert g.weighted
+            assert np.all(g.edge_list.weights > 0)
+
+    def test_unweighted_option(self, rng):
+        g = knn_graph(rng.normal(size=(10, 3)), k=2, weighted=False)
+        assert not g.weighted
+
+    def test_no_self_loops_no_duplicates(self, rng):
+        g = knn_graph(rng.normal(size=(25, 4)), k=5)
+        e = g.edge_list
+        assert np.all(e.src != e.dst)
+        pairs = list(zip(np.minimum(e.src, e.dst), np.maximum(e.src, e.dst)))
+        assert len(pairs) == len(set(map(tuple, pairs)))
+
+    def test_validation(self, rng):
+        x = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            knn_graph(x, k=0)
+        with pytest.raises(ValueError):
+            knn_graph(x, k=5)
+        with pytest.raises(ValueError):
+            knn_graph(x, k=2, metric="hamming")
+        with pytest.raises(ValueError):
+            knn_graph(rng.normal(size=6), k=2)
+
+    def test_hybrid_detection_pipeline(self, rng):
+        """Embed -> knn graph -> Louvain recovers planted communities."""
+        from repro import V2V, V2VConfig
+        from repro.community import louvain_communities
+        from repro.graph.generators import planted_partition
+        from repro.ml.metrics import adjusted_rand_index
+
+        g = planted_partition(n=90, groups=3, alpha=0.6, inter_edges=12, seed=0)
+        model = V2V(
+            V2VConfig(dim=16, walks_per_vertex=6, walk_length=20, epochs=5, seed=0)
+        ).fit(g)
+        sim_graph = knn_graph(model.vectors, k=10)
+        labels = louvain_communities(sim_graph, seed=0)
+        truth = g.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) > 0.8

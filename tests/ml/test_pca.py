@@ -1,0 +1,99 @@
+"""Tests for PCA."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA
+
+
+class TestFit:
+    def test_components_orthonormal(self, rng):
+        x = rng.random((50, 6))
+        pca = PCA(3).fit(x)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_descending(self, rng):
+        x = rng.random((50, 6))
+        pca = PCA(4).fit(x)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_variance_ratio_sums_below_one(self, rng):
+        x = rng.random((40, 5))
+        pca = PCA(2).fit(x)
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-12
+
+    def test_full_rank_ratio_sums_to_one(self, rng):
+        x = rng.random((40, 3))
+        pca = PCA(3).fit(x)
+        assert np.isclose(pca.explained_variance_ratio_.sum(), 1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(2).fit(rng.random(5))
+        with pytest.raises(ValueError):
+            PCA(2).fit(rng.random((1, 5)))
+        with pytest.raises(ValueError):
+            PCA(6).fit(rng.random((10, 3)))  # n_components > d
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 3)))
+
+
+class TestProjection:
+    def test_first_component_finds_dominant_axis(self, rng):
+        # Variance 100 along a known direction, 1 elsewhere.
+        direction = np.asarray([3.0, 4.0]) / 5.0
+        t = rng.normal(scale=10, size=200)
+        noise = rng.normal(scale=1.0, size=(200, 2))
+        x = t[:, None] * direction[None, :] + noise
+        pca = PCA(1).fit(x)
+        alignment = abs(pca.components_[0] @ direction)
+        assert alignment > 0.99
+
+    def test_transform_centers_data(self, rng):
+        x = rng.random((30, 4)) + 100.0
+        z = PCA(2).fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_projection_preserves_pairwise_structure(self, rng):
+        # Data intrinsically 2-D embedded in 5-D: projection is lossless.
+        basis = np.linalg.qr(rng.normal(size=(5, 2)))[0]
+        coords = rng.normal(size=(40, 2)) * [5, 2]
+        x = coords @ basis.T
+        z = PCA(2).fit_transform(x)
+        d_orig = np.linalg.norm(x[:, None] - x[None, :], axis=2)
+        d_proj = np.linalg.norm(z[:, None] - z[None, :], axis=2)
+        np.testing.assert_allclose(d_proj, d_orig, atol=1e-8)
+
+    def test_inverse_transform_roundtrip_full_rank(self, rng):
+        x = rng.random((20, 3))
+        pca = PCA(3).fit(x)
+        back = pca.inverse_transform(pca.transform(x))
+        np.testing.assert_allclose(back, x, atol=1e-9)
+
+    def test_inverse_transform_lossy_when_truncated(self, rng):
+        x = rng.random((20, 5))
+        pca = PCA(2).fit(x)
+        back = pca.inverse_transform(pca.transform(x))
+        assert back.shape == x.shape
+        # Reconstruction error bounded by discarded variance.
+        err = ((back - x) ** 2).sum() / 19
+        discarded = PCA(5).fit(x).explained_variance_[2:].sum()
+        assert err <= discarded + 1e-9
+
+    def test_deterministic_sign(self, rng):
+        x = rng.random((30, 4))
+        a = PCA(2).fit(x).components_
+        b = PCA(2).fit(x).components_
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_covariance_eigenvalues(self, rng):
+        x = rng.random((100, 4))
+        pca = PCA(4).fit(x)
+        cov = np.cov(x.T)
+        eig = np.sort(np.linalg.eigvalsh(cov))[::-1]
+        np.testing.assert_allclose(pca.explained_variance_, eig, atol=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for orthogonal Procrustes alignment."""
+
+import numpy as np
+import pytest
+
+from repro.ml.procrustes import aligned_distance, procrustes_align
+
+
+def random_rotation(rng, d):
+    q, r = np.linalg.qr(rng.normal(size=(d, d)))
+    return q * np.sign(np.diag(r))
+
+
+class TestProcrustesAlign:
+    def test_recovers_rotation_exactly(self, rng):
+        x = rng.normal(size=(30, 5))
+        r = random_rotation(rng, 5)
+        result = procrustes_align(x, x @ r)
+        np.testing.assert_allclose(result.rotation, r, atol=1e-9)
+        assert result.residual < 1e-9
+
+    def test_rotation_is_orthogonal(self, rng):
+        a = rng.normal(size=(20, 4))
+        b = rng.normal(size=(20, 4))
+        result = procrustes_align(a, b)
+        np.testing.assert_allclose(
+            result.rotation @ result.rotation.T, np.eye(4), atol=1e-9
+        )
+
+    def test_aligned_equals_source_times_rotation(self, rng):
+        a = rng.normal(size=(15, 3))
+        b = rng.normal(size=(15, 3))
+        result = procrustes_align(a, b)
+        np.testing.assert_allclose(result.aligned, a @ result.rotation)
+
+    def test_alignment_never_hurts(self, rng):
+        a = rng.normal(size=(25, 6))
+        b = rng.normal(size=(25, 6))
+        result = procrustes_align(a, b)
+        assert result.residual <= np.linalg.norm(a - b) + 1e-9
+
+    def test_scaling_option(self, rng):
+        x = rng.normal(size=(20, 4))
+        r = random_rotation(rng, 4)
+        result = procrustes_align(x, 2.5 * (x @ r), allow_scaling=True)
+        assert result.residual < 1e-9
+        # Rotation matrix carries the scale: RᵀR = s² I.
+        gram = result.rotation.T @ result.rotation
+        np.testing.assert_allclose(gram, 6.25 * np.eye(4), atol=1e-9)
+
+    def test_reflection_recovered(self, rng):
+        x = rng.normal(size=(20, 3))
+        flip = np.diag([1.0, -1.0, 1.0])
+        result = procrustes_align(x, x @ flip)
+        assert result.residual < 1e-9
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            procrustes_align(rng.normal(size=(5, 2)), rng.normal(size=(6, 2)))
+        with pytest.raises(ValueError):
+            procrustes_align(rng.normal(size=5), rng.normal(size=5))
+
+    def test_zero_source_scaling_rejected(self):
+        with pytest.raises(ValueError):
+            procrustes_align(np.zeros((4, 2)), np.ones((4, 2)), allow_scaling=True)
+
+
+class TestAlignedDistance:
+    def test_zero_for_rotated_copy(self, rng):
+        x = rng.normal(size=(20, 4))
+        r = random_rotation(rng, 4)
+        assert aligned_distance(x, x @ r) < 1e-9
+
+    def test_positive_for_different(self, rng):
+        a = rng.normal(size=(20, 4))
+        b = rng.normal(size=(20, 4))
+        assert aligned_distance(a, b) > 0.1
+
+    def test_zero_target(self):
+        assert aligned_distance(np.zeros((3, 2)), np.zeros((3, 2))) == 0.0
+        assert aligned_distance(np.ones((3, 2)), np.zeros((3, 2))) == float("inf")
+
+    def test_two_trainings_align_closely(self):
+        """Two V2V runs of the same graph differ mainly by rotation:
+        aligned distance is much smaller than the unaligned distance."""
+        from repro import V2V, V2VConfig
+        from repro.graph.generators import planted_partition
+
+        g = planted_partition(n=60, groups=3, alpha=0.7, inter_edges=8, seed=0)
+        cfg = dict(dim=12, walks_per_vertex=6, walk_length=20, epochs=6,
+                   early_stop=False)
+        a = V2V(V2VConfig(seed=1, **cfg)).fit(g).vectors
+        b = V2V(V2VConfig(seed=2, **cfg)).fit(g).vectors
+        raw = np.linalg.norm(a - b) / np.linalg.norm(b)
+        aligned = aligned_distance(a, b)
+        assert aligned < raw

@@ -1,0 +1,71 @@
+"""Tests for spectral embedding / clustering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import complete_graph, planted_partition
+from repro.ml.metrics import adjusted_rand_index
+from repro.ml.spectral import spectral_communities, spectral_embedding
+
+
+class TestSpectralEmbedding:
+    def test_shape_and_unit_rows(self, two_cliques):
+        emb = spectral_embedding(two_cliques, dim=3, seed=0)
+        assert emb.shape == (8, 3)
+        np.testing.assert_allclose(np.linalg.norm(emb, axis=1), 1.0, atol=1e-9)
+
+    def test_two_cliques_separate_on_first_axis(self, two_cliques):
+        emb = spectral_embedding(two_cliques, dim=1, seed=0)
+        signs = np.sign(emb[:, 0])
+        # The Fiedler vector splits the two cliques.
+        assert len(set(signs[:4])) == 1
+        assert len(set(signs[4:])) == 1
+        assert signs[0] != signs[4]
+
+    def test_validation(self, two_cliques, directed_chain):
+        with pytest.raises(ValueError):
+            spectral_embedding(directed_chain, dim=2)
+        with pytest.raises(ValueError):
+            spectral_embedding(two_cliques, dim=0)
+        with pytest.raises(ValueError):
+            spectral_embedding(two_cliques, dim=8)  # dim + 1 >= n
+
+    def test_isolated_vertices_handled(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2)])
+        emb = spectral_embedding(g, dim=2, seed=0)
+        assert np.all(np.isfinite(emb))
+
+    def test_deterministic(self, two_cliques):
+        a = spectral_embedding(two_cliques, dim=2, seed=1)
+        b = spectral_embedding(two_cliques, dim=2, seed=1)
+        np.testing.assert_allclose(np.abs(a), np.abs(b), atol=1e-8)
+
+
+class TestSpectralCommunities:
+    def test_two_cliques(self, two_cliques):
+        labels = spectral_communities(two_cliques, 2, seed=0)
+        truth = two_cliques.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_planted_partition(self, small_benchmark):
+        labels = spectral_communities(small_benchmark, 4, seed=0)
+        truth = small_benchmark.vertex_labels("community")
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_weighted_graph(self):
+        g = Graph(6, [(0, 1, 10.0), (1, 2, 10.0), (0, 2, 10.0),
+                      (3, 4, 10.0), (4, 5, 10.0), (3, 5, 10.0),
+                      (2, 3, 0.1)])
+        labels = spectral_communities(g, 2, seed=0)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_k_validation(self, two_cliques):
+        with pytest.raises(ValueError):
+            spectral_communities(two_cliques, 1)
+
+    def test_complete_graph_no_crash(self):
+        labels = spectral_communities(complete_graph(10), 2, seed=0)
+        assert labels.shape == (10,)

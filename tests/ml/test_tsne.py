@@ -1,0 +1,78 @@
+"""Tests for exact t-SNE."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tsne import TSNE
+
+
+class TestValidation:
+    def test_params(self):
+        with pytest.raises(ValueError):
+            TSNE(n_components=0)
+        with pytest.raises(ValueError):
+            TSNE(perplexity=1.0)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=0)
+
+    def test_perplexity_vs_samples(self, rng):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=30).fit_transform(rng.random((10, 3)))
+
+    def test_1d_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=2).fit_transform(rng.random(10))
+
+
+class TestEmbedding:
+    def test_output_shape(self, rng):
+        x = rng.random((40, 8))
+        y = TSNE(2, perplexity=10, n_iter=50, seed=0).fit_transform(x)
+        assert y.shape == (40, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_three_components(self, rng):
+        x = rng.random((30, 5))
+        y = TSNE(3, perplexity=8, n_iter=50, seed=0).fit_transform(x)
+        assert y.shape == (30, 3)
+
+    def test_centered_output(self, rng):
+        x = rng.random((30, 5))
+        y = TSNE(2, perplexity=8, n_iter=50, seed=0).fit_transform(x)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_kl_divergence_recorded(self, rng):
+        x = rng.random((25, 4))
+        t = TSNE(2, perplexity=5, n_iter=60, seed=0)
+        t.fit_transform(x)
+        assert t.kl_divergence_ is not None
+        assert t.kl_divergence_ >= 0
+
+    def test_separates_two_blobs(self, rng):
+        a = rng.normal(0, 0.3, (25, 6))
+        b = rng.normal(6, 0.3, (25, 6))
+        x = np.vstack([a, b])
+        y = TSNE(2, perplexity=8, n_iter=250, seed=0).fit_transform(x)
+        ya, yb = y[:25], y[25:]
+        intra = max(
+            np.linalg.norm(ya - ya.mean(0), axis=1).mean(),
+            np.linalg.norm(yb - yb.mean(0), axis=1).mean(),
+        )
+        inter = np.linalg.norm(ya.mean(0) - yb.mean(0))
+        assert inter > 2 * intra
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.random((20, 3))
+        a = TSNE(2, perplexity=5, n_iter=30, seed=7).fit_transform(x)
+        b = TSNE(2, perplexity=5, n_iter=30, seed=7).fit_transform(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_iters_lower_kl(self, rng):
+        x = np.vstack(
+            [rng.normal(0, 0.3, (20, 4)), rng.normal(5, 0.3, (20, 4))]
+        )
+        short = TSNE(2, perplexity=6, n_iter=60, seed=0)
+        long = TSNE(2, perplexity=6, n_iter=400, seed=0)
+        short.fit_transform(x)
+        long.fit_transform(x)
+        assert long.kl_divergence_ <= short.kl_divergence_ + 0.05

@@ -1,0 +1,67 @@
+"""Tests for chunking and parallel map."""
+
+import pytest
+
+from repro.parallel.pool import chunk_bounds, default_workers, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split(self):
+        bounds = chunk_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_chunks_than_items(self):
+        bounds = chunk_bounds(2, 5)
+        assert bounds == [(0, 1), (1, 2)]
+
+    def test_zero_total(self):
+        assert chunk_bounds(0, 3) == []
+
+    def test_covers_range_exactly(self):
+        for total, chunks in [(17, 4), (100, 7), (3, 3)]:
+            bounds = chunk_bounds(total, chunks)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == total
+            for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                assert b == c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_bounds(5, 0)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_path(self):
+        out = parallel_map(square, list(range(8)), workers=2)
+        assert out == [x * x for x in range(8)]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [5], workers=4) == [25]
+
+    def test_order_preserved(self):
+        out = parallel_map(square, list(range(20)), workers=3)
+        assert out == [x * x for x in range(20)]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2], workers=1)
+
+
+class TestDefaultWorkers:
+    def test_positive(self):
+        assert default_workers() >= 1

@@ -1,0 +1,41 @@
+"""Tests for deterministic seed spawning."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.seeding import spawn_generators, spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_reproducible(self):
+        a = [s.generate_state(2).tolist() for s in spawn_seeds(42, 3)]
+        b = [s.generate_state(2).tolist() for s in spawn_seeds(42, 3)]
+        assert a == b
+
+    def test_children_differ(self):
+        states = [tuple(s.generate_state(2)) for s in spawn_seeds(0, 10)]
+        assert len(set(states)) == 10
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_seed_sequence_accepted(self):
+        parent = np.random.SeedSequence(7)
+        assert len(spawn_seeds(parent, 2)) == 2
+
+
+class TestSpawnGenerators:
+    def test_independent_streams(self):
+        g1, g2 = spawn_generators(0, 2)
+        a = g1.random(1000)
+        b = g2.random(1000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_reproducible(self):
+        a = spawn_generators(3, 2)[1].random(5)
+        b = spawn_generators(3, 2)[1].random(5)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,67 @@
+"""Property-based tests for Procrustes alignment and the kNN graph."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.neighbors import knn_graph
+from repro.ml.procrustes import aligned_distance, procrustes_align
+
+finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def embeddings(draw, min_rows=4, max_rows=15, min_cols=2, max_cols=5):
+    rows = draw(st.integers(min_rows, max_rows))
+    cols = draw(st.integers(min_cols, max_cols))
+    return draw(arrays(np.float64, (rows, cols), elements=finite))
+
+
+@given(embeddings())
+@settings(max_examples=50, deadline=None)
+def test_procrustes_rotation_orthogonal(x):
+    target = np.roll(x, 1, axis=0)
+    result = procrustes_align(x, target)
+    gram = result.rotation @ result.rotation.T
+    np.testing.assert_allclose(gram, np.eye(x.shape[1]), atol=1e-8)
+
+
+@given(embeddings())
+@settings(max_examples=50, deadline=None)
+def test_procrustes_residual_optimal_vs_identity(x):
+    """The aligned residual never exceeds the unaligned one."""
+    target = x[::-1].copy()
+    result = procrustes_align(x, target)
+    assert result.residual <= np.linalg.norm(x - target) + 1e-8
+
+
+@given(embeddings(), st.integers(0, 9))
+@settings(max_examples=50, deadline=None)
+def test_aligned_distance_self_zero(x, _seed):
+    assert aligned_distance(x, x) < 1e-8
+
+
+@given(embeddings(min_rows=5), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_knn_graph_invariants(x, k):
+    g = knn_graph(x, k=k, metric="euclidean")
+    assert g.n == x.shape[0]
+    # Union kNN graph: every vertex keeps at least its own k picks.
+    assert g.out_degrees().min() >= k
+    e = g.edge_list
+    assert np.all(e.src != e.dst)
+    # Canonical, deduplicated pairs.
+    pairs = set()
+    for u, v in zip(e.src, e.dst):
+        key = (int(min(u, v)), int(max(u, v)))
+        assert key not in pairs
+        pairs.add(key)
+
+
+@given(embeddings(min_rows=5), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_knn_mutual_subset(x, k):
+    union = knn_graph(x, k=k, metric="euclidean", mutual=False)
+    mutual = knn_graph(x, k=k, metric="euclidean", mutual=True)
+    assert mutual.num_edges <= union.num_edges

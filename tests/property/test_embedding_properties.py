@@ -1,0 +1,102 @@
+"""Property-based tests for embedding components (Huffman, sampler, math)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core._math import scatter_add_rows, sigmoid
+from repro.core.huffman import build_huffman
+from repro.core.negative import NegativeSampler
+
+count_arrays = st.lists(st.integers(0, 50), min_size=1, max_size=20).filter(
+    lambda xs: sum(xs) > 0
+)
+
+
+@given(count_arrays)
+@settings(max_examples=80, deadline=None)
+def test_huffman_codes_prefix_free(counts):
+    coding = build_huffman(np.asarray(counts))
+    codes = []
+    for v, c in enumerate(counts):
+        if c > 0:
+            d = int(coding.depths[v])
+            codes.append(tuple(coding.codes[v, :d].tolist()))
+    # No code is a prefix of another (and all are unique).
+    for i, a in enumerate(codes):
+        for j, b in enumerate(codes):
+            if i != j and len(a) <= len(b):
+                assert b[: len(a)] != a
+
+
+@given(count_arrays)
+@settings(max_examples=80, deadline=None)
+def test_huffman_kraft(counts):
+    coding = build_huffman(np.asarray(counts))
+    positive = [v for v, c in enumerate(counts) if c > 0]
+    if len(positive) < 2:
+        return
+    kraft = sum(2.0 ** -int(coding.depths[v]) for v in positive)
+    assert np.isclose(kraft, 1.0)
+
+
+@given(count_arrays)
+@settings(max_examples=80, deadline=None)
+def test_huffman_is_optimal_vs_balanced(counts):
+    """Huffman expected code length never exceeds the balanced-tree bound
+    ceil(log2(k)) on the occurring symbols."""
+    arr = np.asarray(counts)
+    coding = build_huffman(arr)
+    occurring = arr > 0
+    k = int(occurring.sum())
+    if k < 2:
+        return
+    total = arr[occurring].sum()
+    expected_len = float((arr[occurring] * coding.depths[occurring]).sum()) / total
+    assert expected_len <= np.ceil(np.log2(k)) + 1e-9
+
+
+@given(
+    st.lists(st.floats(0.0, 10.0), min_size=1, max_size=15).filter(
+        lambda xs: sum(xs) > 0
+    ),
+    st.integers(0, 999),
+)
+@settings(max_examples=60, deadline=None)
+def test_negative_sampler_support(weights, seed):
+    dist = np.asarray(weights)
+    sampler = NegativeSampler(dist)
+    rng = np.random.default_rng(seed)
+    draws = sampler.sample(200, rng)
+    assert np.all(draws >= 0)
+    assert np.all(draws < len(weights))
+    # Zero-mass ids never drawn.
+    zero = np.flatnonzero(dist == 0)
+    assert not np.any(np.isin(draws, zero))
+
+
+@given(
+    st.integers(1, 20),
+    st.integers(1, 50),
+    st.integers(1, 4),
+    st.integers(0, 999),
+)
+@settings(max_examples=60, deadline=None)
+def test_scatter_add_matches_add_at(rows_n, n_idx, dim, seed):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=(rows_n, dim))
+    expect = target.copy()
+    idx = rng.integers(0, rows_n, n_idx)
+    rows = rng.normal(size=(n_idx, dim))
+    np.add.at(expect, idx, rows)
+    scatter_add_rows(target, idx, rows)
+    np.testing.assert_allclose(target, expect, atol=1e-10)
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=80, deadline=None)
+def test_sigmoid_bounded(xs):
+    out = sigmoid(np.asarray(xs))
+    assert np.all(out >= 0.0)
+    assert np.all(out <= 1.0)
+    assert np.all(np.isfinite(out))

@@ -1,0 +1,81 @@
+"""Property-based tests for the synthetic-graph generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import planted_partition, stochastic_block_model
+from repro.graph.lfr import lfr_benchmark
+
+
+@given(
+    st.integers(2, 5),          # groups
+    st.integers(5, 20),         # group size
+    st.floats(0.0, 1.0),        # alpha
+    st.integers(0, 10),         # inter edges
+    st.integers(0, 99),         # seed
+)
+@settings(max_examples=40, deadline=None)
+def test_planted_partition_invariants(groups, size, alpha, inter, seed):
+    n = groups * size
+    g = planted_partition(
+        n=n, groups=groups, alpha=alpha, inter_edges=inter, seed=seed
+    )
+    truth = g.vertex_labels("community")
+    assert np.bincount(truth).tolist() == [size] * groups
+    e = g.edge_list
+    # No self loops, no duplicate edges.
+    assert np.all(e.src != e.dst)
+    pairs = set()
+    for u, v in zip(e.src, e.dst):
+        key = (int(min(u, v)), int(max(u, v)))
+        assert key not in pairs
+        pairs.add(key)
+    # Cross-community edge count is exactly `inter`.
+    cross = int((truth[e.src] != truth[e.dst]).sum())
+    assert cross == inter
+    # Intra count matches the alpha formula.
+    per_group = min(
+        int(round(alpha * size * (size - 1) / 2)), size * (size - 1) // 2
+    )
+    assert g.num_edges - inter == per_group * groups
+
+
+@given(st.integers(100, 250), st.floats(0.0, 0.8), st.integers(0, 99))
+@settings(max_examples=20, deadline=None)
+def test_lfr_invariants(n, mu, seed):
+    g = lfr_benchmark(
+        n, mu=mu, min_community=20, max_community=60, seed=seed
+    )
+    truth = g.vertex_labels("community")
+    assert truth.shape == (n,)
+    e = g.edge_list
+    assert np.all(e.src != e.dst)
+    # Every community respects the size floor (except possible fold-in).
+    sizes = np.bincount(truth)
+    assert sizes.min() >= 1
+    # Intra-degree never exceeds community size - 1 by construction:
+    # verify no vertex has more intra-neighbors than its community allows.
+    for v in range(0, n, max(n // 10, 1)):
+        nbrs = g.neighbors(v)
+        intra = int((truth[nbrs] == truth[v]).sum())
+        assert intra <= sizes[truth[v]] - 1
+
+
+@given(
+    st.lists(st.integers(3, 10), min_size=2, max_size=4),
+    st.floats(0.0, 1.0),
+    st.floats(0.0, 0.3),
+    st.integers(0, 99),
+)
+@settings(max_examples=30, deadline=None)
+def test_sbm_invariants(sizes, p_in, p_out, seed):
+    k = len(sizes)
+    p = np.full((k, k), p_out)
+    np.fill_diagonal(p, p_in)
+    g = stochastic_block_model(sizes, p, seed=seed)
+    assert g.n == sum(sizes)
+    truth = g.vertex_labels("community")
+    assert np.bincount(truth, minlength=k).tolist() == sizes
+    e = g.edge_list
+    assert np.all(e.src != e.dst)

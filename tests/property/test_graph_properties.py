@@ -1,0 +1,122 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.core import EdgeList, Graph
+from repro.graph.metrics import density, modularity
+from repro.graph.traversal import bfs_distances, connected_components
+
+
+@st.composite
+def edge_lists(draw, max_n=12, max_m=30):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return n, list(zip(src, dst))
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants(params):
+    n, edges = params
+    g = Graph(n, edges)
+    # indptr is monotone, bounded, covers indices exactly.
+    assert g.indptr.shape == (n + 1,)
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.indices.shape[0]
+    assert np.all(np.diff(g.indptr) >= 0)
+    if g.indices.size:
+        assert g.indices.min() >= 0
+        assert g.indices.max() < n
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_undirected_symmetry(params):
+    n, edges = params
+    g = Graph(n, edges)
+    a = g.adjacency_matrix()
+    np.testing.assert_array_equal(a, a.T)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_equals_arcs(params):
+    n, edges = params
+    g = Graph(n, edges)
+    assert int(g.out_degrees().sum()) == g.num_arcs
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_subgraph_of_everything_is_identity(params):
+    n, edges = params
+    g = Graph(n, edges)
+    sub, mapping = g.subgraph(np.arange(n))
+    assert sub.num_edges == g.num_edges
+    np.testing.assert_array_equal(mapping, np.arange(n))
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_bfs_distance_triangle_inequality(params):
+    """d(s, v) <= d(s, u) + 1 for every arc (u, v) — BFS level property."""
+    n, edges = params
+    g = Graph(n, edges)
+    dist = bfs_distances(g, 0)
+    for u, v in g.arcs():
+        if dist[u] >= 0:
+            assert dist[v] != -1
+            assert dist[v] <= dist[u] + 1
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_components_consistent_with_reachability(params):
+    n, edges = params
+    g = Graph(n, edges)
+    comp = connected_components(g)
+    dist = bfs_distances(g, 0)
+    reached = dist >= 0
+    assert np.all(comp[reached] == comp[0])
+    assert not np.any(comp[~reached] == comp[0])
+
+
+@given(edge_lists(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_modularity_bounded(params, k):
+    n, edges = params
+    g = Graph(n, edges)
+    rng = np.random.default_rng(0)
+    membership = rng.integers(0, k, n)
+    q = modularity(g, membership)
+    assert -1.0 <= q <= 1.0
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_density_bounded(params):
+    n, edges = params
+    # Deduplicate edges and drop self-loops for a simple graph.
+    simple = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    g = Graph(n, sorted(simple))
+    assert 0.0 <= density(g) <= 1.0
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_reverse_twice_is_identity(params):
+    n, edges = params
+    g = Graph(n, edges, directed=True)
+    rr = g.reverse().reverse()
+    np.testing.assert_array_equal(
+        np.sort(rr.edge_list.src), np.sort(g.edge_list.src)
+    )
+    assert rr.num_arcs == g.num_arcs

@@ -1,0 +1,96 @@
+"""Property-based tests for ML metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy,
+    adjusted_rand_index,
+    normalized_mutual_information,
+    pairwise_f1,
+    pairwise_precision_recall,
+    purity,
+)
+
+labelings = st.integers(2, 40).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_precision_recall_bounds(pair):
+    truth, pred = np.asarray(pair[0]), np.asarray(pair[1])
+    p, r = pairwise_precision_recall(truth, pred)
+    assert 0.0 <= p <= 1.0
+    assert 0.0 <= r <= 1.0
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_perfect_prediction_metrics(pair):
+    truth = np.asarray(pair[0])
+    p, r = pairwise_precision_recall(truth, truth)
+    assert p == 1.0 and r == 1.0
+    assert accuracy(truth, truth) == 1.0
+    assert purity(truth, truth) == 1.0
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_metrics_invariant_to_label_renaming(pair):
+    truth, pred = np.asarray(pair[0]), np.asarray(pair[1])
+    renamed = pred + 100
+    assert pairwise_precision_recall(truth, pred) == pairwise_precision_recall(
+        truth, renamed
+    )
+    assert np.isclose(
+        adjusted_rand_index(truth, pred), adjusted_rand_index(truth, renamed)
+    )
+    assert np.isclose(
+        normalized_mutual_information(truth, pred),
+        normalized_mutual_information(truth, renamed),
+    )
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_f1_between_precision_and_recall(pair):
+    truth, pred = np.asarray(pair[0]), np.asarray(pair[1])
+    p, r = pairwise_precision_recall(truth, pred)
+    f1 = pairwise_f1(truth, pred)
+    lo, hi = min(p, r), max(p, r)
+    assert lo - 1e-12 <= f1 <= hi + 1e-12
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_ari_nmi_bounds(pair):
+    truth, pred = np.asarray(pair[0]), np.asarray(pair[1])
+    assert adjusted_rand_index(truth, pred) <= 1.0 + 1e-12
+    nmi = normalized_mutual_information(truth, pred)
+    assert -1e-12 <= nmi <= 1.0 + 1e-12
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_refining_truth_keeps_precision_one(pair):
+    """A clustering strictly finer than the truth has precision 1."""
+    truth = np.asarray(pair[0])
+    refined = truth * 50 + np.arange(truth.shape[0]) % 2
+    p, _r = pairwise_precision_recall(truth, refined)
+    assert p == 1.0
+
+
+@given(labelings)
+@settings(max_examples=80, deadline=None)
+def test_coarsening_truth_keeps_recall_one(pair):
+    """A clustering strictly coarser than the truth has recall 1."""
+    truth = np.asarray(pair[0])
+    coarse = truth // 2
+    _p, r = pairwise_precision_recall(truth, coarse)
+    assert r == 1.0

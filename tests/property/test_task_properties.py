@@ -1,0 +1,198 @@
+"""Property-based tests for link prediction, AUC, logreg, perturbations."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.graph.core import Graph
+from repro.graph.perturb import add_noise_edges, drop_edges, rewire_edges
+from repro.ml.logreg import LogisticRegression
+from repro.tasks.link_prediction import auc_score, edge_features
+
+finite = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------------
+# AUC properties
+# ---------------------------------------------------------------------------
+@st.composite
+def scored_labels(draw):
+    n = draw(st.integers(4, 60))
+    labels = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n).filter(
+            lambda xs: any(xs) and not all(xs)
+        )
+    )
+    scores = draw(st.lists(finite, min_size=n, max_size=n))
+    return np.asarray(labels), np.asarray(scores)
+
+
+@given(scored_labels())
+@settings(max_examples=80, deadline=None)
+def test_auc_bounded(data):
+    labels, scores = data
+    assert 0.0 <= auc_score(labels, scores) <= 1.0
+
+
+@given(scored_labels())
+@settings(max_examples=80, deadline=None)
+def test_auc_complement(data):
+    """AUC(labels, s) + AUC(labels, -s) == 1 (ties contribute ½ to both)."""
+    labels, scores = data
+    assert np.isclose(
+        auc_score(labels, scores) + auc_score(labels, -scores), 1.0
+    )
+
+
+@st.composite
+def integer_scored_labels(draw):
+    """Integer-valued scores: affine transforms stay exactly monotone
+    (tiny floats can underflow into ties, which is float arithmetic, not
+    an AUC property)."""
+    n = draw(st.integers(4, 60))
+    labels = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n).filter(
+            lambda xs: any(xs) and not all(xs)
+        )
+    )
+    scores = draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n))
+    return np.asarray(labels), np.asarray(scores, dtype=np.float64)
+
+
+@given(integer_scored_labels())
+@settings(max_examples=80, deadline=None)
+def test_auc_monotone_transform_invariant(data):
+    labels, scores = data
+    transformed = 3.0 * scores + 7.0
+    assert np.isclose(
+        auc_score(labels, scores), auc_score(labels, transformed)
+    )
+
+
+@given(scored_labels())
+@settings(max_examples=80, deadline=None)
+def test_auc_label_flip(data):
+    """Swapping the positive class reverses the ranking direction."""
+    labels, scores = data
+    assert np.isclose(
+        auc_score(labels, scores), 1.0 - auc_score(~labels, scores)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Edge-feature properties
+# ---------------------------------------------------------------------------
+@st.composite
+def vectors_and_pairs(draw):
+    n = draw(st.integers(2, 12))
+    d = draw(st.integers(1, 6))
+    vecs = draw(arrays(np.float64, (n, d), elements=finite))
+    m = draw(st.integers(1, 10))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return vecs, np.asarray(pairs)
+
+
+@given(vectors_and_pairs())
+@settings(max_examples=60, deadline=None)
+def test_symmetric_operators(data):
+    vecs, pairs = data
+    swapped = pairs[:, ::-1]
+    for op in ("hadamard", "average", "l1", "l2"):
+        a = edge_features(vecs, pairs, operator=op)
+        b = edge_features(vecs, swapped, operator=op)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+@given(vectors_and_pairs())
+@settings(max_examples=60, deadline=None)
+def test_l1_l2_nonnegative_and_zero_on_diagonal(data):
+    vecs, pairs = data
+    self_pairs = np.column_stack([pairs[:, 0], pairs[:, 0]])
+    for op in ("l1", "l2"):
+        assert np.all(edge_features(vecs, pairs, operator=op) >= 0)
+        np.testing.assert_allclose(
+            edge_features(vecs, self_pairs, operator=op), 0.0, atol=1e-12
+        )
+
+
+# ---------------------------------------------------------------------------
+# Logistic regression properties
+# ---------------------------------------------------------------------------
+@st.composite
+def classification_data(draw):
+    n = draw(st.integers(6, 40))
+    d = draw(st.integers(1, 4))
+    x = draw(arrays(np.float64, (n, d), elements=finite))
+    y = draw(
+        st.lists(st.integers(0, 2), min_size=n, max_size=n).filter(
+            lambda ys: len(set(ys)) >= 2
+        )
+    )
+    return x, np.asarray(y)
+
+
+@given(classification_data())
+@settings(max_examples=40, deadline=None)
+def test_logreg_probabilities_valid(data):
+    x, y = data
+    clf = LogisticRegression(max_iter=50).fit(x, y)
+    probs = clf.predict_proba(x)
+    assert np.all(probs >= 0)
+    assert np.all(probs <= 1)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+@given(classification_data())
+@settings(max_examples=40, deadline=None)
+def test_logreg_predictions_in_class_set(data):
+    x, y = data
+    clf = LogisticRegression(max_iter=50).fit(x, y)
+    assert set(np.unique(clf.predict(x))) <= set(np.unique(y))
+
+
+# ---------------------------------------------------------------------------
+# Perturbation properties
+# ---------------------------------------------------------------------------
+@st.composite
+def simple_graphs(draw):
+    n = draw(st.integers(3, 12))
+    pairs = set()
+    m = draw(st.integers(2, 20))
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+    assume(len(pairs) >= 2)
+    return Graph(n, sorted(pairs))
+
+
+@given(simple_graphs(), st.floats(0.0, 1.0), st.integers(0, 99))
+@settings(max_examples=60, deadline=None)
+def test_drop_edges_count(g, fraction, seed):
+    out = drop_edges(g, fraction, seed=seed)
+    assert out.num_edges == g.num_edges - round(fraction * g.num_edges)
+    assert out.n == g.n
+
+
+@given(simple_graphs(), st.floats(0.0, 2.0), st.integers(0, 99))
+@settings(max_examples=60, deadline=None)
+def test_add_noise_count(g, fraction, seed):
+    out = add_noise_edges(g, fraction, seed=seed)
+    assert out.num_edges == g.num_edges + round(fraction * g.num_edges)
+
+
+@given(simple_graphs(), st.floats(0.0, 1.0), st.integers(0, 99))
+@settings(max_examples=60, deadline=None)
+def test_rewire_preserves_count_no_loops(g, fraction, seed):
+    out = rewire_edges(g, fraction, seed=seed)
+    assert out.num_edges == g.num_edges
+    e = out.edge_list
+    assert np.all(e.src != e.dst)

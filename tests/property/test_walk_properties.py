@@ -1,0 +1,109 @@
+"""Property-based tests for the walk engine and corpus."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.core import Graph
+from repro.walks.corpus import PAD, WalkCorpus
+from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    m = draw(st.integers(min_value=1, max_value=20))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        edges.append((u, v))
+    directed = draw(st.booleans())
+    return Graph(n, edges, directed=directed)
+
+
+@given(small_graphs(), st.integers(1, 3), st.integers(1, 8), st.integers(0, 99))
+@settings(max_examples=50, deadline=None)
+def test_walks_are_valid_paths(g, t, length, seed):
+    cfg = RandomWalkConfig(walks_per_vertex=t, walk_length=length, seed=seed)
+    corpus = generate_walks(g, cfg)
+    arcs = set(g.arcs())
+    assert corpus.num_walks == t * g.n
+    for walk in corpus.sentences():
+        assert walk.shape[0] >= 1
+        for u, v in zip(walk[:-1], walk[1:]):
+            assert (int(u), int(v)) in arcs
+
+
+@given(small_graphs(), st.integers(1, 3), st.integers(2, 8), st.integers(0, 99))
+@settings(max_examples=50, deadline=None)
+def test_termination_only_at_dead_ends(g, t, length, seed):
+    cfg = RandomWalkConfig(walks_per_vertex=t, walk_length=length, seed=seed)
+    corpus = generate_walks(g, cfg)
+    deg = g.out_degrees()
+    for walk, ln in zip(corpus.walks, corpus.lengths):
+        if ln < length:
+            last = walk[ln - 1]
+            assert deg[last] == 0
+
+
+@given(small_graphs(), st.integers(0, 99))
+@settings(max_examples=30, deadline=None)
+def test_walk_determinism(g, seed):
+    cfg = RandomWalkConfig(walks_per_vertex=2, walk_length=6, seed=seed)
+    a = generate_walks(g, cfg)
+    b = generate_walks(g, cfg)
+    np.testing.assert_array_equal(a.walks, b.walks)
+
+
+@st.composite
+def corpora(draw):
+    walks = draw(st.integers(1, 6))
+    length = draw(st.integers(1, 8))
+    num_vertices = draw(st.integers(1, 10))
+    rows = np.full((walks, length), PAD, dtype=np.int64)
+    for i in range(walks):
+        ln = draw(st.integers(1, length))
+        for j in range(ln):
+            rows[i, j] = draw(st.integers(0, num_vertices - 1))
+    return WalkCorpus(rows, num_vertices=num_vertices)
+
+
+@given(corpora(), st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_context_examples_invariants(corpus, window):
+    centers, contexts = corpus.context_arrays(window)
+    assert contexts.shape == (centers.shape[0], 2 * window)
+    # Every example's center occurs in the corpus and has >= 1 context.
+    counts = corpus.token_counts()
+    for c, ctx in zip(centers, contexts):
+        assert counts[c] > 0
+        real = ctx[ctx != PAD]
+        assert real.shape[0] >= 1
+        assert np.all(counts[real] > 0)
+
+
+@given(corpora())
+@settings(max_examples=50, deadline=None)
+def test_token_counts_match_lengths(corpus):
+    assert corpus.token_counts().sum() == corpus.lengths.sum()
+
+
+@given(corpora(), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_context_count_bounded_by_window(corpus, window):
+    """Each center can have at most 2*window real contexts, and at most
+    walk_length - 1 of them."""
+    centers, contexts = corpus.context_arrays(window)
+    real_counts = (contexts != PAD).sum(axis=1)
+    assert np.all(real_counts <= 2 * window)
+    assert np.all(real_counts <= corpus.max_length - 1) if corpus.max_length > 1 else True
+
+
+@given(corpora())
+@settings(max_examples=30, deadline=None)
+def test_merge_token_conservation(corpus):
+    merged = corpus.merge(corpus)
+    np.testing.assert_array_equal(
+        merged.token_counts(), 2 * corpus.token_counts()
+    )

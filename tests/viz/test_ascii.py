@@ -1,0 +1,74 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import render_scatter, render_series
+
+
+class TestRenderScatter:
+    def test_grid_dimensions(self, rng):
+        pts = rng.random((50, 2))
+        out = render_scatter(pts, width=40, height=10)
+        lines = out.split("\n")
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_legend_with_labels(self, rng):
+        pts = rng.random((20, 2))
+        labels = np.repeat(["a", "b"], 10)
+        out = render_scatter(pts, labels, width=20, height=5)
+        assert "legend:" in out
+        assert "a" in out and "b" in out
+
+    def test_all_points_rendered_distinct_cells(self):
+        pts = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        out = render_scatter(pts, width=10, height=4)
+        assert sum(1 for c in out if c != " " and c != "\n") == 2
+
+    def test_degenerate_same_point(self):
+        pts = np.zeros((5, 2))
+        out = render_scatter(pts, width=8, height=4)
+        assert sum(1 for c in out if c not in " \n") == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            render_scatter(rng.random(5))
+        with pytest.raises(ValueError):
+            render_scatter(rng.random((5, 2)), width=1)
+
+    def test_extra_columns_ignored(self, rng):
+        out = render_scatter(rng.random((10, 3)), width=10, height=5)
+        assert len(out.split("\n")) == 5
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        x = np.linspace(0, 1, 20)
+        out = render_series(x, {"line": x**2}, width=30, height=8)
+        lines = out.split("\n")
+        assert len(lines) == 10  # header + 8 rows + legend
+        assert "legend:" in lines[-1]
+        assert "y∈" in lines[0]
+
+    def test_multiple_series_distinct_glyphs(self):
+        x = np.linspace(0, 1, 10)
+        out = render_series(x, {"a": x, "b": 1 - x}, width=20, height=6)
+        body = "\n".join(out.split("\n")[1:-1])
+        assert "o" in body and "x" in body
+
+    def test_fixed_y_range(self):
+        x = np.asarray([0.0, 1.0])
+        out = render_series(x, {"s": np.asarray([0.2, 0.4])}, y_min=0, y_max=1)
+        assert "y∈[0, 1]" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series(np.asarray([1.0]), {})
+        with pytest.raises(ValueError):
+            render_series(np.asarray([1.0, 2.0]), {"s": np.asarray([1.0])})
+
+    def test_constant_series(self):
+        x = np.linspace(0, 1, 5)
+        out = render_series(x, {"c": np.ones(5)})
+        assert "c" in out

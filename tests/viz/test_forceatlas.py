@@ -1,0 +1,54 @@
+"""Tests for the ForceAtlas layout."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import planted_partition
+from repro.viz.forceatlas import force_atlas_layout
+from repro.viz.projection import separation_ratio
+
+
+class TestForceAtlas:
+    def test_output_shape(self, two_cliques):
+        layout = force_atlas_layout(two_cliques, iterations=30, seed=0)
+        assert layout.positions.shape == (8, 2)
+        assert np.all(np.isfinite(layout.positions))
+        assert layout.iterations == 30
+
+    def test_empty_graph(self):
+        layout = force_atlas_layout(Graph(0), iterations=5, seed=0)
+        assert layout.positions.shape == (0, 2)
+
+    def test_single_vertex(self):
+        layout = force_atlas_layout(Graph(1), iterations=5, seed=0)
+        assert layout.positions.shape == (1, 2)
+
+    def test_connected_pairs_closer_than_average(self, two_cliques):
+        layout = force_atlas_layout(two_cliques, iterations=150, seed=0)
+        pos = layout.positions
+        e = two_cliques.edge_list
+        edge_d = np.linalg.norm(pos[e.src] - pos[e.dst], axis=1).mean()
+        all_d = np.linalg.norm(
+            pos[:, None, :] - pos[None, :, :], axis=2
+        )[np.triu_indices(8, 1)].mean()
+        assert edge_d < all_d
+
+    def test_separates_planted_communities(self):
+        g = planted_partition(n=60, groups=3, alpha=0.8, inter_edges=5, seed=0)
+        layout = force_atlas_layout(g, iterations=200, seed=0)
+        ratio = separation_ratio(layout.positions, g.vertex_labels("community"))
+        assert ratio > 1.0
+
+    def test_deterministic(self, two_cliques):
+        a = force_atlas_layout(two_cliques, iterations=20, seed=3)
+        b = force_atlas_layout(two_cliques, iterations=20, seed=3)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_directed_input_accepted(self, directed_chain):
+        layout = force_atlas_layout(directed_chain, iterations=20, seed=0)
+        assert layout.positions.shape == (4, 2)
+
+    def test_iterations_validated(self, two_cliques):
+        with pytest.raises(ValueError):
+            force_atlas_layout(two_cliques, iterations=0)

@@ -1,0 +1,90 @@
+"""Tests for projection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.projection import (
+    cluster_boundaries,
+    pca_projection,
+    projection_to_csv,
+    separation_ratio,
+)
+
+
+def blobs(rng):
+    pts = np.vstack(
+        [rng.normal(0, 0.2, (20, 2)), rng.normal(5, 0.2, (20, 2))]
+    )
+    return pts, np.repeat([0, 1], 20)
+
+
+class TestPCAProjection:
+    def test_shape(self, rng):
+        out = pca_projection(rng.random((30, 10)), 2)
+        assert out.shape == (30, 2)
+
+    def test_3d(self, rng):
+        assert pca_projection(rng.random((30, 10)), 3).shape == (30, 3)
+
+
+class TestClusterBoundaries:
+    def test_centroids_correct(self, rng):
+        pts, labels = blobs(rng)
+        centroids, margins = cluster_boundaries(pts, labels)
+        np.testing.assert_allclose(centroids[0], pts[:20].mean(axis=0))
+        np.testing.assert_allclose(centroids[1], pts[20:].mean(axis=0))
+
+    def test_margins_positive_for_separated(self, rng):
+        pts, labels = blobs(rng)
+        _c, margins = cluster_boundaries(pts, labels)
+        assert np.all(margins > 0)
+
+    def test_margin_negative_for_misassigned(self, rng):
+        pts, labels = blobs(rng)
+        wrong = labels.copy()
+        wrong[0] = 1  # point near blob 0 labeled as blob 1
+        _c, margins = cluster_boundaries(pts, wrong)
+        assert margins[0] < 0
+
+
+class TestSeparationRatio:
+    def test_separated_blobs_high(self, rng):
+        pts, labels = blobs(rng)
+        assert separation_ratio(pts, labels) > 5
+
+    def test_mixed_low(self, rng):
+        pts = rng.random((60, 2))
+        labels = rng.integers(0, 2, 60)
+        assert separation_ratio(pts, labels) < 1.0
+
+    def test_single_group_rejected(self, rng):
+        with pytest.raises(ValueError):
+            separation_ratio(rng.random((10, 2)), np.zeros(10))
+
+    def test_zero_spread_infinite(self):
+        pts = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        assert separation_ratio(pts, np.asarray([0, 1])) == float("inf")
+
+
+class TestCSVExport:
+    def test_2d_roundtrip(self, rng, tmp_path):
+        pts, labels = blobs(rng)
+        p = tmp_path / "fig.csv"
+        projection_to_csv(pts, labels, p, label_name="community")
+        lines = p.read_text().strip().split("\n")
+        assert lines[0] == "x,y,community"
+        assert len(lines) == 41
+        x, y, lab = lines[1].split(",")
+        assert np.isclose(float(x), pts[0, 0], atol=1e-5)
+
+    def test_3d_header(self, rng, tmp_path):
+        pts = rng.random((5, 3))
+        p = tmp_path / "fig.csv"
+        projection_to_csv(pts, np.arange(5), p)
+        assert p.read_text().startswith("x,y,z,label")
+
+    def test_validation(self, rng, tmp_path):
+        with pytest.raises(ValueError):
+            projection_to_csv(rng.random((5, 4)), np.arange(5), tmp_path / "x.csv")
+        with pytest.raises(ValueError):
+            projection_to_csv(rng.random((5, 2)), np.arange(4), tmp_path / "x.csv")

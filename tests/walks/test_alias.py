@@ -1,0 +1,91 @@
+"""Tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.walks.alias import AliasTable, build_alias, build_arc_alias
+
+
+class TestBuildAlias:
+    def test_uniform_weights(self):
+        prob, alias = build_alias(np.ones(4))
+        assert np.allclose(prob, 1.0)
+        assert prob.shape == (4,)
+
+    def test_empty(self):
+        prob, alias = build_alias(np.empty(0))
+        assert prob.shape == (0,)
+
+    def test_single_element(self):
+        prob, alias = build_alias(np.asarray([3.0]))
+        assert prob.tolist() == [1.0]
+        assert alias.tolist() == [0]
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            build_alias(np.asarray([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            build_alias(np.zeros(3))
+
+    def test_distribution_preserved(self):
+        """Alias sampling must reproduce the target distribution exactly
+        in expectation: check via the analytic slot probabilities."""
+        w = np.asarray([1.0, 2.0, 3.0, 4.0])
+        prob, alias = build_alias(w)
+        k = w.shape[0]
+        # P(i) = (prob[i] + sum_{j: alias[j]==i} (1-prob[j])) / k
+        p = prob.copy()
+        for j in range(k):
+            p[alias[j]] += 1.0 - prob[j]
+        np.testing.assert_allclose(p / k, w / w.sum(), atol=1e-12)
+
+    def test_extreme_skew(self):
+        w = np.asarray([1e-8, 1.0, 1e-8])
+        prob, alias = build_alias(w)
+        p = prob.copy()
+        for j in range(3):
+            p[alias[j]] += 1.0 - prob[j]
+        np.testing.assert_allclose(p / 3, w / w.sum(), atol=1e-12)
+
+
+class TestArcAlias:
+    def test_flat_tables_align_with_rows(self, weighted_star):
+        table = build_arc_alias(weighted_star.indptr, weighted_star.edge_weights)
+        assert table.prob.shape == (weighted_star.num_arcs,)
+        assert table.alias.shape == (weighted_star.num_arcs,)
+
+    def test_sampling_respects_weights(self, rng):
+        # Vertex 0 has neighbors 1,2,3 with weights 1,2,3.
+        g = Graph(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)], directed=True)
+        table = build_arc_alias(g.indptr, g.edge_weights)
+        starts = np.zeros(60000, dtype=np.int64)
+        degrees = np.full(60000, 3, dtype=np.int64)
+        arcs = table.sample(starts, degrees, rng)
+        picks = g.indices[arcs]
+        freq = np.bincount(picks, minlength=4)[1:] / 60000
+        np.testing.assert_allclose(freq, [1 / 6, 2 / 6, 3 / 6], atol=0.02)
+
+    def test_zero_weight_row_degenerates_uniform(self, rng):
+        g = Graph(3, [(0, 1, 0.0), (0, 2, 0.0)], directed=True)
+        table = build_arc_alias(g.indptr, g.edge_weights)
+        starts = np.zeros(10000, dtype=np.int64)
+        degrees = np.full(10000, 2, dtype=np.int64)
+        picks = g.indices[table.sample(starts, degrees, rng)]
+        freq = np.bincount(picks, minlength=3)[1:] / 10000
+        np.testing.assert_allclose(freq, [0.5, 0.5], atol=0.03)
+
+    def test_misaligned_weights_rejected(self, weighted_star):
+        with pytest.raises(ValueError):
+            build_arc_alias(weighted_star.indptr, np.ones(2))
+
+    def test_negative_weights_rejected(self, weighted_star):
+        with pytest.raises(ValueError):
+            build_arc_alias(
+                weighted_star.indptr, -np.ones(weighted_star.num_arcs)
+            )
+
+    def test_empty_rows_ok(self):
+        g = Graph(3, [(0, 1, 1.0)], directed=True)  # vertices 1,2 have no arcs
+        table = build_arc_alias(g.indptr, g.edge_weights)
+        assert table.prob.shape == (1,)

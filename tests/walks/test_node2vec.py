@@ -1,0 +1,118 @@
+"""Tests for node2vec second-order biased walks."""
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import complete_graph, planted_partition
+from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
+
+
+def backtrack_rate(g, p, q, seed=0, walks=30, length=12):
+    cfg = RandomWalkConfig(
+        walks_per_vertex=walks, walk_length=length, seed=seed,
+        mode=WalkMode.NODE2VEC, p=p, q=q,
+    )
+    corpus = generate_walks(g, cfg)
+    w = corpus.walks
+    valid = w[:, 2:] >= 0
+    bt = (w[:, 2:] == w[:, :-2]) & valid
+    return bt.sum() / max(valid.sum(), 1)
+
+
+class TestConfig:
+    def test_pq_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkConfig(p=0.0, mode=WalkMode.NODE2VEC)
+        with pytest.raises(ValueError):
+            RandomWalkConfig(q=-1.0, mode=WalkMode.NODE2VEC)
+        with pytest.raises(ValueError):
+            RandomWalkConfig(p=2.0)  # p/q require node2vec mode
+
+    def test_defaults_allow_other_modes(self):
+        RandomWalkConfig(mode=WalkMode.UNIFORM)  # p=q=1 fine
+
+
+class TestWalkValidity:
+    def test_walks_follow_edges(self):
+        g = planted_partition(n=60, groups=3, alpha=0.5, inter_edges=10, seed=0)
+        cfg = RandomWalkConfig(
+            walks_per_vertex=3, walk_length=10, seed=0,
+            mode=WalkMode.NODE2VEC, p=0.5, q=2.0,
+        )
+        corpus = generate_walks(g, cfg)
+        arcs = set(g.arcs())
+        for walk in corpus.sentences():
+            for u, v in zip(walk[:-1], walk[1:]):
+                assert (int(u), int(v)) in arcs
+
+    def test_dead_ends_terminate(self):
+        g = Graph(3, [(0, 1), (1, 2)], directed=True)
+        cfg = RandomWalkConfig(
+            walks_per_vertex=2, walk_length=6, seed=0,
+            mode=WalkMode.NODE2VEC, p=0.5, q=0.5,
+        )
+        corpus = generate_walks(g, cfg)
+        from_zero = corpus.walks[corpus.walks[:, 0] == 0]
+        for w in from_zero:
+            assert w[:3].tolist() == [0, 1, 2]
+            assert np.all(w[3:] == -1)
+
+    def test_reproducible(self):
+        g = complete_graph(12)
+        cfg = RandomWalkConfig(
+            walks_per_vertex=2, walk_length=8, seed=5,
+            mode=WalkMode.NODE2VEC, p=0.25, q=4.0,
+        )
+        a = generate_walks(g, cfg)
+        b = generate_walks(g, cfg)
+        np.testing.assert_array_equal(a.walks, b.walks)
+
+
+class TestBias:
+    def test_low_p_increases_backtracking(self):
+        g = planted_partition(n=60, groups=3, alpha=0.5, inter_edges=10, seed=0)
+        assert backtrack_rate(g, p=0.05, q=1.0) > backtrack_rate(g, p=20.0, q=1.0) + 0.2
+
+    def test_p1_q1_matches_uniform_statistics(self):
+        """p = q = 1 must reduce to the first-order walk distribution."""
+        g = complete_graph(10)
+        n2v = backtrack_rate(g, p=1.0, q=1.0, walks=200)
+        # Uniform walk on K10: P(backtrack) = 1/9.
+        assert abs(n2v - 1 / 9) < 0.02
+
+    def test_high_q_stays_local(self):
+        """Large q discourages leaving the previous vertex's neighborhood:
+        on a community graph, fewer cross-community transitions."""
+        g = planted_partition(n=80, groups=4, alpha=0.8, inter_edges=40, seed=0)
+        truth = g.vertex_labels("community")
+
+        def cross_rate(q):
+            cfg = RandomWalkConfig(
+                walks_per_vertex=20, walk_length=15, seed=0,
+                mode=WalkMode.NODE2VEC, p=1.0, q=q,
+            )
+            corpus = generate_walks(g, cfg)
+            w = corpus.walks
+            a, b = w[:, :-1], w[:, 1:]
+            mask = (a >= 0) & (b >= 0)
+            return (truth[a[mask]] != truth[b[mask]]).mean()
+
+        assert cross_rate(8.0) < cross_rate(0.125)
+
+    def test_triangle_step_weight(self):
+        """On a path A-B-C where C has neighbors {B, D}: from B (prev A),
+        stepping to C then from C the options are B (return, 1/p) and D
+        (explore, 1/q, D not adjacent to B)."""
+        # Star-free line: 0-1-2-3. From 1 with prev 0: neighbors {0, 2}.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        # p tiny -> from vertex 1 (prev 0) returns to 0 almost always.
+        cfg = RandomWalkConfig(
+            walks_per_vertex=300, walk_length=3, seed=0,
+            mode=WalkMode.NODE2VEC, p=0.01, q=1.0,
+            start_vertices=np.asarray([0]),
+        )
+        corpus = generate_walks(g, cfg)
+        # Walk 0 -> 1 -> x: x should be 0 (return) ~99% of the time.
+        third = corpus.walks[:, 2]
+        assert (third == 0).mean() > 0.9

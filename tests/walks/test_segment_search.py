@@ -1,0 +1,82 @@
+"""Direct tests of the batched segment binary search (walk-engine core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.walks.engine import _segment_searchsorted
+
+
+class TestSegmentSearchsorted:
+    def test_matches_numpy_single_segment(self):
+        values = np.asarray([1.0, 3.0, 3.0, 7.0])
+        for needle in (-1.0, 1.0, 3.0, 5.0, 7.0, 9.0):
+            for side in ("left", "right"):
+                got = _segment_searchsorted(
+                    values,
+                    np.asarray([0]),
+                    np.asarray([4]),
+                    np.asarray([needle]),
+                    side=side,
+                )[0]
+                assert got == np.searchsorted(values, needle, side=side)
+
+    def test_offsets_applied_per_segment(self):
+        # Two segments: [10, 20, 30] and [5, 15].
+        values = np.asarray([10.0, 20.0, 30.0, 5.0, 15.0])
+        starts = np.asarray([0, 3])
+        stops = np.asarray([3, 5])
+        needles = np.asarray([20.0, 10.0])
+        got = _segment_searchsorted(values, starts, stops, needles, side="right")
+        assert got.tolist() == [2, 4]  # within-seg insertion + offset
+
+    def test_empty_segment(self):
+        values = np.asarray([1.0, 2.0])
+        got = _segment_searchsorted(
+            values, np.asarray([1]), np.asarray([1]), np.asarray([5.0])
+        )
+        assert got[0] == 1
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            _segment_searchsorted(
+                np.asarray([1.0]),
+                np.asarray([0]),
+                np.asarray([1]),
+                np.asarray([0.5]),
+                side="middle",
+            )
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-20, 20), min_size=0, max_size=8),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(st.integers(-25, 25), min_size=1, max_size=6),
+        st.sampled_from(["left", "right"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_per_segment_numpy(self, segments, raw_needles, side):
+        """Against the per-segment np.searchsorted oracle."""
+        sorted_segments = [np.sort(np.asarray(s, dtype=np.float64)) for s in segments]
+        flat = (
+            np.concatenate(sorted_segments)
+            if any(len(s) for s in sorted_segments)
+            else np.empty(0)
+        )
+        bounds = np.cumsum([0] + [len(s) for s in sorted_segments])
+        queries = []
+        for i, needle in enumerate(raw_needles):
+            seg = i % len(sorted_segments)
+            queries.append((seg, float(needle)))
+        starts = np.asarray([bounds[s] for s, _ in queries], dtype=np.int64)
+        stops = np.asarray([bounds[s + 1] for s, _ in queries], dtype=np.int64)
+        needles = np.asarray([v for _, v in queries])
+        got = _segment_searchsorted(flat, starts, stops, needles, side=side)
+        for j, (seg, needle) in enumerate(queries):
+            expected = bounds[seg] + np.searchsorted(
+                sorted_segments[seg], needle, side=side
+            )
+            assert got[j] == expected

@@ -1,0 +1,90 @@
+"""Tests for walk-corpus diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import planted_partition, star_graph
+from repro.walks.corpus import WalkCorpus
+from repro.walks.engine import RandomWalkConfig, generate_walks
+from repro.walks.stats import corpus_stats, crossing_rate
+
+
+def corpus_of(rows, num_vertices=10):
+    return WalkCorpus(np.asarray(rows, dtype=np.int64), num_vertices=num_vertices)
+
+
+class TestCorpusStats:
+    def test_basic_counts(self):
+        c = corpus_of([[0, 1, 2], [3, -1, -1]])
+        s = corpus_stats(c)
+        assert s.num_walks == 2
+        assert s.num_tokens == 4
+        assert s.mean_walk_length == 2.0
+        assert s.coverage == 0.4
+
+    def test_uniform_visits_max_entropy(self):
+        c = corpus_of([[0, 1, 2, 3]], num_vertices=4)
+        s = corpus_stats(c)
+        assert np.isclose(s.entropy_ratio, 1.0)
+
+    def test_skewed_visits_lower_entropy(self):
+        skewed = corpus_of([[0, 0, 0, 0, 0, 0, 0, 1]], num_vertices=2)
+        even = corpus_of([[0, 1, 0, 1, 0, 1, 0, 1]], num_vertices=2)
+        assert corpus_stats(skewed).entropy_ratio < corpus_stats(even).entropy_ratio
+
+    def test_empty_corpus(self):
+        c = WalkCorpus(np.empty((0, 3), dtype=np.int64), num_vertices=4)
+        s = corpus_stats(c)
+        assert s.num_tokens == 0
+        assert s.visit_entropy == 0.0
+        assert s.entropy_ratio == 1.0
+
+    def test_star_graph_hub_dominates(self):
+        g = star_graph(20)
+        corpus = generate_walks(
+            g, RandomWalkConfig(walks_per_vertex=3, walk_length=10, seed=0)
+        )
+        s = corpus_stats(corpus)
+        # Every other step visits the hub -> entropy well below uniform.
+        assert s.entropy_ratio < 0.95
+
+
+class TestCrossingRate:
+    def test_pure_walks_zero(self):
+        c = corpus_of([[0, 1, 0, 1], [2, 3, 2, 3]], num_vertices=4)
+        labels = np.asarray([0, 0, 1, 1])
+        assert crossing_rate(c, labels) == 0.0
+
+    def test_alternating_walk_one(self):
+        c = corpus_of([[0, 2, 0, 2]], num_vertices=4)
+        labels = np.asarray([0, 0, 1, 1])
+        assert crossing_rate(c, labels) == 1.0
+
+    def test_pads_ignored(self):
+        c = corpus_of([[0, 2, -1, -1]], num_vertices=4)
+        labels = np.asarray([0, 0, 1, 1])
+        assert crossing_rate(c, labels) == 1.0
+
+    def test_no_transitions_nan(self):
+        c = corpus_of([[0], [1]], num_vertices=2)
+        labels = np.asarray([0, 1])
+        assert np.isnan(crossing_rate(c, labels))
+
+    def test_label_shape_validated(self):
+        c = corpus_of([[0, 1]], num_vertices=4)
+        with pytest.raises(ValueError):
+            crossing_rate(c, np.asarray([0, 1]))
+
+    def test_crossing_drops_with_alpha(self):
+        """Stronger communities -> purer walks (the mechanism behind
+        Figs 5-7)."""
+        rates = {}
+        for alpha in (0.1, 0.9):
+            g = planted_partition(
+                n=100, groups=4, alpha=alpha, inter_edges=30, seed=0
+            )
+            corpus = generate_walks(
+                g, RandomWalkConfig(walks_per_vertex=4, walk_length=20, seed=0)
+            )
+            rates[alpha] = crossing_rate(corpus, g.vertex_labels("community"))
+        assert rates[0.9] < rates[0.1]
