@@ -49,6 +49,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument("graph", help="edge-list file (src dst [w [t]])")
     p_embed.add_argument("-o", "--output", required=True, help="output .npz")
     p_embed.add_argument("--directed", action="store_true")
+    p_embed.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for atomic walk/trainer checkpoints (durable runs)",
+    )
+    p_embed.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoints in --checkpoint-dir",
+    )
+    p_embed.add_argument(
+        "--on-error",
+        choices=["strict", "skip", "collect"],
+        default="strict",
+        help="edge-list parse policy: fail fast, drop bad lines, or "
+        "drop-and-report",
+    )
     add_walk_args(p_embed)
 
     p_detect = sub.add_parser("detect", help="detect communities")
@@ -105,10 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_graph(path: str, directed: bool):
+def _load_graph(path: str, directed: bool, errors: str = "strict"):
     from repro.graph.io import read_edge_list
 
-    return read_edge_list(path, directed=directed or None)
+    if errors == "collect":
+        bad_lines: list[tuple[int, str, str]] = []
+        graph = read_edge_list(
+            path, directed=directed or None, errors="collect", collector=bad_lines
+        )
+        for lineno, _line, message in bad_lines:
+            print(f"warning: {path}:{lineno}: {message}", file=sys.stderr)
+        if bad_lines:
+            print(
+                f"warning: dropped {len(bad_lines)} malformed line(s) from {path}",
+                file=sys.stderr,
+            )
+        return graph
+    return read_edge_list(path, directed=directed or None, errors=errors)
 
 
 def _v2v_config(args):
@@ -132,8 +162,10 @@ def _v2v_config(args):
 def _cmd_embed(args) -> int:
     from repro.core.model import V2V
 
-    graph = _load_graph(args.graph, args.directed)
-    model = V2V(_v2v_config(args)).fit(graph)
+    graph = _load_graph(args.graph, args.directed, errors=args.on_error)
+    model = V2V(_v2v_config(args)).fit(
+        graph, checkpoint_dir=args.checkpoint_dir, resume=args.resume
+    )
     model.save(args.output)
     result = model.result
     print(

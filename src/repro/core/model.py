@@ -118,18 +118,51 @@ class V2V:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, graph: Graph) -> "V2V":
-        """Generate walks on ``graph`` and train the embedding."""
-        corpus = generate_walks(graph, self.config.walk_config())
-        return self.fit_corpus(corpus)
+    def fit(
+        self,
+        graph: Graph,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        workers: int = 1,
+    ) -> "V2V":
+        """Generate walks on ``graph`` and train the embedding.
+
+        ``checkpoint_dir`` makes the whole pipeline durable: completed
+        walk chunks land under ``<dir>/walks/`` and the trainer snapshot
+        at ``<dir>/trainer.ckpt.npz``, each written atomically. A run
+        killed at any point restarts with ``resume=True`` and continues
+        from the last checkpoint, ending in embeddings bitwise-identical
+        to an uninterrupted run with the same seed (docs/resilience.md).
+        """
+        walk_dir = Path(checkpoint_dir) / "walks" if checkpoint_dir else None
+        corpus = generate_walks(
+            graph,
+            self.config.walk_config(),
+            workers=workers,
+            checkpoint_dir=walk_dir,
+            resume=resume,
+        )
+        return self.fit_corpus(
+            corpus, checkpoint_dir=checkpoint_dir, resume=resume
+        )
 
     def fit_corpus(
-        self, corpus: WalkCorpus, *, init_vectors: np.ndarray | None = None
+        self,
+        corpus: WalkCorpus,
+        *,
+        init_vectors: np.ndarray | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> "V2V":
         """Train on an existing walk corpus (optionally warm-started)."""
         self._corpus = corpus
         self._result = train_embeddings(
-            corpus, self.config.train_config(), init_vectors=init_vectors
+            corpus,
+            self.config.train_config(),
+            init_vectors=init_vectors,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         return self
 

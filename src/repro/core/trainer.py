@@ -6,12 +6,21 @@ predictable, the loss plateaus sooner, and training halts early. The
 trainer implements that behaviour explicitly: per-epoch mean loss is
 tracked, and training stops once the relative improvement stays below
 ``tol`` for ``patience`` consecutive epochs.
+
+Durability: with ``checkpoint_dir`` set, the full trainer state (weight
+matrices, RNG state, loss history, early-stop counters, LR-schedule
+position) is snapshotted atomically after each epoch; ``resume=True``
+restores the latest snapshot and continues, producing final embeddings
+bitwise-identical to an uninterrupted run with the same seed (see
+docs/resilience.md).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -26,6 +35,8 @@ __all__ = ["TrainConfig", "EmbeddingResult", "train_embeddings"]
 
 OBJECTIVES = ("cbow", "skipgram")
 OUTPUT_LAYERS = ("negative", "hierarchical")
+
+TRAINER_CHECKPOINT = "trainer"
 
 
 @dataclass(frozen=True)
@@ -132,11 +143,125 @@ def _build_objective(
     return objective
 
 
+# ----------------------------------------------------------------------
+# Epoch-level state (shared by the in-memory and streaming loops) and
+# its checkpoint plumbing.
+# ----------------------------------------------------------------------
+@dataclass
+class _TrainState:
+    """Everything that survives an epoch boundary."""
+
+    epoch: int = 0  # completed epochs
+    loss_history: list[float] = field(default_factory=list)
+    best_loss: float = np.inf
+    stall: int = 0
+    batch_index: int = 0
+    converged: bool = False
+
+    def record_epoch(self, mean_loss: float, config: TrainConfig) -> None:
+        self.loss_history.append(mean_loss)
+        self.epoch += 1
+        if config.early_stop:
+            improvement = (self.best_loss - mean_loss) / max(
+                abs(self.best_loss), 1e-12
+            )
+            if np.isfinite(self.best_loss) and improvement < config.tol:
+                self.stall += 1
+                if self.stall >= config.patience:
+                    self.converged = True
+            else:
+                self.stall = 0
+            self.best_loss = min(self.best_loss, mean_loss)
+
+
+class _TrainerCheckpointer:
+    """Per-epoch atomic snapshots of a training run (or None-op)."""
+
+    def __init__(
+        self,
+        checkpoint_dir: str | Path,
+        fingerprint: dict,
+        every: int,
+    ) -> None:
+        from repro.resilience.checkpoint import CheckpointManager
+
+        if every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.manager = CheckpointManager(checkpoint_dir)
+        self.fingerprint = fingerprint
+        self.every = every
+
+    def restore(
+        self, objective, rng: np.random.Generator
+    ) -> _TrainState | None:
+        """Load the trainer snapshot, if any, into objective/rng/state."""
+        ckpt = self.manager.load_if_exists(TRAINER_CHECKPOINT)
+        if ckpt is None:
+            return None
+        if ckpt.meta.get("fingerprint") != self.fingerprint:
+            raise ValueError(
+                f"trainer checkpoint in {self.manager.directory} was written "
+                "by a different configuration or corpus; clear the directory "
+                "or resume with the original settings"
+            )
+        objective.w_in = np.ascontiguousarray(ckpt.arrays["w_in"], dtype=np.float64)
+        objective.w_out = np.ascontiguousarray(ckpt.arrays["w_out"], dtype=np.float64)
+        rng.bit_generator.state = ckpt.meta["rng_state"]
+        return _TrainState(
+            epoch=int(ckpt.meta["epoch"]),
+            loss_history=[float(x) for x in ckpt.meta["loss_history"]],
+            best_loss=float(ckpt.meta["best_loss"]),
+            stall=int(ckpt.meta["stall"]),
+            batch_index=int(ckpt.meta["batch_index"]),
+            converged=bool(ckpt.meta["converged"]),
+        )
+
+    def save(
+        self, objective, rng: np.random.Generator, state: _TrainState, *, final: bool
+    ) -> None:
+        if not final and state.epoch % self.every != 0:
+            return
+        self.manager.save(
+            TRAINER_CHECKPOINT,
+            {"w_in": objective.w_in, "w_out": objective.w_out},
+            {
+                "fingerprint": self.fingerprint,
+                "rng_state": rng.bit_generator.state,
+                "epoch": state.epoch,
+                "loss_history": state.loss_history,
+                "best_loss": state.best_loss,
+                "stall": state.stall,
+                "batch_index": state.batch_index,
+                "converged": state.converged,
+            },
+        )
+
+
+def _train_fingerprint(
+    corpus: WalkCorpus, config: TrainConfig, init_vectors: np.ndarray | None
+) -> dict:
+    """Identity of a training job: config + corpus shape + warm start."""
+    return {
+        "config": asdict(config),
+        "corpus": {
+            "num_walks": corpus.num_walks,
+            "max_length": corpus.max_length,
+            "num_tokens": corpus.num_tokens,
+            "num_vertices": corpus.num_vertices,
+        },
+        "has_init_vectors": init_vectors is not None,
+    }
+
+
 def train_embeddings(
     corpus: WalkCorpus,
     config: TrainConfig | None = None,
     *,
     init_vectors: np.ndarray | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    epoch_callback: Callable[[int, float], None] | None = None,
 ) -> EmbeddingResult:
     """Train vertex embeddings on a walk corpus.
 
@@ -148,6 +273,15 @@ def train_embeddings(
     ``init_vectors`` warm-starts the input embedding matrix — used by
     :meth:`repro.core.model.V2V.refit` to retrain after small graph
     changes without re-learning from scratch.
+
+    ``checkpoint_dir`` snapshots the trainer atomically every
+    ``checkpoint_every`` epochs; with ``resume=True`` an existing
+    snapshot (written by the same config and corpus — anything else
+    raises ``ValueError``) is restored and training continues from the
+    epoch after it, replaying the exact RNG stream of an uninterrupted
+    run. ``epoch_callback(epoch_index, mean_loss)`` fires after each
+    completed epoch (after the snapshot, so a crash inside the callback
+    is itself resumable).
     """
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
@@ -155,8 +289,27 @@ def train_embeddings(
     if vocab.total_tokens == 0:
         raise ValueError("corpus is empty; nothing to train on")
 
+    checkpointer = (
+        _TrainerCheckpointer(
+            checkpoint_dir,
+            _train_fingerprint(corpus, config, init_vectors),
+            checkpoint_every,
+        )
+        if checkpoint_dir is not None
+        else None
+    )
+
     if config.streaming:
-        return _train_streaming(corpus, config, vocab, rng, init_vectors)
+        return _train_streaming(
+            corpus,
+            config,
+            vocab,
+            rng,
+            init_vectors,
+            checkpointer=checkpointer,
+            resume=resume,
+            epoch_callback=epoch_callback,
+        )
 
     centers, contexts = corpus.context_arrays(config.window)
     if centers.size == 0:
@@ -169,47 +322,46 @@ def train_embeddings(
             centers, contexts = centers[keep], contexts[keep]
 
     objective = _build_objective(config, vocab, rng, init_vectors)
+    state = _TrainState()
+    if checkpointer is not None and resume:
+        state = checkpointer.restore(objective, rng) or state
 
     num_examples = centers.shape[0]
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
 
-    loss_history: list[float] = []
-    best_loss = np.inf
-    stall = 0
-    converged = False
     start = time.perf_counter()
-    batch_index = 0
-    for _epoch in range(config.epochs):
+    for _epoch in range(state.epoch, config.epochs):
+        if state.converged:
+            break
         order = rng.permutation(num_examples) if config.shuffle else np.arange(num_examples)
         epoch_loss = 0.0
         for lo in range(0, num_examples, config.batch_size):
             sel = order[lo : lo + config.batch_size]
             # Linear LR decay over the scheduled (not early-stopped) run.
-            frac = batch_index / max(total_batches - 1, 1)
+            frac = state.batch_index / max(total_batches - 1, 1)
             lr = config.lr + (config.lr_min - config.lr) * frac
             epoch_loss += objective.batch_step(centers[sel], contexts[sel], lr, rng)
-            batch_index += 1
+            state.batch_index += 1
         mean_loss = epoch_loss / batches_per_epoch
-        loss_history.append(mean_loss)
-        if config.early_stop:
-            improvement = (best_loss - mean_loss) / max(abs(best_loss), 1e-12)
-            if np.isfinite(best_loss) and improvement < config.tol:
-                stall += 1
-                if stall >= config.patience:
-                    converged = True
-                    break
-            else:
-                stall = 0
-            best_loss = min(best_loss, mean_loss)
+        state.record_epoch(mean_loss, config)
+        if checkpointer is not None:
+            checkpointer.save(
+                objective,
+                rng,
+                state,
+                final=state.converged or state.epoch == config.epochs,
+            )
+        if epoch_callback is not None:
+            epoch_callback(state.epoch - 1, mean_loss)
     elapsed = time.perf_counter() - start
 
     return EmbeddingResult(
         vectors=objective.vectors.copy(),
-        loss_history=loss_history,
-        epochs_run=len(loss_history),
+        loss_history=state.loss_history,
+        epochs_run=len(state.loss_history),
         train_seconds=elapsed,
-        converged=converged,
+        converged=state.converged,
         config=config,
     )
 
@@ -220,6 +372,10 @@ def _train_streaming(
     vocab: VertexVocab,
     rng: np.random.Generator,
     init_vectors: np.ndarray | None,
+    *,
+    checkpointer: _TrainerCheckpointer | None = None,
+    resume: bool = False,
+    epoch_callback: Callable[[int, float], None] | None = None,
 ) -> EmbeddingResult:
     """Memory-bounded training: context examples are extracted one walk
     chunk at a time instead of materialized for the whole corpus.
@@ -236,6 +392,9 @@ def _train_streaming(
     if num_examples == 0:
         raise ValueError("corpus has no (center, context) examples")
     objective = _build_objective(config, vocab, rng, init_vectors)
+    state = _TrainState()
+    if checkpointer is not None and resume:
+        state = checkpointer.restore(objective, rng) or state
 
     keep_p = (
         vocab.keep_probabilities(config.subsample)
@@ -245,13 +404,10 @@ def _train_streaming(
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
 
-    loss_history: list[float] = []
-    best_loss = np.inf
-    stall = 0
-    converged = False
     start = time.perf_counter()
-    batch_index = 0
-    for _epoch in range(config.epochs):
+    for _epoch in range(state.epoch, config.epochs):
+        if state.converged:
+            break
         if config.shuffle:
             row_order = rng.permutation(corpus.num_walks)
             shuffled = WalkCorpus(
@@ -267,7 +423,7 @@ def _train_streaming(
         buffered = 0
 
         def drain(final: bool) -> tuple[float, int]:
-            nonlocal batch_index, buf_centers, buf_contexts, buffered
+            nonlocal buf_centers, buf_contexts, buffered
             centers = np.concatenate(buf_centers)
             contexts = np.vstack(buf_contexts)
             if config.shuffle:
@@ -281,7 +437,7 @@ def _train_streaming(
             loss = 0.0
             steps = 0
             for lo in range(0, full, config.batch_size):
-                frac = min(batch_index, total_batches - 1) / max(
+                frac = min(state.batch_index, total_batches - 1) / max(
                     total_batches - 1, 1
                 )
                 lr = config.lr + (config.lr_min - config.lr) * frac
@@ -291,7 +447,7 @@ def _train_streaming(
                     lr,
                     rng,
                 )
-                batch_index += 1
+                state.batch_index += 1
                 steps += 1
             if full < centers.shape[0]:
                 buf_centers = [centers[full:]]
@@ -320,24 +476,23 @@ def _train_streaming(
             epoch_loss += loss
             epoch_batches += steps
         mean_loss = epoch_loss / max(epoch_batches, 1)
-        loss_history.append(mean_loss)
-        if config.early_stop:
-            improvement = (best_loss - mean_loss) / max(abs(best_loss), 1e-12)
-            if np.isfinite(best_loss) and improvement < config.tol:
-                stall += 1
-                if stall >= config.patience:
-                    converged = True
-                    break
-            else:
-                stall = 0
-            best_loss = min(best_loss, mean_loss)
+        state.record_epoch(mean_loss, config)
+        if checkpointer is not None:
+            checkpointer.save(
+                objective,
+                rng,
+                state,
+                final=state.converged or state.epoch == config.epochs,
+            )
+        if epoch_callback is not None:
+            epoch_callback(state.epoch - 1, mean_loss)
     elapsed = time.perf_counter() - start
 
     return EmbeddingResult(
         vectors=objective.vectors.copy(),
-        loss_history=loss_history,
-        epochs_run=len(loss_history),
+        loss_history=state.loss_history,
+        epochs_run=len(state.loss_history),
         train_seconds=elapsed,
-        converged=converged,
+        converged=state.converged,
         config=config,
     )

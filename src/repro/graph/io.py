@@ -40,36 +40,107 @@ def _fmt(x) -> str:
     return str(int(value)) if value.is_integer() else repr(value)
 
 
+ERROR_POLICIES = ("strict", "skip", "collect")
+
+
+def _parse_edge_line(line: str, width: int | None) -> tuple[list[float], str | None]:
+    """Parse one data line; returns (fields, error message or None)."""
+    try:
+        fields = [float(t) for t in line.split()]
+    except ValueError:
+        return [], "non-numeric field"
+    if len(fields) < 2:
+        return [], "fewer than two columns"
+    if width is not None and len(fields) != width:
+        return [], f"expected {width} columns, got {len(fields)}"
+    for value in fields[:2]:
+        if not np.isfinite(value) or value != int(value):
+            return [], f"vertex id {value!r} is not a non-negative integer"
+        if value < 0:
+            return [], f"vertex id {value!r} is not a non-negative integer"
+    return fields, None
+
+
 def read_edge_list(
     path: str | Path,
     *,
     n: int | None = None,
     directed: bool | None = None,
+    errors: str = "strict",
+    collector: list[tuple[int, str, str]] | None = None,
 ) -> Graph:
     """Read a text edge list. Header comments written by
     :func:`write_edge_list` supply ``n`` and directedness; explicit
     arguments override. Without either, ``n`` defaults to max id + 1.
+
+    ``errors`` controls what a malformed line (non-numeric field, wrong
+    column count, fractional/negative/out-of-range vertex id) does:
+
+    - ``"strict"`` (default) — raise ``ValueError`` naming the line.
+    - ``"skip"`` — drop the line silently; one corrupt record no longer
+      kills a multi-hour pipeline load.
+    - ``"collect"`` — drop the line and record ``(lineno, line,
+      message)``. Records append to ``collector`` when given, otherwise
+      a single summary ``UserWarning`` is emitted.
+
+    Column count is fixed by the first well-formed data line; later
+    lines with a different width are malformed.
     """
+    if errors not in ERROR_POLICIES:
+        raise ValueError(f"errors must be one of {ERROR_POLICIES}")
     path = Path(path)
     header_n: int | None = None
     header_directed: bool | None = None
     rows: list[list[float]] = []
+    bad: list[tuple[int, str, str]] = collector if collector is not None else []
+    width: int | None = None
     with path.open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             if line.startswith("#"):
-                for token in line[1:].split():
-                    if token.startswith("n="):
-                        header_n = int(token[2:])
-                    elif token.startswith("directed="):
-                        header_directed = bool(int(token[9:]))
+                try:
+                    for token in line[1:].split():
+                        if token.startswith("n="):
+                            header_n = int(token[2:])
+                        elif token.startswith("directed="):
+                            header_directed = bool(int(token[9:]))
+                except ValueError:
+                    if errors == "strict":
+                        raise ValueError(
+                            f"{path}:{lineno}: malformed header: {line!r}"
+                        ) from None
+                    bad.append((lineno, line, "malformed header"))
                 continue
-            rows.append([float(t) for t in line.split()])
-    if rows and len({len(r) for r in rows}) != 1:
-        raise ValueError("inconsistent column counts in edge list")
-    width = len(rows[0]) if rows else 2
+            fields, problem = _parse_edge_line(line, width)
+            limit = n if n is not None else header_n
+            if problem is None and limit is not None:
+                if fields[0] >= limit or fields[1] >= limit:
+                    problem = f"vertex id exceeds declared n={limit}"
+            if problem is not None:
+                if errors == "strict":
+                    if problem.startswith("expected "):
+                        raise ValueError(
+                            "inconsistent column counts in edge list "
+                            f"(line {lineno}: {problem})"
+                        )
+                    raise ValueError(f"{path}:{lineno}: {problem}: {line!r}")
+                bad.append((lineno, line, problem))
+                continue
+            if width is None:
+                width = len(fields)
+            rows.append(fields)
+    if errors == "collect" and bad and collector is None:
+        import warnings
+
+        warnings.warn(
+            f"read_edge_list: dropped {len(bad)} malformed line(s) from {path} "
+            f"(first: line {bad[0][0]}: {bad[0][2]})",
+            UserWarning,
+            stacklevel=2,
+        )
+    width = width if width is not None else 2
     arr = np.asarray(rows, dtype=np.float64) if rows else np.empty((0, width))
     src = arr[:, 0].astype(np.int64)
     dst = arr[:, 1].astype(np.int64)

@@ -1,27 +1,64 @@
-"""Chunked parallel map over picklable work items.
+"""Chunked parallel map over picklable work items, hardened for failure.
 
 Uses ``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1`` and
 falls back to a serial loop otherwise (or when the platform cannot fork),
 so callers get one code path. Work functions must be module-level
 (picklable); per the mpi4py/scientific-python guides, data is passed as
 contiguous numpy arrays to keep serialization cheap.
+
+Failure semantics (see docs/resilience.md):
+
+- An exception raised *by the work function* propagates to the caller
+  unchanged — identical to the serial path.
+- Pool-level failures — a worker killed mid-map (``BrokenExecutor`` /
+  ``BrokenProcessPool``), or a sandbox that refuses to spawn processes
+  (``OSError``/``PermissionError``) — never lose completed items. The
+  failed items are retried in a fresh pool per the
+  :class:`~repro.resilience.retry.RetryPolicy`, and if the pool keeps
+  breaking, execution degrades to a serial loop with a warning instead
+  of crashing.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
+
+from repro.resilience.retry import RetryPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["chunk_bounds", "parallel_map", "default_workers"]
+__all__ = ["chunk_bounds", "parallel_map", "default_workers", "POOL_RETRY_POLICY"]
+
+# Pool-level failures only: a worker function raising OSError is
+# indistinguishable here, but retrying it is harmless (it fails again
+# and propagates from the final serial pass).
+POOL_RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.02,
+    max_delay=0.5,
+    jitter=0.0,
+    retry_on=(BrokenExecutor, OSError, PermissionError),
+)
+
+_UNSET = object()
 
 
 def default_workers() -> int:
-    """A conservative worker count: physical-ish parallelism, at least 1."""
-    return max(1, (os.cpu_count() or 1))
+    """A conservative worker count: physical-ish parallelism, at least 1.
+
+    Prefers the CPU-affinity mask (``os.sched_getaffinity``) over the
+    raw core count so containers pinned to a CPU subset don't
+    oversubscribe.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux or restricted platform
+        return max(1, (os.cpu_count() or 1))
 
 
 def chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
@@ -49,17 +86,71 @@ def parallel_map(
     items: Sequence[T],
     *,
     workers: int = 1,
+    retry: RetryPolicy | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, in-process if ``workers == 1``.
 
-    Results preserve input order. Exceptions propagate from the first
-    failing item (matching the serial semantics).
+    Results preserve input order. Exceptions raised by ``fn`` propagate
+    from the first failing item (matching the serial semantics); pool
+    breakage is retried per ``retry`` (default
+    :data:`POOL_RETRY_POLICY`) and finally degraded to serial execution,
+    so completed items are never recomputed and the map never fails
+    because of infrastructure alone.
     """
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    policy = retry or POOL_RETRY_POLICY
+    results: list = [_UNSET] * len(items)
+    pending = list(range(len(items)))
+    delays = policy.delay_schedule()
+
+    for attempt in range(policy.max_attempts):
+        pending = _pool_pass(fn, items, results, pending, workers, policy)
+        if not pending:
+            return results
+        if attempt < policy.max_attempts - 1:
+            time.sleep(delays[attempt])
+
+    warnings.warn(
+        f"parallel_map: process pool kept failing; computing {len(pending)} "
+        f"of {len(items)} item(s) serially",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    for i in pending:
+        results[i] = fn(items[i])
+    return results
+
+
+def _pool_pass(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    results: list,
+    pending: list[int],
+    workers: int,
+    policy: RetryPolicy,
+) -> list[int]:
+    """Run one pool attempt over ``pending`` indices.
+
+    Fills ``results`` in place and returns the indices that must be
+    retried (pool-level failures). Work-function exceptions propagate.
+    """
+    still_pending: list[int] = []
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items))
-    except (OSError, PermissionError):
-        # Sandboxed or fork-restricted environment: degrade gracefully.
-        return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {}
+            for i in pending:
+                try:
+                    futures[i] = pool.submit(fn, items[i])
+                except policy.retry_on:
+                    # Pool already broken (or refused): queue for retry.
+                    still_pending.append(i)
+            for i, future in futures.items():
+                try:
+                    results[i] = future.result()
+                except policy.retry_on:
+                    still_pending.append(i)
+    except policy.retry_on:
+        # Creation/teardown failure: everything unfinished is retried.
+        still_pending = [i for i in pending if results[i] is _UNSET]
+    return still_pending

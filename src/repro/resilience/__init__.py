@@ -1,0 +1,45 @@
+"""Fault-tolerant execution: retry policies, atomic checkpoints, chaos.
+
+The north-star deployment runs walk generation and training as long
+multi-process jobs; this package supplies the three primitives every
+layer above uses to survive partial failure:
+
+- :mod:`repro.resilience.retry` — :class:`RetryPolicy` (bounded attempts,
+  exponential backoff with deterministic seeded jitter) plus
+  :func:`call_with_retry` and :func:`run_with_timeout`.
+- :mod:`repro.resilience.checkpoint` — atomic ``write-tmp → fsync →
+  rename`` snapshots of numpy state with a :class:`CheckpointManager`
+  for named checkpoint directories.
+- :mod:`repro.resilience.chaos` — a deterministic fault-injection
+  harness (:class:`FaultInjector`) used by the test suite to prove each
+  recovery path actually fires.
+"""
+
+from repro.resilience.chaos import FaultInjector, InjectedFault
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    atomic_write_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.retry import (
+    RetryError,
+    RetryPolicy,
+    call_with_retry,
+    run_with_timeout,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "RetryError",
+    "call_with_retry",
+    "run_with_timeout",
+    "Checkpoint",
+    "CheckpointManager",
+    "atomic_write_bytes",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultInjector",
+    "InjectedFault",
+]

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for testing recovery paths.
+
+:class:`FaultInjector` wraps a callable and makes it misbehave on
+command: raise on the Nth call, fail at a seeded random rate, inject
+latency, or hard-kill the hosting process (``os._exit``) to simulate a
+worker crash / OOM kill. Everything is deterministic — call counters
+are exact and random failures derive from ``(seed, call_number)`` — so
+a chaos test either always trips the recovery path or never does.
+
+Instances are picklable (plain attributes, module-level class), so an
+injector can ride into a ``ProcessPoolExecutor`` worker. Two details
+matter for multi-process chaos:
+
+- Call counters are **process-local**: the pickled copy a worker
+  receives starts at zero. Trigger on *item values* (``fail_items`` /
+  ``exit_items``) when scheduling across workers is nondeterministic.
+- ``once_marker`` points at a filesystem path shared by all processes;
+  a fault only fires while the marker is absent and creates it when it
+  fires, giving "fail exactly once, then recover" semantics across
+  retries and pool respawns.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Collection
+
+import numpy as np
+
+__all__ = ["FaultInjector", "InjectedFault", "EXIT_CODE"]
+
+EXIT_CODE = 13  # distinctive status for injected process death
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by an injected (non-fatal) fault."""
+
+
+class FaultInjector:
+    """A chaotic proxy for ``fn``.
+
+    Parameters
+    ----------
+    fn:
+        The callable to wrap. Must be picklable for cross-process use.
+    fail_on_calls:
+        1-based process-local call numbers that raise
+        :class:`InjectedFault`.
+    exit_on_calls:
+        Call numbers that terminate the process via ``os._exit`` —
+        bypassing ``finally`` blocks exactly like a SIGKILL/OOM kill.
+    fail_items / exit_items:
+        Trigger on the first positional argument instead of the call
+        counter (robust under nondeterministic work scheduling).
+    failure_rate:
+        Probability of an injected failure on each call, derived
+        deterministically from ``(seed, call_number)``.
+    delay:
+        Seconds to sleep before each underlying call (latency chaos).
+    once_marker:
+        Optional path; faults fire only while it does not exist and
+        create it upon firing, so a retried call succeeds.
+    only_in_subprocess:
+        Arm faults only when running in a process other than the one
+        that constructed the injector — lets a test break *every* pool
+        worker while the in-process serial fallback still succeeds.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        *,
+        fail_on_calls: Collection[int] = (),
+        exit_on_calls: Collection[int] = (),
+        fail_items: Collection[Any] = (),
+        exit_items: Collection[Any] = (),
+        failure_rate: float = 0.0,
+        seed: int = 0,
+        delay: float = 0.0,
+        once_marker: str | Path | None = None,
+        only_in_subprocess: bool = False,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.fn = fn
+        self.fail_on_calls = frozenset(int(c) for c in fail_on_calls)
+        self.exit_on_calls = frozenset(int(c) for c in exit_on_calls)
+        self.fail_items = tuple(fail_items)
+        self.exit_items = tuple(exit_items)
+        self.failure_rate = float(failure_rate)
+        self.seed = int(seed)
+        self.delay = float(delay)
+        self.once_marker = str(once_marker) if once_marker is not None else None
+        self.only_in_subprocess = bool(only_in_subprocess)
+        self._home_pid = os.getpid()
+        self.calls = 0  # process-local
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero the process-local call counter."""
+        self.calls = 0
+
+    def _armed(self) -> bool:
+        if self.only_in_subprocess and os.getpid() == self._home_pid:
+            return False
+        if self.once_marker is None:
+            return True
+        return not os.path.exists(self.once_marker)
+
+    def _mark_fired(self) -> None:
+        if self.once_marker is not None:
+            Path(self.once_marker).touch()
+
+    def _random_says_fail(self, call_number: int) -> bool:
+        if self.failure_rate <= 0.0:
+            return False
+        rng = np.random.default_rng((self.seed, call_number))
+        return bool(rng.random() < self.failure_rate)
+
+    def _should(self, calls: Collection[int], items: tuple, args: tuple) -> bool:
+        if self.calls in calls:
+            return True
+        return bool(items) and bool(args) and args[0] in items
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        if self._armed():
+            if self._should(self.exit_on_calls, self.exit_items, args):
+                self._mark_fired()
+                os._exit(EXIT_CODE)
+            if self._should(self.fail_on_calls, self.fail_items, args) or (
+                self._random_says_fail(self.calls)
+            ):
+                self._mark_fired()
+                raise InjectedFault(
+                    f"injected fault on call {self.calls} (args={args!r})"
+                )
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector({getattr(self.fn, '__name__', self.fn)!r}, "
+            f"calls={self.calls})"
+        )

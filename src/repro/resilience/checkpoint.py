@@ -1,0 +1,168 @@
+"""Atomic checkpoint files for pipeline state.
+
+A checkpoint is a single ``.npz`` holding named numpy arrays plus a
+JSON metadata record (stored as a ``__meta__`` uint8 buffer, the same
+trick :func:`repro.graph.io.save_graph` uses). Writes are atomic:
+
+    serialize to memory → write ``<name>.tmp.<pid>`` → flush → fsync
+    → ``os.replace`` onto the final name
+
+``os.replace`` is atomic on POSIX and Windows, so a reader (including a
+resuming run) only ever sees either the previous complete checkpoint or
+the new complete checkpoint — never a torn file. A crash mid-write
+leaves at most a stale ``*.tmp.*`` file, which the manager sweeps.
+
+:class:`CheckpointManager` scopes named checkpoints to a directory and
+is what the walk engine and trainer thread through the stack.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "atomic_write_bytes",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_META_KEY = "__meta__"
+_SUFFIX = ".ckpt.npz"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An in-memory checkpoint: named arrays plus a JSON-able meta dict."""
+
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp → fsync → rename).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (the only portable way to
+    make it atomic).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on failure before the replace
+            tmp.unlink()
+
+
+def save_checkpoint(
+    path: str | Path,
+    arrays: dict[str, np.ndarray] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Atomically write a checkpoint file.
+
+    ``meta`` must be JSON-serializable; Python ints of any size are fine
+    (numpy RNG states carry 128-bit integers).
+    """
+    arrays = dict(arrays or {})
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    payload = json.dumps(meta or {}).encode()
+    arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    atomic_write_bytes(path, buf.getvalue())
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(bytes(data[_META_KEY]).decode()) if _META_KEY in data else {}
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+    return Checkpoint(arrays=arrays, meta=meta)
+
+
+class CheckpointManager:
+    """Named checkpoints under one directory.
+
+    Each name maps to ``<dir>/<name>.ckpt.npz``; saves go through
+    :func:`save_checkpoint`, so every named slot is individually atomic.
+    The directory is created lazily on first save.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._dir = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def path_for(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid checkpoint name {name!r}")
+        return self._dir / f"{name}{_SUFFIX}"
+
+    def exists(self, name: str) -> bool:
+        return self.path_for(name).exists()
+
+    def save(
+        self,
+        name: str,
+        arrays: dict[str, np.ndarray] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        path = self.path_for(name)
+        save_checkpoint(path, arrays, meta)
+        return path
+
+    def load(self, name: str) -> Checkpoint:
+        return load_checkpoint(self.path_for(name))
+
+    def load_if_exists(self, name: str) -> Checkpoint | None:
+        return self.load(name) if self.exists(name) else None
+
+    def delete(self, name: str) -> None:
+        path = self.path_for(name)
+        if path.exists():
+            path.unlink()
+
+    def names(self) -> list[str]:
+        """Completed checkpoint names, sorted (tmp leftovers excluded)."""
+        if not self._dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(_SUFFIX)]
+            for p in self._dir.iterdir()
+            if p.name.endswith(_SUFFIX)
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def sweep_tmp(self) -> int:
+        """Remove stale ``*.tmp.*`` leftovers from crashed writes."""
+        if not self._dir.is_dir():
+            return 0
+        removed = 0
+        for p in self._dir.iterdir():
+            if ".tmp." in p.name and p.name.split(".tmp.")[0].endswith(".npz"):
+                p.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointManager({str(self._dir)!r}, {len(self.names())} saved)"

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -82,6 +83,9 @@ def generate_walks(
     config: RandomWalkConfig | None = None,
     *,
     workers: int = 1,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
+    checkpoint_chunks: int | None = None,
 ) -> WalkCorpus:
     """Generate ``t`` walks from every vertex (or from ``start_vertices``).
 
@@ -92,8 +96,28 @@ def generate_walks(
     gets an independent spawned seed stream, so results are reproducible
     for a fixed ``(seed, workers)`` pair (but differ across worker
     counts, since the streams differ).
+
+    ``checkpoint_dir`` enables durable execution: the walk set is split
+    into ``checkpoint_chunks`` chunks (default ``max(workers, 1)``) and
+    each completed chunk is written atomically to the directory. With
+    ``resume=True``, chunks already on disk (with a matching
+    configuration fingerprint) are reused instead of recomputed, so a
+    killed run restarts where it stopped and — because chunk seeds are
+    spawned deterministically from ``config.seed`` — produces a corpus
+    bitwise-identical to an uninterrupted run with the same
+    ``(seed, chunk count)``. A fingerprint mismatch raises
+    ``ValueError`` rather than silently mixing corpora.
     """
     config = config or RandomWalkConfig()
+    if checkpoint_dir is not None:
+        return _generate_walks_checkpointed(
+            g,
+            config,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            chunks=checkpoint_chunks or max(workers, 1),
+        )
     if workers > 1:
         return _generate_walks_parallel(g, config, workers)
     mode = WalkMode(config.mode)
@@ -151,10 +175,16 @@ def _chunk_task(args: tuple) -> np.ndarray:
     return generate_walks(g, chunk_config).walks
 
 
-def _generate_walks_parallel(
-    g: Graph, config: RandomWalkConfig, workers: int
-) -> WalkCorpus:
-    from repro.parallel.pool import chunk_bounds, parallel_map
+def _chunk_tasks(
+    g: Graph, config: RandomWalkConfig, chunks: int
+) -> list[tuple] | None:
+    """Per-chunk ``_chunk_task`` argument tuples (None if no walks).
+
+    Chunk seeds are spawned deterministically from ``config.seed``, so
+    the task list — and therefore the assembled corpus — depends only on
+    ``(seed, chunk count)``, not on how chunks are scheduled.
+    """
+    from repro.parallel.pool import chunk_bounds
     from repro.parallel.seeding import spawn_seeds
 
     if config.start_vertices is not None:
@@ -163,22 +193,107 @@ def _generate_walks_parallel(
         starts_once = np.arange(g.n, dtype=np.int64)
     starts = np.tile(starts_once, config.walks_per_vertex)
     if starts.size == 0:
-        return WalkCorpus(
-            np.full((0, config.walk_length), PAD, dtype=np.int64),
-            num_vertices=g.n,
-        )
-    bounds = chunk_bounds(starts.shape[0], workers)
+        return None
+    bounds = chunk_bounds(starts.shape[0], chunks)
     # SeedSequence state is a plain int tuple -> picklable across processes.
     seeds = [
         int(s.generate_state(1)[0])
         for s in spawn_seeds(config.seed, len(bounds))
     ]
-    tasks = [
+    return [
         (g, config, starts[lo:hi], seed)
         for (lo, hi), seed in zip(bounds, seeds)
     ]
+
+
+def _empty_corpus(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
+    return WalkCorpus(
+        np.full((0, config.walk_length), PAD, dtype=np.int64),
+        num_vertices=g.n,
+    )
+
+
+def _generate_walks_parallel(
+    g: Graph, config: RandomWalkConfig, workers: int
+) -> WalkCorpus:
+    from repro.parallel.pool import parallel_map
+
+    tasks = _chunk_tasks(g, config, workers)
+    if tasks is None:
+        return _empty_corpus(g, config)
     chunks = parallel_map(_chunk_task, tasks, workers=workers)
     return WalkCorpus(np.vstack(chunks), num_vertices=g.n)
+
+
+def _walk_fingerprint(g: Graph, config: RandomWalkConfig, chunks: int) -> dict:
+    """Identity of a checkpointed walk job; mismatches refuse to resume."""
+    starts = config.start_vertices
+    return {
+        "n": int(g.n),
+        "num_edges": int(g.num_edges),
+        "directed": bool(g.directed),
+        "walks_per_vertex": config.walks_per_vertex,
+        "walk_length": config.walk_length,
+        "mode": str(WalkMode(config.mode).value),
+        "time_window": config.time_window,
+        "p": config.p,
+        "q": config.q,
+        "seed": config.seed,
+        "chunks": int(chunks),
+        "start_vertices": None if starts is None else [int(v) for v in starts],
+    }
+
+
+def _generate_walks_checkpointed(
+    g: Graph,
+    config: RandomWalkConfig,
+    *,
+    workers: int,
+    checkpoint_dir: str | Path,
+    resume: bool,
+    chunks: int,
+) -> WalkCorpus:
+    from repro.parallel.pool import parallel_map
+    from repro.resilience.checkpoint import CheckpointManager
+
+    tasks = _chunk_tasks(g, config, chunks)
+    if tasks is None:
+        return _empty_corpus(g, config)
+    manager = CheckpointManager(checkpoint_dir)
+    fingerprint = _walk_fingerprint(g, config, len(tasks))
+
+    done: dict[int, np.ndarray] = {}
+    if resume:
+        for i in range(len(tasks)):
+            ckpt = manager.load_if_exists(f"walks-{i:04d}")
+            if ckpt is None:
+                continue
+            if ckpt.meta.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    f"walk checkpoint {manager.path_for(f'walks-{i:04d}')} was "
+                    "written by a different walk configuration; clear the "
+                    "checkpoint directory or resume with the original settings"
+                )
+            done[i] = ckpt.arrays["walks"]
+
+    missing = [i for i in range(len(tasks)) if i not in done]
+    # Compute in waves of `workers` chunks, checkpointing after each
+    # wave, so a kill mid-job loses at most one wave of work.
+    wave = max(workers, 1)
+    for lo in range(0, len(missing), wave):
+        batch = missing[lo : lo + wave]
+        computed = parallel_map(
+            _chunk_task, [tasks[i] for i in batch], workers=workers
+        )
+        for i, walks in zip(batch, computed):
+            manager.save(
+                f"walks-{i:04d}",
+                {"walks": walks},
+                {"fingerprint": fingerprint, "chunk": i},
+            )
+            done[i] = walks
+    ordered = [done[i] for i in range(len(tasks))]
+    return WalkCorpus(np.vstack(ordered), num_vertices=g.n)
 
 
 def _validate_mode(g: Graph, mode: WalkMode) -> None:

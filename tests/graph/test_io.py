@@ -76,6 +76,70 @@ class TestEdgeListText:
         assert read_edge_list(p).n == 0
 
 
+class TestErrorPolicies:
+    CORRUPT = (
+        "# n=5 directed=0\n"
+        "0 1\n"
+        "banana soup\n"  # non-numeric
+        "1 2\n"
+        "3 99\n"  # exceeds declared n
+        "2 -4\n"  # negative id
+        "1 2 3\n"  # wrong column count
+        "4 4.5\n"  # fractional id
+        "3 4\n"
+    )
+
+    def test_strict_raises_with_line_number(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text(self.CORRUPT)
+        with pytest.raises(ValueError, match=":3:"):
+            read_edge_list(p)
+
+    def test_skip_drops_bad_lines(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text(self.CORRUPT)
+        g = read_edge_list(p, errors="skip")
+        assert g.n == 5
+        assert g.num_edges == 3  # the three well-formed edges survive
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(3, 4)
+
+    def test_collect_records_line_numbers_and_reasons(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text(self.CORRUPT)
+        bad: list[tuple[int, str, str]] = []
+        g = read_edge_list(p, errors="collect", collector=bad)
+        assert g.num_edges == 3
+        assert [lineno for lineno, _, _ in bad] == [3, 5, 6, 7, 8]
+        assert "non-numeric" in bad[0][2]
+
+    def test_collect_without_collector_warns(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\nnope\n")
+        with pytest.warns(UserWarning, match="dropped 1 malformed"):
+            g = read_edge_list(p, errors="collect")
+        assert g.num_edges == 1
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        with pytest.raises(ValueError, match="errors must be one of"):
+            read_edge_list(p, errors="ignore")
+
+    def test_skip_on_clean_file_changes_nothing(self, tmp_path, triangle):
+        p = tmp_path / "g.txt"
+        write_edge_list(triangle, p)
+        strict = read_edge_list(p)
+        skipped = read_edge_list(p, errors="skip")
+        assert strict.n == skipped.n
+        assert strict.num_edges == skipped.num_edges
+
+    def test_all_lines_bad_yields_empty_graph(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("x y\nz\n")
+        g = read_edge_list(p, errors="skip")
+        assert g.n == 0 and g.num_edges == 0
+
+
 class TestBinary:
     def test_full_roundtrip(self, tmp_path):
         g0 = planted_partition(n=60, groups=3, alpha=0.5, inter_edges=6, seed=0)

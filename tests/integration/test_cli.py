@@ -74,6 +74,45 @@ class TestEmbed:
             assert data["vectors"].shape == (60, 8)
         assert "embedded 60 vertices" in capsys.readouterr().out
 
+    def test_checkpoint_dir_and_resume(self, small_edge_list, tmp_path, capsys):
+        graph_path, _ = small_edge_list
+        ckpt = tmp_path / "ckpt"
+        base_args = [
+            "embed", str(graph_path),
+            "--dim", "8", "--walks", "4", "--length", "15",
+            "--epochs", "2", "--seed", "0",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        out1 = tmp_path / "v1.npz"
+        assert main(base_args + ["-o", str(out1)]) == 0
+        assert (ckpt / "trainer.ckpt.npz").exists()
+        assert list((ckpt / "walks").glob("walks-*.ckpt.npz"))
+        # Resuming over the finished checkpoints reproduces the vectors.
+        out2 = tmp_path / "v2.npz"
+        assert main(base_args + ["-o", str(out2), "--resume"]) == 0
+        with np.load(out1) as a, np.load(out2) as b:
+            np.testing.assert_array_equal(a["vectors"], b["vectors"])
+
+    def test_on_error_skip_loads_corrupt_edge_list(self, tmp_path, capsys):
+        graph_path = tmp_path / "corrupt.txt"
+        lines = ["0 1", "garbage line", "1 2", "2 3", "3 0", "0 2", "1 3"]
+        graph_path.write_text("\n".join(lines) + "\n")
+        out = tmp_path / "v.npz"
+        args = [
+            "embed", str(graph_path), "-o", str(out),
+            "--dim", "4", "--walks", "2", "--length", "8", "--epochs", "1",
+        ]
+        assert main(args + ["--on-error", "skip"]) == 0
+        with np.load(out) as data:
+            assert data["vectors"].shape == (4, 4)
+        # collect mode reports the dropped line on stderr
+        assert main(args + ["--on-error", "collect"]) == 0
+        err = capsys.readouterr().err
+        assert "dropped 1 malformed line" in err
+        # strict mode refuses
+        with pytest.raises(ValueError):
+            main(args + ["--on-error", "strict"])
+
     def test_node2vec_mode(self, small_edge_list, tmp_path):
         graph_path, _ = small_edge_list
         out = tmp_path / "v.npz"

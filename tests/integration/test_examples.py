@@ -5,22 +5,31 @@ benchmark suite); each is executed as a subprocess from a temp cwd so
 any files it writes stay out of the repo.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
 
 
 def run_example(name: str, tmp_path) -> str:
+    # The examples import `repro` from the source tree; the subprocess
+    # does not inherit pytest's import path, so put src/ on PYTHONPATH.
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         cwd=tmp_path,
         timeout=600,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout

@@ -1,8 +1,18 @@
-"""Tests for chunking and parallel map."""
+"""Tests for chunking and parallel map (including failure recovery)."""
+
+import os
+import warnings
 
 import pytest
 
-from repro.parallel.pool import chunk_bounds, default_workers, parallel_map
+from repro.parallel.pool import (
+    POOL_RETRY_POLICY,
+    chunk_bounds,
+    default_workers,
+    parallel_map,
+)
+from repro.resilience.chaos import FaultInjector, InjectedFault
+from repro.resilience.retry import RetryPolicy
 
 
 def square(x):
@@ -62,6 +72,64 @@ class TestParallelMap:
             parallel_map(boom, [1, 2], workers=1)
 
 
+class TestWorkerCrashRecovery:
+    """Regression: a worker dying mid-map used to raise
+    ``BrokenProcessPool`` and lose every completed chunk."""
+
+    def test_killed_worker_is_retried_and_results_stay_ordered(self, tmp_path):
+        # Item 3 hard-kills its worker (os._exit — same as OOM/SIGKILL)
+        # exactly once; the retry pass must recompute only what's missing
+        # and return complete, ordered results.
+        chaotic = FaultInjector(
+            square, exit_items=(3,), once_marker=tmp_path / "fired"
+        )
+        out = parallel_map(chaotic, list(range(8)), workers=2)
+        assert out == [x * x for x in range(8)]
+        assert (tmp_path / "fired").exists()  # the fault really fired
+
+    def test_persistently_broken_pool_degrades_to_serial(self):
+        # Every worker process dies on its first call; after the retry
+        # budget the map must fall back to in-process execution with a
+        # warning instead of crashing.
+        chaotic = FaultInjector(
+            square, exit_on_calls=range(1, 1000), only_in_subprocess=True
+        )
+        fast = RetryPolicy(
+            max_attempts=2,
+            base_delay=0.0,
+            jitter=0.0,
+            retry_on=POOL_RETRY_POLICY.retry_on,
+        )
+        with pytest.warns(RuntimeWarning, match="serially"):
+            out = parallel_map(chaotic, list(range(6)), workers=2, retry=fast)
+        assert out == [x * x for x in range(6)]
+
+    def test_work_function_exception_still_propagates(self, tmp_path):
+        chaotic = FaultInjector(square, fail_items=(2,))
+        with pytest.raises(InjectedFault):
+            parallel_map(chaotic, list(range(5)), workers=2)
+
+    def test_no_warning_on_healthy_pool(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = parallel_map(square, list(range(8)), workers=2)
+        assert out == [x * x for x in range(8)]
+
+
 class TestDefaultWorkers:
     def test_positive(self):
         assert default_workers() >= 1
+
+    def test_respects_cpu_affinity(self, monkeypatch):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1})
+        assert default_workers() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        def broken(pid):
+            raise OSError("no affinity")
+
+        monkeypatch.setattr(os, "sched_getaffinity", broken, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert default_workers() == 7

@@ -1,0 +1,87 @@
+"""Property tests: read_edge_list(errors="skip") survives fuzzed input.
+
+The robustness contract is that *no* text file makes a skip-mode load
+raise — every malformed line is dropped, every well-formed line is kept,
+and the result is always a structurally valid Graph.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.io import read_edge_list
+
+MAX_ID = 50
+
+valid_edge_lines = st.tuples(
+    st.integers(0, MAX_ID),
+    st.integers(0, MAX_ID),
+    st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False),
+).map(lambda t: f"{t[0]} {t[1]} {t[2]:.3f}")
+
+# Garbage drawn from an alphabet that cannot spell a huge-but-valid
+# numeric edge (no digits), plus a few targeted near-miss shapes.
+garbage_lines = st.one_of(
+    st.text(
+        alphabet="abcxyz#!?.,;- \t",
+        min_size=0,
+        max_size=20,
+    ),
+    st.sampled_from(
+        [
+            "1 2 3 4 5 6",  # too many columns
+            "7",  # too few columns
+            "-1 3 1.0",  # negative id
+            "2.5 3 1.0",  # fractional id
+            "nan 3 1.0",  # non-finite id
+            "inf 0 1.0",
+            "# n=banana",  # corrupt header
+            "1 2 weight",  # non-numeric weight
+        ]
+    ),
+)
+
+fuzzed_files = st.lists(
+    st.one_of(valid_edge_lines, garbage_lines), min_size=0, max_size=40
+)
+
+
+@given(fuzzed_files)
+@settings(max_examples=80, deadline=None)
+def test_skip_mode_always_returns_valid_graph(tmp_path_factory, lines):
+    path = tmp_path_factory.mktemp("fuzz") / "edges.txt"
+    path.write_text("\n".join(lines) + "\n")
+
+    g = read_edge_list(path, errors="skip")
+
+    # Structural validity: CSR bounds hold and ids are in range.
+    assert g.n >= 0
+    if g.num_edges:
+        e = g.edge_list
+        assert e.src.min() >= 0 and e.dst.min() >= 0
+        assert max(e.src.max(), e.dst.max()) < g.n
+        assert g.n <= MAX_ID + 1
+    # Adjacency structure is internally consistent.
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.indices.shape[0]
+    assert np.all(np.diff(g.indptr) >= 0)
+
+
+@given(fuzzed_files)
+@settings(max_examples=40, deadline=None)
+def test_collect_mode_partitions_every_line(tmp_path_factory, lines):
+    # Every non-blank, non-header line is either kept as an edge or
+    # reported — nothing disappears silently.
+    path = tmp_path_factory.mktemp("fuzz") / "edges.txt"
+    path.write_text("\n".join(lines) + "\n")
+
+    bad: list[tuple[int, str, str]] = []
+    g = read_edge_list(path, errors="collect", collector=bad)
+
+    data_lines = sum(
+        1
+        for raw in lines
+        if raw.strip() and not raw.strip().startswith("#")
+    )
+    bad_data = sum(1 for _, line, _ in bad if not line.startswith("#"))
+    assert g.num_edges + bad_data == data_lines

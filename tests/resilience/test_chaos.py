@@ -1,0 +1,104 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.resilience.chaos import FaultInjector, InjectedFault
+
+
+def identity(x):
+    return x
+
+
+class TestFailOnCalls:
+    def test_fails_exactly_on_nth_call(self):
+        inj = FaultInjector(identity, fail_on_calls={2})
+        assert inj(10) == 10
+        with pytest.raises(InjectedFault):
+            inj(11)
+        assert inj(12) == 12
+        assert inj.calls == 3
+
+    def test_reset_rewinds_counter(self):
+        inj = FaultInjector(identity, fail_on_calls={1})
+        with pytest.raises(InjectedFault):
+            inj(0)
+        assert inj(1) == 1
+        inj.reset()
+        with pytest.raises(InjectedFault):
+            inj(2)
+
+
+class TestFailItems:
+    def test_triggers_on_argument_value(self):
+        inj = FaultInjector(identity, fail_items=(3, 5))
+        assert [inj(x) for x in (0, 1, 2)] == [0, 1, 2]
+        with pytest.raises(InjectedFault):
+            inj(3)
+        with pytest.raises(InjectedFault):
+            inj(5)
+        assert inj(4) == 4
+
+
+class TestRandomFailures:
+    def test_rate_zero_never_fails(self):
+        inj = FaultInjector(identity, failure_rate=0.0, seed=1)
+        assert [inj(x) for x in range(50)] == list(range(50))
+
+    def test_rate_one_always_fails(self):
+        inj = FaultInjector(identity, failure_rate=1.0, seed=1)
+        for x in range(5):
+            with pytest.raises(InjectedFault):
+                inj(x)
+
+    def test_same_seed_same_failure_pattern(self):
+        def pattern(seed):
+            inj = FaultInjector(identity, failure_rate=0.4, seed=seed)
+            outcomes = []
+            for x in range(40):
+                try:
+                    inj(x)
+                    outcomes.append(True)
+                except InjectedFault:
+                    outcomes.append(False)
+            return outcomes
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        # The rate is roughly honoured.
+        failures = pattern(7).count(False)
+        assert 5 <= failures <= 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(identity, failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(identity, delay=-1)
+        with pytest.raises(ValueError):
+            FaultInjector(identity, seed=-2)
+
+
+class TestDelay:
+    def test_injects_latency(self):
+        inj = FaultInjector(identity, delay=0.02)
+        start = time.perf_counter()
+        inj(1)
+        assert time.perf_counter() - start >= 0.015
+
+
+class TestOnceMarker:
+    def test_fault_fires_once_then_recovers(self, tmp_path):
+        marker = tmp_path / "fired"
+        inj = FaultInjector(identity, fail_items=(3,), once_marker=marker)
+        with pytest.raises(InjectedFault):
+            inj(3)
+        assert marker.exists()
+        # Same trigger, but the marker disarms the fault.
+        assert inj(3) == 3
+
+
+class TestOnlyInSubprocess:
+    def test_disarmed_in_home_process(self):
+        inj = FaultInjector(identity, fail_on_calls={1}, only_in_subprocess=True)
+        assert inj(9) == 9  # would raise if armed

@@ -1,0 +1,114 @@
+"""Tests for atomic checkpoint files and the CheckpointManager."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    atomic_write_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "blob.bin"
+        atomic_write_bytes(path, b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_no_tmp_leftovers(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+
+class TestSaveLoadCheckpoint:
+    def test_arrays_and_meta_roundtrip(self, tmp_path):
+        path = tmp_path / "state.npz"
+        w = np.arange(12, dtype=np.float64).reshape(3, 4)
+        save_checkpoint(path, {"w": w}, {"epoch": 3, "big": 2**90, "t": None})
+        ckpt = load_checkpoint(path)
+        np.testing.assert_array_equal(ckpt.arrays["w"], w)
+        assert ckpt.meta == {"epoch": 3, "big": 2**90, "t": None}
+
+    def test_infinity_meta_roundtrips(self, tmp_path):
+        # Trainer best_loss starts at +inf; it must survive the trip.
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {}, {"best": float("inf")})
+        assert load_checkpoint(path).meta["best"] == float("inf")
+
+    def test_rng_state_roundtrips_exactly(self, tmp_path):
+        rng = np.random.default_rng(5)
+        rng.random(17)  # advance
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {}, {"rng_state": rng.bit_generator.state})
+        expected = rng.random(8)
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = load_checkpoint(path).meta["rng_state"]
+        np.testing.assert_array_equal(fresh.random(8), expected)
+
+    def test_meta_key_reserved(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path / "x.npz", {"__meta__": np.zeros(1)})
+
+    def test_empty_checkpoint(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_checkpoint(path)
+        ckpt = load_checkpoint(path)
+        assert ckpt.arrays == {} and ckpt.meta == {}
+
+
+class TestCheckpointManager:
+    def test_save_load_exists_delete(self, tmp_path):
+        mgr = CheckpointManager(tmp_path / "ckpt")
+        assert not mgr.exists("run")
+        mgr.save("run", {"a": np.ones(3)}, {"k": 1})
+        assert mgr.exists("run")
+        ckpt = mgr.load("run")
+        np.testing.assert_array_equal(ckpt.arrays["a"], np.ones(3))
+        assert ckpt.meta == {"k": 1}
+        mgr.delete("run")
+        assert not mgr.exists("run")
+
+    def test_load_if_exists(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        assert mgr.load_if_exists("nope") is None
+        mgr.save("yes")
+        assert mgr.load_if_exists("yes") is not None
+
+    def test_names_sorted(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for name in ("walks-0002", "walks-0000", "trainer"):
+            mgr.save(name)
+        assert mgr.names() == ["trainer", "walks-0000", "walks-0002"]
+        assert list(mgr) == mgr.names()
+
+    def test_names_on_missing_dir(self, tmp_path):
+        assert CheckpointManager(tmp_path / "never").names() == []
+
+    def test_invalid_names_rejected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                mgr.path_for(bad)
+
+    def test_sweep_tmp_removes_torn_writes(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save("good")
+        # Simulate a crash mid-write: a stale tmp file next to the real one.
+        (tmp_path / "good.ckpt.npz.tmp.12345").write_bytes(b"torn")
+        assert mgr.sweep_tmp() == 1
+        assert mgr.names() == ["good"]
+        assert mgr.load("good") is not None

@@ -1,0 +1,142 @@
+"""Tests for RetryPolicy, call_with_retry, and run_with_timeout."""
+
+import time
+
+import pytest
+
+from repro.resilience.retry import (
+    RetryError,
+    RetryPolicy,
+    call_with_retry,
+    run_with_timeout,
+)
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_on=())
+
+    def test_should_retry_filters_types(self):
+        policy = RetryPolicy(retry_on=(OSError,))
+        assert policy.should_retry(OSError())
+        assert policy.should_retry(PermissionError())  # subclass
+        assert not policy.should_retry(ValueError())
+
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        assert policy.delay_schedule() == policy.delay_schedule()
+
+    def test_schedule_seeds_differ(self):
+        a = RetryPolicy(max_attempts=5, seed=1).delay_schedule()
+        b = RetryPolicy(max_attempts=5, seed=2).delay_schedule()
+        assert a != b
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.4, jitter=0.0
+        )
+        assert policy.delay_schedule() == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_delay=1.0, multiplier=1.0, jitter=0.25, seed=0
+        )
+        for delay in policy.delay_schedule():
+            assert 0.75 <= delay <= 1.25
+
+
+class TestCallWithRetry:
+    def test_success_first_try(self):
+        assert call_with_retry(lambda: 7, sleep=no_sleep) == 7
+
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, retry_on=(OSError,))
+        assert call_with_retry(flaky, policy=policy, sleep=no_sleep) == "ok"
+        assert len(attempts) == 3
+
+    def test_exhaustion_raises_retry_error(self):
+        def always_fails():
+            raise OSError("down")
+
+        policy = RetryPolicy(max_attempts=2, retry_on=(OSError,))
+        with pytest.raises(RetryError) as err:
+            call_with_retry(always_fails, policy=policy, sleep=no_sleep)
+        assert err.value.attempts == 2
+        assert isinstance(err.value.last_exception, OSError)
+
+    def test_non_retryable_propagates_immediately(self):
+        attempts = []
+
+        def fails():
+            attempts.append(1)
+            raise ValueError("logic bug")
+
+        policy = RetryPolicy(max_attempts=5, retry_on=(OSError,))
+        with pytest.raises(ValueError):
+            call_with_retry(fails, policy=policy, sleep=no_sleep)
+        assert len(attempts) == 1
+
+    def test_on_retry_hook(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("x")
+            return 1
+
+        policy = RetryPolicy(max_attempts=5, retry_on=(OSError,))
+        call_with_retry(
+            flaky,
+            policy=policy,
+            sleep=no_sleep,
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(1, OSError), (2, OSError)]
+
+    def test_args_forwarded(self):
+        assert call_with_retry(lambda a, b=0: a + b, 2, b=3, sleep=no_sleep) == 5
+
+
+class TestRunWithTimeout:
+    def test_fast_call_returns(self):
+        assert run_with_timeout(lambda: 42, 5.0) == 42
+
+    def test_slow_call_times_out(self):
+        with pytest.raises(TimeoutError):
+            run_with_timeout(time.sleep, 0.05, 10.0)
+
+    def test_exception_propagates(self):
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            run_with_timeout(boom, 5.0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            run_with_timeout(lambda: 1, 0.0)
