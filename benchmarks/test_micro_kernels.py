@@ -54,6 +54,36 @@ def test_scatter_add_rows(benchmark):
     benchmark(scatter_add_rows, target, idx, rows)
 
 
+def test_scatter_add_rows_unique_fast_path(benchmark):
+    # Duplicate-free index batch: PR 2's bincount check short-circuits to
+    # plain fancy-index addition instead of building the CSR selector.
+    # Compare against test_scatter_add_rows to see the fast-path margin,
+    # and against test_scatter_add_rows_add_at for the np.add.at baseline.
+    rng = np.random.default_rng(0)
+    target = np.zeros((4 * B * (K + 1), D))
+    idx = rng.permutation(target.shape[0])[: B * (K + 1)]
+    rows = rng.random((B * (K + 1), D))
+    result = benchmark(scatter_add_rows, target, idx, rows)
+    assert result is None
+
+    # Parity gate: the fast path must agree with the ufunc reference.
+    check = np.zeros_like(target)
+    expect = np.zeros_like(target)
+    scatter_add_rows(check, idx, rows)
+    np.add.at(expect, idx, rows)
+    np.testing.assert_array_equal(check, expect)
+
+
+def test_scatter_add_rows_add_at(benchmark):
+    # The np.add.at reference the CSR formulation replaced — kept as a
+    # baseline so the selector's advantage stays visible in bench output.
+    rng = np.random.default_rng(0)
+    target = np.zeros((V, D))
+    idx = rng.integers(0, V, B * (K + 1))
+    rows = rng.random((B * (K + 1), D))
+    benchmark(np.add.at, target, idx, rows)
+
+
 def test_walk_generation(benchmark, graph):
     cfg = RandomWalkConfig(walks_per_vertex=2, walk_length=40, seed=0)
     corpus = benchmark(generate_walks, graph, cfg)

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""PR 2 bench report: parallel training / walk-transfer throughput.
+
+Runs the same measurement as ``benchmarks/test_perf_parallel_training.py``
+standalone and writes a machine-readable summary (default
+``BENCH_PR2.json``): walks/sec per walk-worker count, epochs/sec per
+trainer-worker count, and speedup relative to the serial trainer. CI runs
+this on a tiny corpus as a smoke step and uploads the JSON; the committed
+``BENCH_PR2.json`` records a local run.
+
+Throughput depends on the host — single-core containers show parallel
+*slowdown* (documented in docs/PERFORMANCE.md) — so the report always
+records ``cpu_count`` alongside the numbers and never fails on a
+regression, only on a crash.
+
+Run:  PYTHONPATH=src python scripts/bench_report.py [--workers 1 2 4]
+          [--n 400] [--epochs 10] [--output BENCH_PR2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.datasets.synthetic import community_benchmark
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+
+def measure(
+    worker_counts: list[int],
+    *,
+    n: int,
+    groups: int,
+    walks_per_vertex: int,
+    walk_length: int,
+    dim: int,
+    epochs: int,
+    seed: int,
+) -> dict:
+    graph = community_benchmark(
+        0.5, n=n, groups=groups, inter_edges=n // 5, seed=seed
+    )
+    walk_cfg = RandomWalkConfig(
+        walks_per_vertex=walks_per_vertex, walk_length=walk_length, seed=seed
+    )
+
+    walk_rows = []
+    for workers in worker_counts:
+        with Timer() as t:
+            corpus = generate_walks(graph, walk_cfg, workers=workers)
+        walk_rows.append(
+            {
+                "workers": workers,
+                "seconds": round(t.seconds, 4),
+                "walks_per_sec": round(corpus.num_walks / max(t.seconds, 1e-9), 1),
+            }
+        )
+
+    corpus = generate_walks(graph, walk_cfg)
+    train_rows = []
+    serial_seconds = None
+    for workers in worker_counts:
+        cfg = TrainConfig(
+            dim=dim, epochs=epochs, seed=seed, early_stop=False, workers=workers
+        )
+        with Timer() as t:
+            result = train_embeddings(corpus, cfg)
+        if not np.all(np.isfinite(result.vectors)):
+            raise RuntimeError(f"non-finite vectors at workers={workers}")
+        if serial_seconds is None:
+            serial_seconds = t.seconds
+        train_rows.append(
+            {
+                "workers": workers,
+                "seconds": round(t.seconds, 4),
+                "epochs_per_sec": round(result.epochs_run / max(t.seconds, 1e-9), 3),
+                "speedup_vs_serial": round(serial_seconds / max(t.seconds, 1e-9), 3),
+                "final_loss": round(result.loss_history[-1], 6),
+            }
+        )
+
+    return {
+        "bench": "pr2_parallel_training",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "corpus": {
+            "n": n,
+            "groups": groups,
+            "walks": corpus.num_walks,
+            "tokens": corpus.num_tokens,
+            "walk_length": walk_length,
+        },
+        "train_config": {"dim": dim, "epochs": epochs, "seed": seed},
+        "walk_generation": walk_rows,
+        "training": train_rows,
+    }
+
+
+def render(report: dict) -> str:
+    records = [
+        ExperimentRecord(
+            params={"stage": "walks", "workers": row["workers"]},
+            values={k: v for k, v in row.items() if k != "workers"},
+        )
+        for row in report["walk_generation"]
+    ] + [
+        ExperimentRecord(
+            params={"stage": "train", "workers": row["workers"]},
+            values={k: v for k, v in row.items() if k != "workers"},
+        )
+        for row in report["training"]
+    ]
+    host = report["host"]
+    return format_table(
+        records,
+        title=(
+            f"PR 2 parallel training bench "
+            f"(cpus={host['cpu_count']}, python={host['python']})"
+        ),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", nargs="*", type=int, default=[1, 2, 4])
+    parser.add_argument("--n", type=int, default=400, help="graph vertices")
+    parser.add_argument("--groups", type=int, default=8)
+    parser.add_argument("--walks", type=int, default=6, help="walks per vertex")
+    parser.add_argument("--length", type=int, default=30, help="walk length")
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_PR2.json")
+    args = parser.parse_args()
+
+    report = measure(
+        args.workers,
+        n=args.n,
+        groups=args.groups,
+        walks_per_vertex=args.walks,
+        walk_length=args.length,
+        dim=args.dim,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(render(report))
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue from the checkpoints in --checkpoint-dir",
     )
     p_embed.add_argument(
+        "--train-workers",
+        type=int,
+        default=1,
+        help="Hogwild training processes over shared weight matrices "
+        "(1 = deterministic serial trainer, 0 = one per available core)",
+    )
+    p_embed.add_argument(
+        "--walk-workers",
+        type=int,
+        default=1,
+        help="processes for walk generation "
+        "(0 = one per available core; walks transfer via shared memory)",
+    )
+    p_embed.add_argument(
         "--on-error",
         choices=["strict", "skip", "collect"],
         default="strict",
@@ -143,6 +157,7 @@ def _load_graph(path: str, directed: bool, errors: str = "strict"):
 
 def _v2v_config(args):
     from repro.core.model import V2VConfig
+    from repro.parallel.pool import resolve_workers
     from repro.walks.engine import WalkMode
 
     return V2VConfig(
@@ -155,16 +170,21 @@ def _v2v_config(args):
         time_window=args.time_window,
         p=args.p,
         q=args.q,
+        train_workers=resolve_workers(getattr(args, "train_workers", 1)),
         seed=args.seed,
     )
 
 
 def _cmd_embed(args) -> int:
     from repro.core.model import V2V
+    from repro.parallel.pool import resolve_workers
 
     graph = _load_graph(args.graph, args.directed, errors=args.on_error)
     model = V2V(_v2v_config(args)).fit(
-        graph, checkpoint_dir=args.checkpoint_dir, resume=args.resume
+        graph,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        workers=resolve_workers(args.walk_workers),
     )
     model.save(args.output)
     result = model.result

@@ -28,6 +28,13 @@ def log_sigmoid(x: np.ndarray) -> np.ndarray:
     return -np.log1p(np.exp(-x))
 
 
+# Reused across calls: the CSR selector's data/col buffers depend only on
+# the batch size, and the scatter runs hundreds of times per epoch with a
+# fixed batch shape — rebuilding them per call showed up in profiles.
+_ones_cache = np.empty(0)
+_arange_cache = np.empty(0, dtype=np.int64)
+
+
 def scatter_add_rows(target: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> None:
     """``target[idx] += rows`` with duplicate indices accumulated.
 
@@ -36,12 +43,25 @@ def scatter_add_rows(target: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> N
     row block. Profiling (see DESIGN.md §6) puts this ~6× ahead of
     ``ufunc.at`` and ~8× ahead of sort+``reduceat`` on minibatch-SGD
     index patterns — the scatter is the training hot spot.
+
+    Two micro-optimizations on top of the CSR formulation (measured in
+    ``benchmarks/test_micro_kernels.py``): the per-batch ``ones``/
+    ``arange`` buffers are cached between calls, and a duplicate-free
+    index batch (checked with one ``bincount``) skips CSR construction
+    entirely — plain fancy-index add is exact when no index repeats.
     """
+    global _ones_cache, _arange_cache
     n = idx.shape[0]
     if n == 0:
         return
+    if int(np.bincount(idx).max()) <= 1:
+        target[idx] += rows
+        return
+    if _ones_cache.shape[0] < n:
+        _ones_cache = np.ones(n)
+        _arange_cache = np.arange(n, dtype=np.int64)
     selector = sparse.csr_matrix(
-        (np.ones(n), (idx, np.arange(n))), shape=(target.shape[0], n)
+        (_ones_cache[:n], (idx, _arange_cache[:n])), shape=(target.shape[0], n)
     )
     target += selector @ rows
 

@@ -34,6 +34,12 @@ class V2VConfig:
     t = ℓ = 1000 in the paper, scaled here to a laptop corpus (see
     DESIGN.md). All the paper's constrained-walk modes are available via
     ``walk_mode``/``time_window``.
+
+    ``train_workers > 1`` trains with the shared-memory Hogwild mode
+    (:mod:`repro.parallel.hogwild`); ``1`` is the bitwise-deterministic
+    serial trainer. Walk-stage workers are a per-call choice
+    (``fit(workers=...)``) because they don't change the model identity
+    the way the trainer's worker count does.
     """
 
     dim: int = 50
@@ -57,6 +63,7 @@ class V2VConfig:
     early_stop: bool = True
     streaming: bool = False
     stream_rows: int = 1024
+    train_workers: int = 1
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -93,6 +100,7 @@ class V2VConfig:
             early_stop=self.early_stop,
             streaming=self.streaming,
             stream_rows=self.stream_rows,
+            workers=self.train_workers,
             seed=self.seed,
         )
 
@@ -124,9 +132,14 @@ class V2V:
         *,
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
-        workers: int = 1,
+        workers: int | None = 1,
     ) -> "V2V":
         """Generate walks on ``graph`` and train the embedding.
+
+        ``workers`` parallelizes the *walk* stage (``None``/< 1 = auto
+        via :func:`repro.parallel.pool.resolve_workers`); the *training*
+        stage fans out when ``config.train_workers > 1`` (shared-memory
+        Hogwild, see docs/PERFORMANCE.md).
 
         ``checkpoint_dir`` makes the whole pipeline durable: completed
         walk chunks land under ``<dir>/walks/`` and the trainer snapshot
@@ -134,6 +147,9 @@ class V2V:
         killed at any point restarts with ``resume=True`` and continues
         from the last checkpoint, ending in embeddings bitwise-identical
         to an uninterrupted run with the same seed (docs/resilience.md).
+        The trainer fingerprint includes the worker count, so a resume
+        with a different ``train_workers`` is refused rather than mixing
+        determinism regimes.
         """
         walk_dir = Path(checkpoint_dir) / "walks" if checkpoint_dir else None
         corpus = generate_walks(

@@ -18,7 +18,8 @@ docs/resilience.md).
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
@@ -62,6 +63,7 @@ class TrainConfig:
     early_stop: bool = True
     streaming: bool = False
     stream_rows: int = 1024
+    workers: int = 1
     seed: int | None = None
     shuffle: bool = field(default=True, compare=False)
 
@@ -92,6 +94,16 @@ class TrainConfig:
             raise ValueError("patience must be >= 1")
         if self.stream_rows < 1:
             raise ValueError("stream_rows must be >= 1")
+        if self.workers < 1:
+            raise ValueError(
+                "workers must be >= 1 (resolve 'auto' before building the "
+                "config, e.g. with repro.parallel.pool.resolve_workers)"
+            )
+        if self.workers > 1 and self.streaming:
+            raise ValueError(
+                "the streaming trainer is single-process; use workers=1 or "
+                "the in-memory (non-streaming) Hogwild path"
+            )
 
 
 @dataclass(frozen=True)
@@ -282,8 +294,34 @@ def train_embeddings(
     run. ``epoch_callback(epoch_index, mean_loss)`` fires after each
     completed epoch (after the snapshot, so a crash inside the callback
     is itself resumable).
+
+    ``config.workers > 1`` dispatches to the shared-memory Hogwild
+    trainer (:func:`repro.parallel.hogwild.train_hogwild`): the weight
+    matrices move into ``multiprocessing.shared_memory`` and the example
+    set is sharded across lock-free SGD worker processes. ``workers=1``
+    always takes this serial path and is bitwise-reproducible.
     """
     config = config or TrainConfig()
+    if config.workers > 1:
+        from repro.parallel.hogwild import hogwild_supported, train_hogwild
+
+        if hogwild_supported():
+            return train_hogwild(
+                corpus,
+                config,
+                init_vectors=init_vectors,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
+                epoch_callback=epoch_callback,
+            )
+        warnings.warn(
+            "shared memory is unavailable on this platform; training "
+            f"serially instead of with {config.workers} workers",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        config = replace(config, workers=1)
     rng = np.random.default_rng(config.seed)
     vocab = VertexVocab.from_corpus(corpus)
     if vocab.total_tokens == 0:
@@ -326,6 +364,45 @@ def train_embeddings(
     if checkpointer is not None and resume:
         state = checkpointer.restore(objective, rng) or state
 
+    elapsed = _run_dense_epochs(
+        objective,
+        centers,
+        contexts,
+        config,
+        rng,
+        state,
+        checkpointer=checkpointer,
+        epoch_callback=epoch_callback,
+    )
+
+    return EmbeddingResult(
+        vectors=objective.vectors.copy(),
+        loss_history=state.loss_history,
+        epochs_run=len(state.loss_history),
+        train_seconds=elapsed,
+        converged=state.converged,
+        config=config,
+    )
+
+
+def _run_dense_epochs(
+    objective,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    config: TrainConfig,
+    rng: np.random.Generator,
+    state: _TrainState,
+    *,
+    checkpointer: _TrainerCheckpointer | None = None,
+    epoch_callback: Callable[[int, float], None] | None = None,
+) -> float:
+    """The serial in-memory epoch loop; returns elapsed seconds.
+
+    Shared verbatim by the default trainer and the ``workers=1``
+    shared-memory path (:func:`repro.parallel.hogwild.train_hogwild`):
+    both drive exactly this sequence of RNG draws and float ops, which
+    is what makes the two bitwise-identical.
+    """
     num_examples = centers.shape[0]
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
@@ -354,16 +431,7 @@ def train_embeddings(
             )
         if epoch_callback is not None:
             epoch_callback(state.epoch - 1, mean_loss)
-    elapsed = time.perf_counter() - start
-
-    return EmbeddingResult(
-        vectors=objective.vectors.copy(),
-        loss_history=state.loss_history,
-        epochs_run=len(state.loss_history),
-        train_seconds=elapsed,
-        converged=state.converged,
-        config=config,
-    )
+    return time.perf_counter() - start
 
 
 def _train_streaming(

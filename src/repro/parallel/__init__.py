@@ -1,6 +1,23 @@
-"""Parallel execution utilities: deterministic seeding, chunking, pool map."""
+"""Parallel execution utilities: seeding, chunking, pool map, shared memory."""
 
-from repro.parallel.seeding import spawn_generators, spawn_seeds
-from repro.parallel.pool import chunk_bounds, parallel_map
+from repro.parallel.seeding import spawn_generators, spawn_seeds, worker_seed_sequence
+from repro.parallel.pool import (
+    chunk_bounds,
+    default_workers,
+    parallel_map,
+    resolve_workers,
+)
+from repro.parallel.shm import SharedArray, SharedArraySpec, shared_arrays
 
-__all__ = ["spawn_seeds", "spawn_generators", "chunk_bounds", "parallel_map"]
+__all__ = [
+    "spawn_seeds",
+    "spawn_generators",
+    "worker_seed_sequence",
+    "chunk_bounds",
+    "default_workers",
+    "parallel_map",
+    "resolve_workers",
+    "SharedArray",
+    "SharedArraySpec",
+    "shared_arrays",
+]

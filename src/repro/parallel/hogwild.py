@@ -1,0 +1,320 @@
+"""Hogwild-style shared-memory parallel CBOW/SkipGram training.
+
+The paper's pitch (Fig 7, Table 1) is that V2V is *fast*; DeepWalk-family
+systems get there with lock-free asynchronous SGD (Hogwild, Niu et al.
+2011): N workers update one shared weight matrix without locks, relying
+on sparse, mostly-disjoint touches per minibatch. This module is that
+training mode for the reproduction:
+
+- ``w_in``/``w_out`` live in :mod:`repro.parallel.shm` segments; workers
+  attach and run the *unchanged* vectorized ``batch_step`` kernels
+  directly against the shared views — updates race benignly, exactly as
+  Hogwild prescribes.
+- The (centers, contexts) example set is materialized once in the parent,
+  moved into shared memory, and sharded contiguously across workers —
+  nothing heavyweight is ever pickled through the pool; per-epoch task
+  payloads are a few hundred bytes of names and scalars (plus the noise
+  distribution, O(V) floats).
+- Per-worker RNG streams are addressed by ``(epoch, worker)`` via
+  :func:`repro.parallel.seeding.worker_seed_sequence`, so checkpoint
+  resume replays the exact seeds of the epochs it re-runs.
+- ``workers=1`` executes the serial epoch loop in-process against the
+  shared matrices — the same RNG draws and float ops as the default
+  trainer, hence bitwise-identical embeddings (tested).
+
+Determinism caveat: with ``workers > 1`` the final weights depend on OS
+scheduling (update interleaving), so multi-worker runs are *not* bitwise
+reproducible — only statistically so. See docs/PERFORMANCE.md.
+
+Fault tolerance: epochs run through
+:func:`repro.parallel.pool.parallel_map`, so a worker killed mid-epoch is
+retried in a fresh pool (its shard is partially re-applied — benign for
+Hogwild, same class of race as normal operation) and ultimately degrades
+to in-process execution. Shared segments are owned by a
+:func:`repro.parallel.shm.shared_arrays` scope and are unlinked on every
+exit path, including exceptions and injected worker death.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.pool import chunk_bounds, parallel_map
+from repro.parallel.seeding import worker_seed_sequence
+from repro.parallel.shm import SHM_AVAILABLE, SharedArray, SharedArraySpec, shared_arrays
+
+__all__ = ["train_hogwild", "hogwild_supported", "hogwild_epoch_task"]
+
+
+def hogwild_supported() -> bool:
+    """Whether this platform can run the shared-memory trainer."""
+    return SHM_AVAILABLE
+
+
+@dataclass(frozen=True)
+class _EpochTask:
+    """One worker's share of one epoch (picklable, tiny).
+
+    Shared state travels as :class:`SharedArraySpec` handles; the only
+    array-valued field is ``vocab_counts`` (O(V) int64), from which the
+    worker rebuilds its objective (noise distribution / Huffman coding).
+    """
+
+    w_in: SharedArraySpec
+    w_out: SharedArraySpec
+    centers: SharedArraySpec
+    contexts: SharedArraySpec
+    lo: int
+    hi: int
+    epoch: int
+    worker: int
+    entropy: int
+    batch_offset: int
+    total_batches: int
+    config: "object"  # TrainConfig (imported lazily to avoid a cycle)
+    vocab_counts: np.ndarray
+
+
+def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
+    """Run one worker's epoch shard against the shared weights.
+
+    Returns ``(loss_sum, batches_run)``. Module-level and picklable so it
+    crosses a process pool; also runnable in-process (the ``workers=1``
+    fallback inside :func:`parallel_map` and the chaos tests rely on
+    that).
+    """
+    from repro.core.trainer import _build_objective
+    from repro.core.vocab import VertexVocab
+
+    attachments = [SharedArray.attach(s) for s in (
+        task.w_in, task.w_out, task.centers, task.contexts
+    )]
+    sh_in, sh_out, sh_centers, sh_contexts = attachments
+    try:
+        # Rebuild the objective shell, then point it at the shared views.
+        # The throwaway init matrices are freed immediately.
+        vocab = VertexVocab(task.vocab_counts)
+        objective = _build_objective(task.config, vocab, np.random.default_rng(0))
+        objective.w_in = sh_in.array
+        objective.w_out = sh_out.array
+
+        rng = np.random.default_rng(
+            worker_seed_sequence(task.entropy, task.epoch, task.worker)
+        )
+        order = np.arange(task.lo, task.hi)
+        if task.config.shuffle:
+            rng.shuffle(order)
+
+        config = task.config
+        loss_sum = 0.0
+        batches = 0
+        denom = max(task.total_batches - 1, 1)
+        for lo in range(0, order.shape[0], config.batch_size):
+            sel = order[lo : lo + config.batch_size]
+            frac = min(task.batch_offset + batches, denom) / denom
+            lr = config.lr + (config.lr_min - config.lr) * frac
+            loss_sum += objective.batch_step(
+                sh_centers.array[sel], sh_contexts.array[sel], lr, rng
+            )
+            batches += 1
+        return loss_sum, batches
+    finally:
+        for shared in attachments:
+            shared.close()
+
+
+def train_hogwild(
+    corpus,
+    config=None,
+    *,
+    init_vectors: np.ndarray | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    epoch_callback: Callable[[int, float], None] | None = None,
+    task_fn: Callable[[_EpochTask], tuple[float, int]] | None = None,
+):
+    """Train embeddings with shared weights and ``config.workers`` processes.
+
+    Same contract as :func:`repro.core.trainer.train_embeddings` (which
+    dispatches here for ``workers > 1``); additionally accepts
+    ``task_fn`` so the chaos tests can wrap the per-epoch worker task in
+    a :class:`repro.resilience.chaos.FaultInjector`.
+
+    ``workers=1`` is the deterministic path: it runs the serial epoch
+    loop in-process against the shared matrices and produces embeddings
+    bitwise-identical to the serial trainer.
+    """
+    from repro.core.trainer import (
+        EmbeddingResult,
+        TrainConfig,
+        _build_objective,
+        _train_fingerprint,
+        _TrainerCheckpointer,
+        _TrainState,
+        _run_dense_epochs,
+    )
+    from repro.core.vocab import VertexVocab
+
+    config = config or TrainConfig()
+    if config.streaming:
+        raise ValueError("the Hogwild trainer has no streaming mode")
+    if not hogwild_supported():  # pragma: no cover - exotic platforms
+        raise RuntimeError("shared memory is unavailable on this platform")
+
+    # Mirror the serial trainer's setup *exactly* (same RNG call order)
+    # so the workers=1 path stays bitwise-identical.
+    rng = np.random.default_rng(config.seed)
+    vocab = VertexVocab.from_corpus(corpus)
+    if vocab.total_tokens == 0:
+        raise ValueError("corpus is empty; nothing to train on")
+
+    checkpointer = (
+        _TrainerCheckpointer(
+            checkpoint_dir,
+            _train_fingerprint(corpus, config, init_vectors),
+            checkpoint_every,
+        )
+        if checkpoint_dir is not None
+        else None
+    )
+
+    centers, contexts = corpus.context_arrays(config.window)
+    if centers.size == 0:
+        raise ValueError("corpus has no (center, context) examples")
+
+    if config.subsample > 0:
+        keep_p = vocab.keep_probabilities(config.subsample)
+        keep = rng.random(centers.shape[0]) < keep_p[centers]
+        if np.any(keep):  # never subsample away the whole corpus
+            centers, contexts = centers[keep], contexts[keep]
+
+    objective = _build_objective(config, vocab, rng, init_vectors)
+    state = _TrainState()
+    if checkpointer is not None and resume:
+        state = checkpointer.restore(objective, rng) or state
+
+    with shared_arrays() as scope:
+        # Weights move into shared memory; the parent-side objective now
+        # *views* the segments, so checkpoint snapshots read live state.
+        sh_in = scope.from_array(objective.w_in)
+        sh_out = scope.from_array(objective.w_out)
+        objective.w_in = sh_in.array
+        objective.w_out = sh_out.array
+
+        if config.workers == 1:
+            elapsed = _run_dense_epochs(
+                objective,
+                centers,
+                contexts,
+                config,
+                rng,
+                state,
+                checkpointer=checkpointer,
+                epoch_callback=epoch_callback,
+            )
+        else:
+            elapsed = _run_hogwild_epochs(
+                objective,
+                scope,
+                sh_in.spec,
+                sh_out.spec,
+                centers,
+                contexts,
+                vocab,
+                config,
+                rng,
+                state,
+                checkpointer=checkpointer,
+                epoch_callback=epoch_callback,
+                task_fn=task_fn,
+            )
+        vectors = objective.vectors.copy()  # escape the scope before unlink
+
+    return EmbeddingResult(
+        vectors=vectors,
+        loss_history=state.loss_history,
+        epochs_run=len(state.loss_history),
+        train_seconds=elapsed,
+        converged=state.converged,
+        config=config,
+    )
+
+
+def _run_hogwild_epochs(
+    objective,
+    scope,
+    w_in_spec: SharedArraySpec,
+    w_out_spec: SharedArraySpec,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    vocab,
+    config,
+    rng: np.random.Generator,
+    state,
+    *,
+    checkpointer,
+    epoch_callback,
+    task_fn,
+) -> float:
+    """Epoch loop for ``workers > 1``: fan shards out, barrier per epoch."""
+    sh_centers = scope.from_array(np.ascontiguousarray(centers, dtype=np.int64))
+    sh_contexts = scope.from_array(np.ascontiguousarray(contexts, dtype=np.int64))
+
+    num_examples = centers.shape[0]
+    shards = chunk_bounds(num_examples, config.workers)
+    shard_batches = [
+        int(np.ceil((hi - lo) / config.batch_size)) for lo, hi in shards
+    ]
+    offsets = np.concatenate([[0], np.cumsum(shard_batches)[:-1]])
+    batches_per_epoch = int(sum(shard_batches))
+    total_batches = batches_per_epoch * config.epochs
+    # One picklable entropy for the whole run; workers re-derive their
+    # streams from (entropy, epoch, worker) — stable across resume.
+    entropy = np.random.SeedSequence(config.seed).entropy
+    task = task_fn or hogwild_epoch_task
+    counts = vocab.counts
+
+    start = time.perf_counter()
+    for epoch in range(state.epoch, config.epochs):
+        if state.converged:
+            break
+        tasks = [
+            _EpochTask(
+                w_in=w_in_spec,
+                w_out=w_out_spec,
+                centers=sh_centers.spec,
+                contexts=sh_contexts.spec,
+                lo=lo,
+                hi=hi,
+                epoch=epoch,
+                worker=w,
+                entropy=entropy,
+                batch_offset=epoch * batches_per_epoch + int(offsets[w]),
+                total_batches=total_batches,
+                config=config,
+                vocab_counts=counts,
+            )
+            for w, (lo, hi) in enumerate(shards)
+        ]
+        results = parallel_map(task, tasks, workers=config.workers)
+        loss_sum = sum(loss for loss, _ in results)
+        batches_run = sum(n for _, n in results)
+        state.batch_index += batches_run
+        mean_loss = loss_sum / max(batches_run, 1)
+        state.record_epoch(mean_loss, config)
+        if checkpointer is not None:
+            checkpointer.save(
+                objective,
+                rng,
+                state,
+                final=state.converged or state.epoch == config.epochs,
+            )
+        if epoch_callback is not None:
+            epoch_callback(state.epoch - 1, mean_loss)
+    return time.perf_counter() - start

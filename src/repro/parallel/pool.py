@@ -32,7 +32,13 @@ from repro.resilience.retry import RetryPolicy
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["chunk_bounds", "parallel_map", "default_workers", "POOL_RETRY_POLICY"]
+__all__ = [
+    "chunk_bounds",
+    "parallel_map",
+    "default_workers",
+    "resolve_workers",
+    "POOL_RETRY_POLICY",
+]
 
 # Pool-level failures only: a worker function raising OSError is
 # indistinguishable here, but retrying it is harmless (it fails again
@@ -59,6 +65,18 @@ def default_workers() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):  # non-Linux or restricted platform
         return max(1, (os.cpu_count() or 1))
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request to a concrete positive count.
+
+    ``None`` and any value < 1 mean "auto": use :func:`default_workers`.
+    Every stage (walk engine, trainer, CLI) routes through this one
+    function so affinity-restricted containers are respected everywhere.
+    """
+    if workers is None or workers < 1:
+        return default_workers()
+    return int(workers)
 
 
 def chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:

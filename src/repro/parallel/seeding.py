@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_seeds", "spawn_generators"]
+__all__ = ["spawn_seeds", "spawn_generators", "worker_seed_sequence"]
 
 
 def spawn_seeds(
@@ -24,6 +24,23 @@ def spawn_seeds(
         else np.random.SeedSequence(seed)
     )
     return parent.spawn(count)
+
+
+def worker_seed_sequence(
+    entropy, *key: int
+) -> np.random.SeedSequence:
+    """An addressable child stream: ``entropy`` + a structured spawn key.
+
+    Unlike :func:`spawn_seeds`, whose children depend on spawn *order*,
+    the spawn key here is explicit — ``worker_seed_sequence(e, epoch, w)``
+    names the same independent stream no matter how many other streams
+    were created first. The Hogwild trainer keys streams by
+    ``(epoch, worker)`` so a resumed run replays the exact seeds of the
+    epochs it re-executes.
+    """
+    return np.random.SeedSequence(
+        entropy=entropy, spawn_key=tuple(int(k) for k in key)
+    )
 
 
 def spawn_generators(

@@ -1,0 +1,207 @@
+"""Shared-memory numpy arrays with a strict create/attach/cleanup lifecycle.
+
+The Hogwild trainer and the zero-copy walk handoff both need the same
+primitive: a numpy array whose buffer lives in a POSIX shared-memory
+segment (``multiprocessing.shared_memory``), visible to every process
+that knows its name. This module wraps that primitive so the rest of the
+codebase never touches raw segments:
+
+- :class:`SharedArray` — an ndarray view over a shared segment. Exactly
+  one process *owns* the segment (the one that called :meth:`create` /
+  :meth:`from_array`); owners unlink on :meth:`destroy`, attachers only
+  close their mapping.
+- :class:`SharedArraySpec` — the picklable handle ``(name, shape,
+  dtype)`` a worker needs to :meth:`~SharedArray.attach`.
+- :func:`shared_arrays` — a context manager that owns any number of
+  segments and guarantees they are unlinked on exit, **including on
+  exceptions** — the property the no-leaked-``/dev/shm`` tests assert.
+
+Worker processes that die hard (SIGKILL / ``os._exit``) cannot corrupt
+the lifecycle: their mapping disappears with the process, and the owner
+still unlinks the name. Python's ``resource_tracker`` is shared between
+a pool's parent and its workers, so an attach in a worker does not
+schedule a duplicate unlink.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import weakref
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+    SHM_AVAILABLE = False
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "SharedArray",
+    "SharedArraySpec",
+    "shared_arrays",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable identity of a shared array: pass this to workers."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    Use the classmethods — the constructor is internal. The ``owner``
+    flag decides what :meth:`destroy` does: owners unlink the segment,
+    attachers only close their own mapping.
+    """
+
+    def __init__(
+        self, shm: "_shared_memory.SharedMemory", spec: SharedArraySpec, *, owner: bool
+    ) -> None:
+        self._shm = shm
+        self.spec = spec
+        self.owner = owner
+        self._array: np.ndarray | None = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+        )
+        # Safety net: a SharedArray dropped without destroy() still
+        # releases its OS resources at GC time instead of leaking the
+        # segment until interpreter shutdown.
+        self._finalizer = weakref.finalize(
+            self, _release, shm, owner, spec.name
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, shape: tuple[int, ...], dtype) -> "SharedArray":
+        """Allocate a fresh owned segment of the given shape/dtype."""
+        _require_shm()
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
+        shm = _shared_memory.SharedMemory(create=True, size=nbytes)
+        spec = SharedArraySpec(name=shm.name, shape=tuple(shape), dtype=dt.str)
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedArray":
+        """Allocate an owned segment holding a copy of ``array``."""
+        array = np.asarray(array)
+        shared = cls.create(array.shape, array.dtype)
+        shared.array[...] = array
+        return shared
+
+    @classmethod
+    def attach(cls, spec: SharedArraySpec) -> "SharedArray":
+        """Map an existing segment created elsewhere (non-owning)."""
+        _require_shm()
+        shm = _shared_memory.SharedMemory(name=spec.name)
+        return cls(shm, spec, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        if self._array is None:
+            raise ValueError("shared array has been released")
+        return self._array
+
+    @property
+    def released(self) -> bool:
+        return self._array is None
+
+    def copy(self) -> np.ndarray:
+        """A private heap copy of the current contents."""
+        return self.array.copy()
+
+    def destroy(self) -> None:
+        """Release the mapping; owners also unlink the segment name.
+
+        Idempotent. After this the :attr:`array` view is invalid — take
+        a :meth:`copy` first if the data must outlive the segment.
+        """
+        if self._array is None:
+            return
+        self._array = None
+        self._finalizer.detach()
+        _release(self._shm, self.owner, self.spec.name)
+
+    close = destroy  # attach-side alias: closing a mapping you don't own
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.destroy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self.released else ("owner" if self.owner else "attached")
+        return f"SharedArray({self.spec.name!r}, {self.spec.shape}, {state})"
+
+
+def _release(shm, owner: bool, name: str) -> None:
+    """Close (and for owners unlink) a segment, tolerating repeats."""
+    with contextlib.suppress(BufferError, OSError, ValueError):
+        shm.close()
+    if owner:
+        with contextlib.suppress(FileNotFoundError, OSError):
+            shm.unlink()
+
+
+def _require_shm() -> None:
+    if not SHM_AVAILABLE:  # pragma: no cover - exotic platforms only
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+
+
+@contextlib.contextmanager
+def shared_arrays() -> Iterator["_SharedArrayScope"]:
+    """Scope that guarantees every registered segment is destroyed.
+
+    ::
+
+        with shared_arrays() as scope:
+            w_in = scope.from_array(model.w_in)
+            ...  # segments survive worker crashes inside the block
+        # everything unlinked here, even if the block raised
+    """
+    scope = _SharedArrayScope()
+    try:
+        yield scope
+    finally:
+        scope.destroy_all()
+
+
+class _SharedArrayScope:
+    """Tracks SharedArrays so teardown is a single guaranteed call."""
+
+    def __init__(self) -> None:
+        self._owned: list[SharedArray] = []
+
+    def create(self, shape: tuple[int, ...], dtype) -> SharedArray:
+        return self._track(SharedArray.create(shape, dtype))
+
+    def from_array(self, array: np.ndarray) -> SharedArray:
+        return self._track(SharedArray.from_array(array))
+
+    def _track(self, shared: SharedArray) -> SharedArray:
+        self._owned.append(shared)
+        return shared
+
+    def destroy_all(self) -> None:
+        for shared in self._owned:
+            shared.destroy()
+        self._owned.clear()

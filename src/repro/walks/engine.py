@@ -82,7 +82,8 @@ def generate_walks(
     g: Graph,
     config: RandomWalkConfig | None = None,
     *,
-    workers: int = 1,
+    workers: int | None = 1,
+    keep_shared: bool = False,
     checkpoint_dir: "str | Path | None" = None,
     resume: bool = False,
     checkpoint_chunks: int | None = None,
@@ -95,7 +96,13 @@ def generate_walks(
     ``workers > 1`` splits the walk set across a process pool; each chunk
     gets an independent spawned seed stream, so results are reproducible
     for a fixed ``(seed, workers)`` pair (but differ across worker
-    counts, since the streams differ).
+    counts, since the streams differ). ``workers=None`` (or any value
+    < 1) means auto: :func:`repro.parallel.pool.resolve_workers` picks
+    the affinity-respecting default. Parallel workers write their rows
+    straight into one shared-memory block — chunk results are never
+    pickled back through the pool — and ``keep_shared=True`` hands that
+    block to the returned corpus zero-copy (call
+    :meth:`WalkCorpus.release` when done, or let GC unlink it).
 
     ``checkpoint_dir`` enables durable execution: the walk set is split
     into ``checkpoint_chunks`` chunks (default ``max(workers, 1)``) and
@@ -108,7 +115,10 @@ def generate_walks(
     ``(seed, chunk count)``. A fingerprint mismatch raises
     ``ValueError`` rather than silently mixing corpora.
     """
+    from repro.parallel.pool import resolve_workers
+
     config = config or RandomWalkConfig()
+    workers = resolve_workers(workers)
     if checkpoint_dir is not None:
         return _generate_walks_checkpointed(
             g,
@@ -116,10 +126,10 @@ def generate_walks(
             workers=workers,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
-            chunks=checkpoint_chunks or max(workers, 1),
+            chunks=checkpoint_chunks or workers,
         )
     if workers > 1:
-        return _generate_walks_parallel(g, config, workers)
+        return _generate_walks_parallel(g, config, workers, keep_shared)
     mode = WalkMode(config.mode)
     _validate_mode(g, mode)
 
@@ -159,9 +169,9 @@ def generate_walks(
     return WalkCorpus(walks, num_vertices=g.n)
 
 
-def _chunk_task(args: tuple) -> np.ndarray:
-    """Module-level worker (picklable) generating one chunk of walks."""
-    g, config, starts, seed_state = args
+def _chunk_walks(args: tuple) -> np.ndarray:
+    """Generate one chunk of walks (serial engine on a start slice)."""
+    g, config, starts, seed_state = args[:4]
     chunk_config = RandomWalkConfig(
         walks_per_vertex=1,
         walk_length=config.walk_length,
@@ -175,6 +185,31 @@ def _chunk_task(args: tuple) -> np.ndarray:
     return generate_walks(g, chunk_config).walks
 
 
+def _chunk_task(args: tuple) -> np.ndarray:
+    """Module-level worker (picklable) returning one chunk of walks."""
+    return _chunk_walks(args)
+
+
+def _chunk_task_shm(args: tuple) -> tuple[int, int]:
+    """Worker that writes its chunk straight into the shared walk block.
+
+    Returns only the row bounds it filled — nothing heavyweight crosses
+    the pool's result pipe. Re-running a chunk (pool retry after a
+    worker death) rewrites the same rows with the same seed, so the
+    operation is idempotent.
+    """
+    from repro.parallel.shm import SharedArray
+
+    lo, hi, spec = args[4], args[5], args[6]
+    walks = _chunk_walks(args)
+    shared = SharedArray.attach(spec)
+    try:
+        shared.array[lo:hi] = walks
+    finally:
+        shared.close()
+    return lo, hi
+
+
 def _chunk_tasks(
     g: Graph, config: RandomWalkConfig, chunks: int
 ) -> list[tuple] | None:
@@ -182,7 +217,8 @@ def _chunk_tasks(
 
     Chunk seeds are spawned deterministically from ``config.seed``, so
     the task list — and therefore the assembled corpus — depends only on
-    ``(seed, chunk count)``, not on how chunks are scheduled.
+    ``(seed, chunk count)``, not on how chunks are scheduled. Each tuple
+    carries the chunk's ``(lo, hi)`` row range in the assembled corpus.
     """
     from repro.parallel.pool import chunk_bounds
     from repro.parallel.seeding import spawn_seeds
@@ -201,7 +237,7 @@ def _chunk_tasks(
         for s in spawn_seeds(config.seed, len(bounds))
     ]
     return [
-        (g, config, starts[lo:hi], seed)
+        (g, config, starts[lo:hi], seed, lo, hi)
         for (lo, hi), seed in zip(bounds, seeds)
     ]
 
@@ -214,15 +250,38 @@ def _empty_corpus(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
 
 
 def _generate_walks_parallel(
-    g: Graph, config: RandomWalkConfig, workers: int
+    g: Graph, config: RandomWalkConfig, workers: int, keep_shared: bool = False
 ) -> WalkCorpus:
+    """Fan chunks out to a pool; rows land in one shared-memory block.
+
+    Workers write into the block in place and return only row bounds, so
+    a multi-GB corpus is never pickled through the pool's result pipe.
+    Falls back to the pickling path on platforms without POSIX shared
+    memory.
+    """
     from repro.parallel.pool import parallel_map
+    from repro.parallel.shm import SHM_AVAILABLE, SharedArray
 
     tasks = _chunk_tasks(g, config, workers)
     if tasks is None:
         return _empty_corpus(g, config)
-    chunks = parallel_map(_chunk_task, tasks, workers=workers)
-    return WalkCorpus(np.vstack(chunks), num_vertices=g.n)
+    if not SHM_AVAILABLE:  # pragma: no cover - exotic platforms only
+        chunks = parallel_map(_chunk_task, tasks, workers=workers)
+        return WalkCorpus(np.vstack(chunks), num_vertices=g.n)
+
+    total_rows = tasks[-1][5]
+    shared = SharedArray.create((total_rows, config.walk_length), np.int64)
+    try:
+        shm_tasks = [(*task, shared.spec) for task in tasks]
+        parallel_map(_chunk_task_shm, shm_tasks, workers=workers)
+    except BaseException:
+        shared.destroy()
+        raise
+    if keep_shared:
+        return WalkCorpus(shared.array, num_vertices=g.n, shared=shared)
+    walks = shared.copy()
+    shared.destroy()
+    return WalkCorpus(walks, num_vertices=g.n)
 
 
 def _walk_fingerprint(g: Graph, config: RandomWalkConfig, chunks: int) -> dict:

@@ -57,6 +57,43 @@ class TestScatterAddRows:
         np.testing.assert_array_equal(target[0], [5, 5, 5])
         np.testing.assert_array_equal(target[1], [0, 0, 0])
 
+    def test_unique_index_fast_path_is_exact(self, rng):
+        # No duplicate indices: the bincount check routes through plain
+        # fancy-index addition, which must match ufunc.at bitwise.
+        target = rng.random((50, 6))
+        expect = target.copy()
+        idx = rng.permutation(50)[:30].astype(np.int64)
+        rows = rng.random((30, 6))
+        np.add.at(expect, idx, rows)
+        scatter_add_rows(target, idx, rows)
+        np.testing.assert_array_equal(target, expect)
+
+    def test_duplicate_heavy_after_unique_batch(self, rng):
+        # Alternating unique / duplicate batches exercise both branches
+        # (and the shared buffer cache) back to back.
+        target = rng.random((30, 4))
+        expect = target.copy()
+        for size in (10, 200, 8, 500):
+            idx = rng.integers(0, 30, size)
+            rows = rng.random((size, 4))
+            np.add.at(expect, idx, rows)
+            scatter_add_rows(target, idx, rows)
+        np.testing.assert_allclose(target, expect, atol=1e-12)
+
+    def test_cache_grows_across_batch_sizes(self, rng):
+        # A big batch after a small one must not reuse an undersized
+        # ones/arange buffer.
+        target = np.zeros((10, 2))
+        expect = np.zeros((10, 2))
+        small_idx = np.asarray([3, 3, 3], dtype=np.int64)
+        scatter_add_rows(target, small_idx, np.ones((3, 2)))
+        np.add.at(expect, small_idx, np.ones((3, 2)))
+        big_idx = rng.integers(0, 10, 400)
+        big_rows = rng.random((400, 2))
+        scatter_add_rows(target, big_idx, big_rows)
+        np.add.at(expect, big_idx, big_rows)
+        np.testing.assert_allclose(target, expect, atol=1e-12)
+
 
 class TestMaskedContextMean:
     def test_mean_over_real_slots(self):

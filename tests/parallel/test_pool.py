@@ -3,6 +3,7 @@
 import os
 import warnings
 
+import numpy as np
 import pytest
 
 from repro.parallel.pool import (
@@ -10,6 +11,7 @@ from repro.parallel.pool import (
     chunk_bounds,
     default_workers,
     parallel_map,
+    resolve_workers,
 )
 from repro.resilience.chaos import FaultInjector, InjectedFault
 from repro.resilience.retry import RetryPolicy
@@ -133,3 +135,22 @@ class TestDefaultWorkers:
         monkeypatch.setattr(os, "sched_getaffinity", broken, raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: 7)
         assert default_workers() == 7
+
+
+class TestResolveWorkers:
+    """``resolve_workers`` is the single auto-detect entry point: every
+    worker-count knob (CLI flags, engine defaults) routes through it."""
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+
+    def test_none_means_auto(self):
+        assert resolve_workers(None) == default_workers()
+
+    def test_zero_and_negative_mean_auto(self):
+        assert resolve_workers(0) == default_workers()
+        assert resolve_workers(-1) == default_workers()
+
+    def test_returns_int(self):
+        assert isinstance(resolve_workers(np.int64(2)), int)
