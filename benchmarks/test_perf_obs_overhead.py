@@ -1,0 +1,135 @@
+"""PR 3 perf guard: disabled observability costs < 3% of the dense hot loop.
+
+The instrumented dense trainer touches the telemetry surface once per
+*epoch* (fetch the recorder, open a ``train.epoch`` span, one
+``rec.enabled`` branch) and never per batch, so the disabled-path cost
+is a handful of no-op calls against an epoch of real numpy work. The
+guard measures both sides directly:
+
+- the per-epoch wall time of a real dense training run with
+  observability disabled (the shipped default — this *is* the hot loop
+  as users run it), and
+- the per-iteration cost of the exact no-op instrumentation sequence
+  the epoch loop executes,
+
+and asserts the ratio stays under the ISSUE's 3% budget with a wide
+margin (measured ~0.001%). An end-to-end enabled-vs-disabled comparison
+rides along as an emitted record — wall-clock deltas between two runs on
+a shared CI box are noise-bound, so the point of record is the measured
+numbers, and the hard assertion stays on the deterministic microbench.
+Bitwise identity of the two runs IS asserted: telemetry must not touch
+the RNG or float streams.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.datasets.synthetic import community_benchmark
+from repro.obs.recorder import NULL_RECORDER, ObsConfig, current_recorder, session
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+OVERHEAD_BUDGET = 0.03  # the ISSUE's < 3% guard
+MICROBENCH_ITERS = 50_000
+
+
+def _epoch_instrumentation_once(epoch: int) -> None:
+    """The exact telemetry surface one dense epoch executes when disabled."""
+    rec = current_recorder()
+    with rec.span("train.epoch", epoch=epoch) as span:
+        if rec.enabled:  # pragma: no cover - disabled path
+            span.annotate(loss=0.0)
+
+
+def run(scale) -> tuple[list[ExperimentRecord], float]:
+    graph = community_benchmark(
+        0.5, n=scale.n, groups=scale.groups, inter_edges=scale.inter_edges,
+        seed=scale.seed,
+    )
+    corpus = generate_walks(
+        graph,
+        RandomWalkConfig(
+            walks_per_vertex=scale.walks_per_vertex,
+            walk_length=scale.walk_length,
+            seed=scale.seed,
+        ),
+    )
+    config = TrainConfig(
+        dim=scale.table1_dim, epochs=scale.epochs, seed=scale.seed,
+        early_stop=False,
+    )
+
+    # Disabled path (the default): min-of-3 to shave scheduler noise.
+    assert current_recorder() is NULL_RECORDER
+    disabled_seconds = []
+    disabled_vectors = None
+    for _ in range(3):
+        with Timer() as t:
+            disabled_vectors = train_embeddings(corpus, config).vectors
+        disabled_seconds.append(t.seconds)
+    epoch_seconds = min(disabled_seconds) / config.epochs
+
+    # Enabled path: live registry + tracer, quiet sinks, no file I/O.
+    with session(ObsConfig(log_level="error"), stream=io.StringIO()):
+        with Timer() as t:
+            enabled_vectors = train_embeddings(corpus, config).vectors
+    enabled_seconds = t.seconds
+
+    # Telemetry never touches the RNG or float streams.
+    np.testing.assert_array_equal(disabled_vectors, enabled_vectors)
+
+    # Microbench the disabled per-epoch instrumentation surface.
+    start = time.perf_counter()
+    for i in range(MICROBENCH_ITERS):
+        _epoch_instrumentation_once(i)
+    per_epoch_overhead = (time.perf_counter() - start) / MICROBENCH_ITERS
+    overhead_fraction = per_epoch_overhead / max(epoch_seconds, 1e-12)
+
+    records = [
+        ExperimentRecord(
+            params={"path": "disabled (default)"},
+            values={
+                "train_seconds": min(disabled_seconds),
+                "epoch_seconds": epoch_seconds,
+            },
+        ),
+        ExperimentRecord(
+            params={"path": "enabled (registry+tracer)"},
+            values={
+                "train_seconds": enabled_seconds,
+                "epoch_seconds": enabled_seconds / config.epochs,
+            },
+        ),
+        ExperimentRecord(
+            params={"path": "noop surface / epoch"},
+            values={
+                "train_seconds": per_epoch_overhead,
+                "overhead_fraction": overhead_fraction,
+            },
+        ),
+    ]
+    return records, overhead_fraction
+
+
+def test_perf_obs_overhead(benchmark, scale, results_dir):
+    records, overhead_fraction = benchmark.pedantic(
+        run, args=(scale,), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"PR 3 — observability overhead on the dense trainer "
+            f"[scale={scale.name}]"
+        ),
+    )
+    emit("perf_obs_overhead", records, rendered, results_dir)
+    assert overhead_fraction < OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {overhead_fraction:.2%} of an epoch, "
+        f"budget is {OVERHEAD_BUDGET:.0%}"
+    )

@@ -1,36 +1,49 @@
 #!/usr/bin/env python
-"""PR 2 bench report: parallel training / walk-transfer throughput.
+"""PR 3 bench report: pipeline throughput read from run manifests.
 
-Runs the same measurement as ``benchmarks/test_perf_parallel_training.py``
-standalone and writes a machine-readable summary (default
-``BENCH_PR2.json``): walks/sec per walk-worker count, epochs/sec per
-trainer-worker count, and speedup relative to the serial trainer. CI runs
-this on a tiny corpus as a smoke step and uploads the JSON; the committed
-``BENCH_PR2.json`` records a local run.
+Each measurement runs inside an observability session
+(:func:`repro.obs.session`) and writes a run manifest; the report then
+reads walks/sec, per-epoch timings, and the host description *from the
+manifests* instead of re-measuring with its own stopwatch — the bench
+and the telemetry can no longer disagree. The summary is written as a
+schema-versioned JSON (default ``BENCH_PR3.json``); CI runs this on a
+tiny corpus as a smoke step and uploads the JSON plus the manifests.
 
 Throughput depends on the host — single-core containers show parallel
-*slowdown* (documented in docs/PERFORMANCE.md) — so the report always
-records ``cpu_count`` alongside the numbers and never fails on a
-regression, only on a crash.
+*slowdown* (documented in docs/PERFORMANCE.md) — so the report records
+the manifest's host block alongside the numbers and never fails on a
+regression, only on a crash or an invalid manifest.
 
 Run:  PYTHONPATH=src python scripts/bench_report.py [--workers 1 2 4]
-          [--n 400] [--epochs 10] [--output BENCH_PR2.json]
+          [--n 400] [--epochs 10] [--output BENCH_PR3.json]
+          [--manifest-dir bench_manifests]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.bench.harness import ExperimentRecord, format_table
 from repro.core.trainer import TrainConfig, train_embeddings
 from repro.datasets.synthetic import community_benchmark
+from repro.obs.manifest import SCHEMA_VERSION, load_manifest
+from repro.obs.recorder import ObsConfig, session
 from repro.walks.engine import RandomWalkConfig, generate_walks
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _observed(manifest_path: Path, run_config: dict):
+    """A quiet observability session writing ``manifest_path``."""
+    return session(
+        ObsConfig(log_level="error", metrics_out=str(manifest_path)),
+        run_config=run_config,
+    )
 
 
 def measure(
@@ -43,6 +56,7 @@ def measure(
     dim: int,
     epochs: int,
     seed: int,
+    manifest_dir: Path,
 ) -> dict:
     graph = community_benchmark(
         0.5, n=n, groups=groups, inter_edges=n // 5, seed=seed
@@ -53,46 +67,65 @@ def measure(
 
     walk_rows = []
     for workers in worker_counts:
-        with Timer() as t:
-            corpus = generate_walks(graph, walk_cfg, workers=workers)
+        mpath = manifest_dir / f"walks_w{workers}.manifest.json"
+        with _observed(mpath, {"stage": "walks", "workers": workers, "n": n}):
+            generate_walks(graph, walk_cfg, workers=workers)
+        manifest = load_manifest(mpath)  # validates REQUIRED_KEYS
+        metrics = manifest["metrics"]
+        hist = metrics["histograms"]["walks.generate_seconds"]
         walk_rows.append(
             {
                 "workers": workers,
-                "seconds": round(t.seconds, 4),
-                "walks_per_sec": round(corpus.num_walks / max(t.seconds, 1e-9), 1),
+                "seconds": round(hist["sum"], 4),
+                "walks_per_sec": round(
+                    metrics["gauges"]["walks.walks_per_sec"], 1
+                ),
+                "manifest": mpath.name,
             }
         )
 
     corpus = generate_walks(graph, walk_cfg)
     train_rows = []
     serial_seconds = None
+    host = None
     for workers in worker_counts:
         cfg = TrainConfig(
             dim=dim, epochs=epochs, seed=seed, early_stop=False, workers=workers
         )
-        with Timer() as t:
+        mpath = manifest_dir / f"train_w{workers}.manifest.json"
+        with _observed(mpath, {"stage": "train", "workers": workers, "n": n}):
             result = train_embeddings(corpus, cfg)
         if not np.all(np.isfinite(result.vectors)):
             raise RuntimeError(f"non-finite vectors at workers={workers}")
+        manifest = load_manifest(mpath)
+        host = manifest["host"]
+        metrics = manifest["metrics"]
+        epoch_hist = metrics["histograms"]["train.epoch_seconds"]
+        epochs_run = int(metrics["counters"]["train.epochs_run"])
+        seconds = epoch_hist["sum"]
         if serial_seconds is None:
-            serial_seconds = t.seconds
+            serial_seconds = seconds
         train_rows.append(
             {
                 "workers": workers,
-                "seconds": round(t.seconds, 4),
-                "epochs_per_sec": round(result.epochs_run / max(t.seconds, 1e-9), 3),
-                "speedup_vs_serial": round(serial_seconds / max(t.seconds, 1e-9), 3),
+                "seconds": round(seconds, 4),
+                "epochs_per_sec": round(epochs_run / max(seconds, 1e-9), 3),
+                "words_per_sec": round(
+                    metrics["gauges"]["train.words_per_sec"], 1
+                ),
+                "speedup_vs_serial": round(
+                    serial_seconds / max(seconds, 1e-9), 3
+                ),
                 "final_loss": round(result.loss_history[-1], 6),
+                "manifest": mpath.name,
             }
         )
 
     return {
-        "bench": "pr2_parallel_training",
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "manifest_schema_version": SCHEMA_VERSION,
+        "bench": "pr3_pipeline_telemetry",
+        "host": host,
         "corpus": {
             "n": n,
             "groups": groups,
@@ -110,13 +143,17 @@ def render(report: dict) -> str:
     records = [
         ExperimentRecord(
             params={"stage": "walks", "workers": row["workers"]},
-            values={k: v for k, v in row.items() if k != "workers"},
+            values={
+                k: v for k, v in row.items() if k not in ("workers", "manifest")
+            },
         )
         for row in report["walk_generation"]
     ] + [
         ExperimentRecord(
             params={"stage": "train", "workers": row["workers"]},
-            values={k: v for k, v in row.items() if k != "workers"},
+            values={
+                k: v for k, v in row.items() if k not in ("workers", "manifest")
+            },
         )
         for row in report["training"]
     ]
@@ -124,7 +161,7 @@ def render(report: dict) -> str:
     return format_table(
         records,
         title=(
-            f"PR 2 parallel training bench "
+            f"PR 3 pipeline telemetry bench "
             f"(cpus={host['cpu_count']}, python={host['python']})"
         ),
     )
@@ -140,19 +177,37 @@ def main() -> int:
     parser.add_argument("--dim", type=int, default=16)
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", default="BENCH_PR2.json")
+    parser.add_argument("--output", default="BENCH_PR3.json")
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="keep per-run manifests here (default: a temp dir, discarded)",
+    )
     args = parser.parse_args()
 
-    report = measure(
-        args.workers,
-        n=args.n,
-        groups=args.groups,
-        walks_per_vertex=args.walks,
-        walk_length=args.length,
-        dim=args.dim,
-        epochs=args.epochs,
-        seed=args.seed,
-    )
+    if args.manifest_dir is not None:
+        manifest_dir = Path(args.manifest_dir)
+        manifest_dir.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="bench_manifests_")
+        manifest_dir = Path(cleanup.name)
+
+    try:
+        report = measure(
+            args.workers,
+            n=args.n,
+            groups=args.groups,
+            walks_per_vertex=args.walks,
+            walk_length=args.length,
+            dim=args.dim,
+            epochs=args.epochs,
+            seed=args.seed,
+            manifest_dir=manifest_dir,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
     print(render(report))
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")

@@ -7,8 +7,15 @@ Commands mirror the paper's three applications plus the data plumbing:
 - ``predict``  — k-NN label prediction with k-fold cross validation.
 - ``layout``   — ForceAtlas coordinates to CSV.
 - ``generate`` — write a synthetic benchmark graph to an edge-list file.
+- ``report``   — human summary of a run manifest (``--metrics-out``).
 
 Every command takes ``--seed`` and is exactly reproducible.
+
+Telemetry: every command runs inside an observability session
+(:func:`repro.obs.session`). stdout carries command results only;
+structured logs go to stderr (``--log-level``) and, machine-readably, to
+``--log-json``; ``--metrics-out`` writes the run manifest on exit.
+``--no-telemetry`` opts out entirely (the no-op recorder).
 """
 
 from __future__ import annotations
@@ -19,7 +26,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.logging import get_logger
+
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +55,37 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--p", type=float, default=1.0, help="node2vec return bias")
         p.add_argument("--q", type=float, default=1.0, help="node2vec in-out bias")
         p.add_argument("--seed", type=int, default=0)
+
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group("telemetry")
+        g.add_argument(
+            "--log-level",
+            choices=["debug", "info", "warning", "error"],
+            default="warning",
+            help="verbosity of the human log on stderr (default: warning)",
+        )
+        g.add_argument(
+            "--log-json",
+            default=None,
+            metavar="PATH",
+            help="also write every event (DEBUG and up) as JSONL to PATH",
+        )
+        g.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the run manifest (config + final metrics) to PATH",
+        )
+        g.add_argument(
+            "--trace",
+            action="store_true",
+            help="mirror span begin/end events on the human sink",
+        )
+        g.add_argument(
+            "--no-telemetry",
+            action="store_true",
+            help="disable observability entirely (no-op recorder)",
+        )
 
     p_embed = sub.add_parser("embed", help="train V2V vectors from an edge list")
     p_embed.add_argument("graph", help="edge-list file (src dst [w [t]])")
@@ -133,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--inter-edges", type=int, default=200)
     p_gen.add_argument("--labels", help="also write ground-truth labels here")
     p_gen.add_argument("--seed", type=int, default=0)
+
+    p_report = sub.add_parser(
+        "report", help="summarize a run manifest written by --metrics-out"
+    )
+    p_report.add_argument("manifest", help="manifest JSON (--metrics-out)")
+    p_report.add_argument(
+        "--events",
+        default=None,
+        help="JSONL event stream (defaults to the manifest's events_path)",
+    )
+
+    for p in (p_embed, p_detect, p_predict, p_link, p_layout, p_gen, p_report):
+        add_obs_args(p)
     return parser
 
 
@@ -145,11 +200,12 @@ def _load_graph(path: str, directed: bool, errors: str = "strict"):
             path, directed=directed or None, errors="collect", collector=bad_lines
         )
         for lineno, _line, message in bad_lines:
-            print(f"warning: {path}:{lineno}: {message}", file=sys.stderr)
+            _log.warning(
+                "io.malformed_line", path=path, line=lineno, message=message
+            )
         if bad_lines:
-            print(
-                f"warning: dropped {len(bad_lines)} malformed line(s) from {path}",
-                file=sys.stderr,
+            _log.warning(
+                "io.malformed_lines", path=path, dropped=len(bad_lines)
             )
         return graph
     return read_edge_list(path, directed=directed or None, errors=errors)
@@ -242,9 +298,10 @@ def _cmd_predict(args) -> int:
         [line.strip() for line in Path(args.labels).read_text().splitlines() if line.strip()]
     )
     if labels.shape[0] != vectors.shape[0]:
-        print(
-            f"error: {labels.shape[0]} labels for {vectors.shape[0]} vectors",
-            file=sys.stderr,
+        _log.error(
+            "predict.label_mismatch",
+            labels=int(labels.shape[0]),
+            vectors=int(vectors.shape[0]),
         )
         return 2
     acc = cross_validate_knn(
@@ -323,6 +380,20 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.manifest import ManifestError, load_manifest
+    from repro.obs.report import render_report
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        _log.error("report.invalid_manifest", path=args.manifest, error=str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(manifest, events_path=args.events))
+    return 0
+
+
 COMMANDS = {
     "embed": _cmd_embed,
     "detect": _cmd_detect,
@@ -330,12 +401,41 @@ COMMANDS = {
     "linkpred": _cmd_linkpred,
     "layout": _cmd_layout,
     "generate": _cmd_generate,
+    "report": _cmd_report,
 }
+
+# argparse dests of the telemetry flags; everything else that is a plain
+# scalar goes into the manifest's config block.
+_OBS_ARG_KEYS = ("log_level", "log_json", "metrics_out", "trace", "no_telemetry")
+
+
+def _obs_config(args):
+    from repro.obs.recorder import ObsConfig
+
+    return ObsConfig(
+        enabled=not args.no_telemetry,
+        log_level=args.log_level,
+        log_json=args.log_json,
+        metrics_out=args.metrics_out,
+        trace=args.trace,
+    )
+
+
+def _run_config(args) -> dict:
+    return {
+        k: v
+        for k, v in vars(args).items()
+        if k not in _OBS_ARG_KEYS
+        and (v is None or isinstance(v, (str, int, float, bool)))
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.recorder import session
+
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    with session(_obs_config(args), run_config=_run_config(args)):
+        return COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.model import V2V, V2VConfig
 from repro.graph.core import Graph
 from repro.ml.kmeans import KMeans
+from repro.obs.recorder import current_recorder
 
 __all__ = ["V2VCommunityDetector", "V2VDetectionResult"]
 
@@ -81,14 +82,26 @@ class V2VCommunityDetector:
 
     def _cluster(self, model: V2V, train_seconds: float) -> V2VDetectionResult:
         vectors = model.vectors
+        rec = current_recorder()
         t0 = time.perf_counter()
-        km = KMeans(self.k, n_init=self.n_init, seed=self.config.seed)
-        result = km.fit(vectors)
+        with rec.span("detect.cluster", k=self.k, n_init=self.n_init):
+            km = KMeans(self.k, n_init=self.n_init, seed=self.config.seed)
+            result = km.fit(vectors)
         cluster_seconds = time.perf_counter() - t0
-        return V2VDetectionResult(
+        detection = V2VDetectionResult(
             membership=result.labels.astype(np.int64),
             train_seconds=train_seconds,
             cluster_seconds=cluster_seconds,
             inertia=result.inertia,
             model=model,
         )
+        if rec.enabled:
+            rec.set("detect.train_seconds", train_seconds)
+            rec.set("detect.cluster_seconds", cluster_seconds)
+            rec.event(
+                "detect.done",
+                num_communities=detection.num_communities,
+                inertia=round(result.inertia, 6),
+                cluster_seconds=round(cluster_seconds, 6),
+            )
+        return detection

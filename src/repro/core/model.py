@@ -13,13 +13,14 @@ This is the public face of the reproduction. Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.trainer import EmbeddingResult, TrainConfig, train_embeddings
 from repro.graph.core import Graph
+from repro.obs.recorder import ObsConfig, current_recorder, session
 from repro.walks.corpus import WalkCorpus
 from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
 
@@ -65,6 +66,9 @@ class V2VConfig:
     stream_rows: int = 1024
     train_workers: int = 1
     seed: int | None = None
+    # Telemetry is not part of the model's identity: excluded from
+    # equality so configs differing only in observability stay equal.
+    observability: ObsConfig | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Fail fast: constructing the stage configs runs their full
@@ -150,18 +154,53 @@ class V2V:
         The trainer fingerprint includes the worker count, so a resume
         with a different ``train_workers`` is refused rather than mixing
         determinism regimes.
+
+        With ``config.observability`` set (and no recorder already
+        installed by an enclosing session, e.g. the CLI's), ``fit``
+        opens its own :func:`repro.obs.session` for the duration of the
+        pipeline, so library users get logs/metrics/manifest without
+        touching global state themselves.
         """
-        walk_dir = Path(checkpoint_dir) / "walks" if checkpoint_dir else None
-        corpus = generate_walks(
-            graph,
-            self.config.walk_config(),
-            workers=workers,
-            checkpoint_dir=walk_dir,
-            resume=resume,
+        obs_cfg = self.config.observability
+        if obs_cfg is not None and not current_recorder().enabled:
+            run_config = {
+                k: v
+                for k, v in self.config.__dict__.items()
+                if k != "observability"
+            }
+            run_config["entrypoint"] = "V2V.fit"
+            with session(obs_cfg, run_config=run_config):
+                return self._fit(
+                    graph,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=resume,
+                    workers=workers,
+                )
+        return self._fit(
+            graph, checkpoint_dir=checkpoint_dir, resume=resume, workers=workers
         )
-        return self.fit_corpus(
-            corpus, checkpoint_dir=checkpoint_dir, resume=resume
-        )
+
+    def _fit(
+        self,
+        graph: Graph,
+        *,
+        checkpoint_dir: str | Path | None,
+        resume: bool,
+        workers: int | None,
+    ) -> "V2V":
+        rec = current_recorder()
+        with rec.span("pipeline.fit", n=int(graph.n), dim=self.config.dim):
+            walk_dir = Path(checkpoint_dir) / "walks" if checkpoint_dir else None
+            corpus = generate_walks(
+                graph,
+                self.config.walk_config(),
+                workers=workers,
+                checkpoint_dir=walk_dir,
+                resume=resume,
+            )
+            return self.fit_corpus(
+                corpus, checkpoint_dir=checkpoint_dir, resume=resume
+            )
 
     def fit_corpus(
         self,

@@ -30,6 +30,7 @@ from repro.core.huffman import build_huffman
 from repro.core.negative import NegativeSampler
 from repro.core.skipgram import SkipGramNegativeSampling
 from repro.core.vocab import VertexVocab
+from repro.obs.recorder import current_recorder
 from repro.walks.corpus import WalkCorpus
 
 __all__ = ["TrainConfig", "EmbeddingResult", "train_embeddings"]
@@ -321,68 +322,116 @@ def train_embeddings(
             RuntimeWarning,
             stacklevel=2,
         )
-        config = replace(config, workers=1)
-    rng = np.random.default_rng(config.seed)
-    vocab = VertexVocab.from_corpus(corpus)
-    if vocab.total_tokens == 0:
-        raise ValueError("corpus is empty; nothing to train on")
-
-    checkpointer = (
-        _TrainerCheckpointer(
-            checkpoint_dir,
-            _train_fingerprint(corpus, config, init_vectors),
-            checkpoint_every,
+        current_recorder().event(
+            "train.serial_fallback", level="warning", workers=config.workers
         )
-        if checkpoint_dir is not None
-        else None
-    )
+        config = replace(config, workers=1)
+    rec = current_recorder()
+    with rec.span(
+        "train.run",
+        objective=config.objective,
+        output_layer=config.output_layer,
+        dim=config.dim,
+        epochs=config.epochs,
+        streaming=config.streaming,
+    ) as span:
+        rng = np.random.default_rng(config.seed)
+        vocab = VertexVocab.from_corpus(corpus)
+        if vocab.total_tokens == 0:
+            raise ValueError("corpus is empty; nothing to train on")
 
-    if config.streaming:
-        return _train_streaming(
-            corpus,
+        checkpointer = (
+            _TrainerCheckpointer(
+                checkpoint_dir,
+                _train_fingerprint(corpus, config, init_vectors),
+                checkpoint_every,
+            )
+            if checkpoint_dir is not None
+            else None
+        )
+
+        if config.streaming:
+            return _train_streaming(
+                corpus,
+                config,
+                vocab,
+                rng,
+                init_vectors,
+                checkpointer=checkpointer,
+                resume=resume,
+                epoch_callback=epoch_callback,
+            )
+
+        centers, contexts = corpus.context_arrays(config.window)
+        if centers.size == 0:
+            raise ValueError("corpus has no (center, context) examples")
+
+        if config.subsample > 0:
+            keep_p = vocab.keep_probabilities(config.subsample)
+            keep = rng.random(centers.shape[0]) < keep_p[centers]
+            if np.any(keep):  # never subsample away the whole corpus
+                centers, contexts = centers[keep], contexts[keep]
+
+        objective = _build_objective(config, vocab, rng, init_vectors)
+        state = _TrainState()
+        if checkpointer is not None and resume:
+            state = checkpointer.restore(objective, rng) or state
+
+        elapsed = _run_dense_epochs(
+            objective,
+            centers,
+            contexts,
             config,
-            vocab,
             rng,
-            init_vectors,
+            state,
             checkpointer=checkpointer,
-            resume=resume,
             epoch_callback=epoch_callback,
         )
 
-    centers, contexts = corpus.context_arrays(config.window)
-    if centers.size == 0:
-        raise ValueError("corpus has no (center, context) examples")
+        if rec.enabled:
+            span.annotate(
+                epochs_run=len(state.loss_history), converged=state.converged
+            )
+        return EmbeddingResult(
+            vectors=objective.vectors.copy(),
+            loss_history=state.loss_history,
+            epochs_run=len(state.loss_history),
+            train_seconds=elapsed,
+            converged=state.converged,
+            config=config,
+        )
 
-    if config.subsample > 0:
-        keep_p = vocab.keep_probabilities(config.subsample)
-        keep = rng.random(centers.shape[0]) < keep_p[centers]
-        if np.any(keep):  # never subsample away the whole corpus
-            centers, contexts = centers[keep], contexts[keep]
 
-    objective = _build_objective(config, vocab, rng, init_vectors)
-    state = _TrainState()
-    if checkpointer is not None and resume:
-        state = checkpointer.restore(objective, rng) or state
-
-    elapsed = _run_dense_epochs(
-        objective,
-        centers,
-        contexts,
-        config,
-        rng,
-        state,
-        checkpointer=checkpointer,
-        epoch_callback=epoch_callback,
+def _record_epoch_telemetry(
+    rec,
+    span,
+    state: _TrainState,
+    mean_loss: float,
+    lr: float,
+    examples: int,
+    seconds: float,
+) -> None:
+    """Per-epoch metrics + span attributes (dense and streaming loops)."""
+    words_per_sec = examples / max(seconds, 1e-9)
+    rec.observe("train.epoch_seconds", seconds)
+    rec.inc("train.epochs_run")
+    rec.inc("train.examples", examples)
+    rec.set("train.last_loss", mean_loss)
+    rec.set("train.lr", lr)
+    rec.set("train.words_per_sec", words_per_sec)
+    span.annotate(
+        loss=round(mean_loss, 6),
+        lr=round(lr, 6),
+        examples=examples,
+        words_per_sec=round(words_per_sec, 1),
     )
-
-    return EmbeddingResult(
-        vectors=objective.vectors.copy(),
-        loss_history=state.loss_history,
-        epochs_run=len(state.loss_history),
-        train_seconds=elapsed,
-        converged=state.converged,
-        config=config,
-    )
+    if state.converged:
+        rec.event(
+            "train.early_stop",
+            epoch=state.epoch,
+            loss=round(mean_loss, 6),
+            stall=state.stall,
+        )
 
 
 def _run_dense_epochs(
@@ -406,22 +455,36 @@ def _run_dense_epochs(
     num_examples = centers.shape[0]
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
+    rec = current_recorder()
 
     start = time.perf_counter()
     for _epoch in range(state.epoch, config.epochs):
         if state.converged:
             break
-        order = rng.permutation(num_examples) if config.shuffle else np.arange(num_examples)
-        epoch_loss = 0.0
-        for lo in range(0, num_examples, config.batch_size):
-            sel = order[lo : lo + config.batch_size]
-            # Linear LR decay over the scheduled (not early-stopped) run.
-            frac = state.batch_index / max(total_batches - 1, 1)
-            lr = config.lr + (config.lr_min - config.lr) * frac
-            epoch_loss += objective.batch_step(centers[sel], contexts[sel], lr, rng)
-            state.batch_index += 1
-        mean_loss = epoch_loss / batches_per_epoch
-        state.record_epoch(mean_loss, config)
+        with rec.span("train.epoch", epoch=state.epoch) as span:
+            epoch_start = time.perf_counter()
+            order = rng.permutation(num_examples) if config.shuffle else np.arange(num_examples)
+            epoch_loss = 0.0
+            lr = config.lr
+            for lo in range(0, num_examples, config.batch_size):
+                sel = order[lo : lo + config.batch_size]
+                # Linear LR decay over the scheduled (not early-stopped) run.
+                frac = state.batch_index / max(total_batches - 1, 1)
+                lr = config.lr + (config.lr_min - config.lr) * frac
+                epoch_loss += objective.batch_step(centers[sel], contexts[sel], lr, rng)
+                state.batch_index += 1
+            mean_loss = epoch_loss / batches_per_epoch
+            state.record_epoch(mean_loss, config)
+            if rec.enabled:
+                _record_epoch_telemetry(
+                    rec,
+                    span,
+                    state,
+                    mean_loss,
+                    lr,
+                    num_examples,
+                    time.perf_counter() - epoch_start,
+                )
         if checkpointer is not None:
             checkpointer.save(
                 objective,
@@ -471,89 +534,105 @@ def _train_streaming(
     )
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
+    rec = current_recorder()
 
     start = time.perf_counter()
     for _epoch in range(state.epoch, config.epochs):
         if state.converged:
             break
-        if config.shuffle:
-            row_order = rng.permutation(corpus.num_walks)
-            shuffled = WalkCorpus(
-                corpus.walks[row_order], num_vertices=corpus.num_vertices
-            )
-        else:
-            shuffled = corpus
-        epoch_loss = 0.0
-        epoch_batches = 0
-        buffer_target = 8 * config.batch_size
-        buf_centers: list[np.ndarray] = []
-        buf_contexts: list[np.ndarray] = []
-        buffered = 0
-
-        def drain(final: bool) -> tuple[float, int]:
-            nonlocal buf_centers, buf_contexts, buffered
-            centers = np.concatenate(buf_centers)
-            contexts = np.vstack(buf_contexts)
+        with rec.span("train.epoch", epoch=state.epoch, streaming=True) as span:
+            epoch_start = time.perf_counter()
             if config.shuffle:
-                perm = rng.permutation(centers.shape[0])
-                centers, contexts = centers[perm], contexts[perm]
-            # Keep a partial batch in the buffer unless this is the
-            # final drain of the epoch.
-            full = centers.shape[0] - (
-                0 if final else centers.shape[0] % config.batch_size
-            )
-            loss = 0.0
-            steps = 0
-            for lo in range(0, full, config.batch_size):
-                frac = min(state.batch_index, total_batches - 1) / max(
-                    total_batches - 1, 1
+                row_order = rng.permutation(corpus.num_walks)
+                shuffled = WalkCorpus(
+                    corpus.walks[row_order], num_vertices=corpus.num_vertices
                 )
-                lr = config.lr + (config.lr_min - config.lr) * frac
-                loss += objective.batch_step(
-                    centers[lo : lo + config.batch_size],
-                    contexts[lo : lo + config.batch_size],
-                    lr,
-                    rng,
-                )
-                state.batch_index += 1
-                steps += 1
-            if full < centers.shape[0]:
-                buf_centers = [centers[full:]]
-                buf_contexts = [contexts[full:]]
-                buffered = centers.shape[0] - full
             else:
-                buf_centers, buf_contexts, buffered = [], [], 0
-            return loss, steps
+                shuffled = corpus
+            epoch_loss = 0.0
+            epoch_batches = 0
+            buffer_target = 8 * config.batch_size
+            buf_centers: list[np.ndarray] = []
+            buf_contexts: list[np.ndarray] = []
+            buffered = 0
 
-        for centers, contexts in shuffled.context_batches(
-            config.window, rows_per_batch=config.stream_rows
-        ):
-            if keep_p is not None:
-                keep = rng.random(centers.shape[0]) < keep_p[centers]
-                if np.any(keep):
-                    centers, contexts = centers[keep], contexts[keep]
-            buf_centers.append(centers)
-            buf_contexts.append(contexts)
-            buffered += centers.shape[0]
-            if buffered >= buffer_target:
-                loss, steps = drain(final=False)
+            def drain(final: bool) -> tuple[float, int]:
+                nonlocal buf_centers, buf_contexts, buffered
+                centers = np.concatenate(buf_centers)
+                contexts = np.vstack(buf_contexts)
+                if config.shuffle:
+                    perm = rng.permutation(centers.shape[0])
+                    centers, contexts = centers[perm], contexts[perm]
+                # Keep a partial batch in the buffer unless this is the
+                # final drain of the epoch.
+                full = centers.shape[0] - (
+                    0 if final else centers.shape[0] % config.batch_size
+                )
+                loss = 0.0
+                steps = 0
+                for lo in range(0, full, config.batch_size):
+                    frac = min(state.batch_index, total_batches - 1) / max(
+                        total_batches - 1, 1
+                    )
+                    lr = config.lr + (config.lr_min - config.lr) * frac
+                    loss += objective.batch_step(
+                        centers[lo : lo + config.batch_size],
+                        contexts[lo : lo + config.batch_size],
+                        lr,
+                        rng,
+                    )
+                    state.batch_index += 1
+                    steps += 1
+                if full < centers.shape[0]:
+                    buf_centers = [centers[full:]]
+                    buf_contexts = [contexts[full:]]
+                    buffered = centers.shape[0] - full
+                else:
+                    buf_centers, buf_contexts, buffered = [], [], 0
+                return loss, steps
+
+            for centers, contexts in shuffled.context_batches(
+                config.window, rows_per_batch=config.stream_rows
+            ):
+                if keep_p is not None:
+                    keep = rng.random(centers.shape[0]) < keep_p[centers]
+                    if np.any(keep):
+                        centers, contexts = centers[keep], contexts[keep]
+                buf_centers.append(centers)
+                buf_contexts.append(contexts)
+                buffered += centers.shape[0]
+                if buffered >= buffer_target:
+                    loss, steps = drain(final=False)
+                    epoch_loss += loss
+                    epoch_batches += steps
+            if buffered:
+                loss, steps = drain(final=True)
                 epoch_loss += loss
                 epoch_batches += steps
-        if buffered:
-            loss, steps = drain(final=True)
-            epoch_loss += loss
-            epoch_batches += steps
-        mean_loss = epoch_loss / max(epoch_batches, 1)
-        state.record_epoch(mean_loss, config)
-        if checkpointer is not None:
-            checkpointer.save(
-                objective,
-                rng,
-                state,
-                final=state.converged or state.epoch == config.epochs,
-            )
-        if epoch_callback is not None:
-            epoch_callback(state.epoch - 1, mean_loss)
+            mean_loss = epoch_loss / max(epoch_batches, 1)
+            state.record_epoch(mean_loss, config)
+            if rec.enabled:
+                frac = min(max(state.batch_index - 1, 0), total_batches - 1) / max(
+                    total_batches - 1, 1
+                )
+                _record_epoch_telemetry(
+                    rec,
+                    span,
+                    state,
+                    mean_loss,
+                    config.lr + (config.lr_min - config.lr) * frac,
+                    num_examples,
+                    time.perf_counter() - epoch_start,
+                )
+            if checkpointer is not None:
+                checkpointer.save(
+                    objective,
+                    rng,
+                    state,
+                    final=state.converged or state.epoch == config.epochs,
+                )
+            if epoch_callback is not None:
+                epoch_callback(state.epoch - 1, mean_loss)
     elapsed = time.perf_counter() - start
 
     return EmbeddingResult(

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.core import Graph
+from repro.obs.recorder import current_recorder
 
 __all__ = [
     "density",
@@ -38,6 +39,7 @@ def modularity(g: Graph, membership: np.ndarray) -> float:
     """
     if g.directed:
         raise ValueError("modularity expects an undirected graph")
+    current_recorder().inc("community.modularity_evals")
     membership = np.asarray(membership, dtype=np.int64)
     if membership.shape != (g.n,):
         raise ValueError("membership must assign every vertex")

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.recorder import current_recorder
+
 __all__ = ["KMeans", "KMeansResult"]
 
 
@@ -118,18 +120,29 @@ class KMeans:
         if n < self.k:
             raise ValueError(f"need at least k={self.k} samples, got {n}")
         rng = np.random.default_rng(self.seed)
+        rec = current_recorder()
         best: KMeansResult | None = None
-        for _restart in range(self.n_init):
-            labels, centers, inertia, iters = self._lloyd(x, rng)
-            if best is None or inertia < best.inertia:
-                best = KMeansResult(
-                    labels=labels,
-                    centers=centers,
-                    inertia=inertia,
-                    iterations=iters,
-                    restarts=self.n_init,
+        with rec.span("kmeans.fit", k=self.k, n=n, n_init=self.n_init) as span:
+            for _restart in range(self.n_init):
+                labels, centers, inertia, iters = self._lloyd(x, rng)
+                if rec.enabled:
+                    rec.inc("kmeans.restarts")
+                    rec.observe("kmeans.restart_inertia", inertia)
+                    rec.observe("kmeans.restart_iterations", iters)
+                if best is None or inertia < best.inertia:
+                    best = KMeansResult(
+                        labels=labels,
+                        centers=centers,
+                        inertia=inertia,
+                        iterations=iters,
+                        restarts=self.n_init,
+                    )
+            assert best is not None
+            if rec.enabled:
+                rec.set("kmeans.best_inertia", best.inertia)
+                span.annotate(
+                    inertia=round(best.inertia, 6), iterations=best.iterations
                 )
-        assert best is not None
         return best
 
     def _lloyd(

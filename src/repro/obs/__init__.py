@@ -1,0 +1,105 @@
+"""repro.obs — pipeline telemetry: logging, metrics, tracing, manifests.
+
+The observability subsystem every pipeline layer reports through:
+
+- :mod:`repro.obs.logging` — structured events, human + JSONL sinks.
+- :mod:`repro.obs.metrics` — counters / gauges / histograms / timers.
+- :mod:`repro.obs.tracing` — phase-scoped spans over the event stream.
+- :mod:`repro.obs.recorder` — the per-run hub and the no-op default.
+- :mod:`repro.obs.slab` — shared-memory per-worker metric rows.
+- :mod:`repro.obs.manifest` — the schema-versioned run manifest.
+- :mod:`repro.obs.report` — human rendering (``repro report``).
+
+Instrumented code does::
+
+    from repro.obs import current_recorder
+
+    rec = current_recorder()          # NULL_RECORDER unless installed
+    with rec.span("walks.generate", n=g.n):
+        ...
+        rec.inc("walks.total", corpus.num_walks)
+
+and pays near-zero cost when observability is off (see
+docs/observability.md and the overhead guard benchmark).
+"""
+
+from repro.obs.logging import (
+    HumanFormatter,
+    JsonlFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    parse_jsonl,
+    teardown_logging,
+)
+from repro.obs.manifest import (
+    REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    ObsConfig,
+    Recorder,
+    current_recorder,
+    install,
+    session,
+    use,
+)
+from repro.obs.slab import HOGWILD_SLOTS, MetricsSlab, MetricsSlabSpec
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    # logging
+    "StructuredLogger",
+    "get_logger",
+    "configure_logging",
+    "teardown_logging",
+    "JsonlFormatter",
+    "HumanFormatter",
+    "parse_jsonl",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    # tracing
+    "Span",
+    "Tracer",
+    # recorder
+    "ObsConfig",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "install",
+    "use",
+    "session",
+    # slab
+    "MetricsSlab",
+    "MetricsSlabSpec",
+    "HOGWILD_SLOTS",
+    # manifest
+    "SCHEMA_VERSION",
+    "REQUIRED_KEYS",
+    "ManifestError",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+]

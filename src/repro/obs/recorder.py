@@ -1,0 +1,236 @@
+"""The pipeline's telemetry hub: one Recorder per run, or the no-op.
+
+A :class:`Recorder` bundles the three observability primitives —
+structured logger, metrics registry, tracer — behind a single handle
+that instrumented code fetches with :func:`current_recorder`. When no
+recorder is installed (the default), the shared :data:`NULL_RECORDER`
+comes back and every call is a no-op; embedding quality and RNG streams
+are untouched either way (the bitwise-identity tests assert this).
+
+Install scopes:
+
+- :func:`use` — context manager installing a recorder for a block
+  (library embedding, tests).
+- :func:`session` — the full run lifecycle the CLI uses: configure log
+  sinks from an :class:`ObsConfig`, install a recorder, and on exit
+  write the run manifest and detach the sinks.
+
+Fork safety: worker processes inherit the parent's module globals, so a
+recorder pins its creating PID and :func:`current_recorder` returns the
+no-op in any other process. Cross-process telemetry therefore flows
+through explicit channels only — the :mod:`repro.obs.slab` metrics slab
+and values returned from worker tasks — never through accidentally
+shared file handles (which would interleave torn JSONL lines).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging as _stdlib_logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.logging import (
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    teardown_logging,
+)
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "ObsConfig",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "install",
+    "use",
+    "session",
+]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Declarative observability settings (CLI flags / ``V2VConfig``).
+
+    ``enabled=False`` is the hard opt-out: no recorder is installed at
+    all. ``trace=True`` additionally mirrors span begin/end events to
+    the human sink (they always go to the JSONL sink when one exists).
+    ``metrics_out`` is where :func:`session` writes the run manifest.
+    """
+
+    enabled: bool = True
+    log_level: str = "info"
+    log_json: str | None = None
+    metrics_out: str | None = None
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.log_level not in ("debug", "info", "warning", "error"):
+            raise ValueError("log_level must be debug|info|warning|error")
+
+
+class Recorder:
+    """Live telemetry: logger + metrics + tracer, PID-pinned.
+
+    ``trace=True`` lowers the span begin events from DEBUG to INFO so
+    they show on the human sink; the JSONL sink records at DEBUG always.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        logger: StructuredLogger | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.log = logger if logger is not None else get_logger()
+        self.tracer = Tracer(self.log, self.registry)
+        self.trace = trace
+        self.pid = os.getpid()
+
+    # Events ------------------------------------------------------------
+    def event(self, name: str, /, *, level: str = "info", **fields: Any) -> None:
+        """Emit one structured event to every configured sink."""
+        self.log.log(
+            getattr(_stdlib_logging, level.upper()), name, **fields
+        )
+
+    # Spans ---------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    # Metrics (delegation keeps call sites one-liner) ---------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.registry.inc(name, amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.registry.set(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.observe(name, value)
+
+    def time(self, name: str):
+        return self.registry.time(name)
+
+
+class NullRecorder:
+    """Inert recorder: the disabled path. All methods are no-ops."""
+
+    enabled = False
+    registry = NULL_REGISTRY
+    trace = False
+    pid = -1
+
+    def event(self, name: str, /, *, level: str = "info", **fields: Any) -> None:
+        return None
+
+    def span(self, name: str, **attrs: Any):
+        return NULL_SPAN
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def time(self, name: str):
+        return NULL_REGISTRY.time(name)
+
+
+NULL_RECORDER = NullRecorder()
+
+_current: Recorder | NullRecorder = NULL_RECORDER
+
+
+def current_recorder() -> Recorder | NullRecorder:
+    """The active recorder, or the no-op if none / wrong process.
+
+    The PID check makes forked pool workers observe the no-op even
+    though they inherit the parent's module state — their telemetry
+    travels through explicit slabs/return values instead.
+    """
+    rec = _current
+    if rec.enabled and rec.pid != os.getpid():
+        return NULL_RECORDER
+    return rec
+
+
+def install(recorder: Recorder | NullRecorder | None) -> None:
+    """Set (or with ``None`` clear) the process-wide recorder."""
+    global _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+
+
+@contextlib.contextmanager
+def use(recorder: Recorder | NullRecorder) -> Iterator[Recorder | NullRecorder]:
+    """Install ``recorder`` for the duration of the block."""
+    previous = _current
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)
+
+
+@contextlib.contextmanager
+def session(
+    config: ObsConfig | None,
+    *,
+    run_config: dict | None = None,
+    stream=None,
+) -> Iterator[Recorder | NullRecorder]:
+    """One observed run: sinks up, recorder installed, manifest out.
+
+    ``run_config`` is the caller's configuration fingerprint — it lands
+    verbatim in the manifest so a metrics file is self-describing.
+    ``stream`` overrides the human sink (tests pass a StringIO). With
+    ``config=None`` or ``enabled=False`` the block runs with the no-op
+    recorder and nothing is written.
+    """
+    if config is None or not config.enabled:
+        with use(NULL_RECORDER):
+            yield NULL_RECORDER
+        return
+
+    handlers = configure_logging(
+        config.log_level, json_path=config.log_json, stream=stream
+    )
+    recorder = Recorder(trace=config.trace)
+    if config.trace:
+        # Mirror span events on the human sink too: drop its bar to DEBUG.
+        for handler in handlers:
+            handler.setLevel(_stdlib_logging.DEBUG)
+    try:
+        with use(recorder):
+            recorder.event(
+                "run.begin",
+                pid=os.getpid(),
+                log_json=config.log_json,
+                metrics_out=config.metrics_out,
+            )
+            try:
+                yield recorder
+            finally:
+                recorder.event("run.end")
+                if config.metrics_out is not None:
+                    from repro.obs.manifest import write_manifest
+
+                    write_manifest(
+                        Path(config.metrics_out),
+                        registry=recorder.registry,
+                        run_config=run_config or {},
+                        events_path=config.log_json,
+                    )
+    finally:
+        teardown_logging(handlers)

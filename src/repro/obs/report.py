@@ -1,0 +1,117 @@
+"""Human-readable summary of a run manifest (the ``repro report`` command).
+
+Reads the manifest JSON (and optionally the JSONL event stream next to
+it) and prints the run the way a person asks about it: what ran, on
+what machine, how fast each phase was, and what the headline metrics
+came out to. Validation is strict — a manifest missing required keys is
+a non-zero exit, which is exactly what the CI bench-smoke job leans on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from pathlib import Path
+from typing import Any
+
+from repro.bench.harness import ExperimentRecord, format_table
+from repro.obs.logging import parse_jsonl
+
+__all__ = ["render_report", "span_summary"]
+
+
+def _fmt_num(value: float) -> str:
+    if value != value:  # nan
+        return "-"
+    if abs(value) >= 1000 or (value != 0 and abs(value) < 1e-3):
+        return f"{value:.4g}"
+    return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+
+
+def span_summary(events: list[dict]) -> dict[str, dict[str, float]]:
+    """Aggregate ``span.end`` events: count / total / max seconds per span."""
+    spans: dict[str, dict[str, float]] = defaultdict(
+        lambda: {"count": 0, "total_s": 0.0, "max_s": 0.0, "errors": 0}
+    )
+    for event in events:
+        if event.get("event") != "span.end":
+            continue
+        row = spans[event.get("span", "?")]
+        seconds = float(event.get("seconds", 0.0))
+        row["count"] += 1
+        row["total_s"] += seconds
+        row["max_s"] = max(row["max_s"], seconds)
+        if event.get("status") == "error":
+            row["errors"] += 1
+    return dict(spans)
+
+
+def render_report(
+    manifest: dict[str, Any], *, events_path: str | Path | None = None
+) -> str:
+    """The ``repro report`` text: host, config, metrics, span table."""
+    host = manifest["host"]
+    lines = [
+        f"run manifest (schema v{manifest['schema_version']}, "
+        f"config {manifest.get('config_fingerprint', '?')})",
+        f"  host: {host.get('platform', '?')} — "
+        f"{host.get('cpu_count', '?')} cpus "
+        f"({host.get('cpu_affinity', '?')} usable), "
+        f"python {host.get('python', '?')}",
+    ]
+    config = manifest.get("config") or {}
+    if config:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        lines.append(f"  config: {rendered}")
+
+    metrics = manifest["metrics"]
+    counter_records = [
+        ExperimentRecord(params={"counter": name}, values={"value": value})
+        for name, value in sorted(metrics["counters"].items())
+    ]
+    gauge_records = [
+        ExperimentRecord(params={"gauge": name}, values={"value": value})
+        for name, value in sorted(metrics["gauges"].items())
+        if not (isinstance(value, float) and math.isnan(value))
+    ]
+    hist_records = [
+        ExperimentRecord(
+            params={"histogram": name},
+            values={
+                k: snap.get(k, math.nan)
+                for k in ("count", "mean", "p50", "p95", "max")
+            },
+        )
+        for name, snap in sorted(metrics["histograms"].items())
+        if snap.get("count")
+    ]
+    for title, records in (
+        ("counters", counter_records),
+        ("gauges", gauge_records),
+        ("histograms (seconds unless named otherwise)", hist_records),
+    ):
+        if records:
+            lines.append("")
+            lines.append(format_table(records, title=title))
+
+    events_path = events_path or manifest.get("events_path")
+    if events_path and Path(events_path).is_file():
+        spans = span_summary(parse_jsonl(events_path))
+        if spans:
+            records = [
+                ExperimentRecord(
+                    params={"span": name},
+                    values={
+                        "count": row["count"],
+                        "total_s": round(row["total_s"], 4),
+                        "max_s": round(row["max_s"], 4),
+                        "errors": row["errors"],
+                    },
+                )
+                for name, row in sorted(spans.items())
+            ]
+            lines.append("")
+            lines.append(
+                format_table(records, title=f"spans ({events_path})")
+            )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Phase-scoped trace spans over the structured log + metrics registry.
+
+A span marks one pipeline phase — walk generation, a training epoch, a
+k-means fit — with a begin/end event pair in the JSONL stream and its
+duration observed into the ``span.<name>.seconds`` histogram. Spans
+nest: each carries its parent's name path, so the stream reconstructs
+the phase tree (``pipeline.fit > walks.generate > ...``) without any
+global collector.
+
+Span identity is process-local and cheap (a monotonically increasing
+integer), deliberately not a distributed trace id: the pipeline is one
+process tree and the JSONL file is the single sink.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any
+
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """Context manager for one phase; emits begin/end events.
+
+    ``attrs`` ride on both events; anything set via :meth:`annotate`
+    inside the block rides on the end event only (e.g. a loss computed
+    mid-phase). An exception inside the block marks the end event with
+    ``status="error"`` and the exception repr, then propagates.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent", "_start", "seconds")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, parent: "Span | None", attrs: dict
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.parent = parent
+        self.span_id = next(tracer._ids)
+        self._start = 0.0
+        self.seconds = 0.0
+
+    @property
+    def path(self) -> str:
+        return f"{self.parent.path}>{self.name}" if self.parent else self.name
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach fields to the span's end event."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        self.tracer._stack.append(self)
+        self.tracer.log.debug(
+            "span.begin",
+            span=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent.span_id if self.parent else None,
+            path=self.path,
+            **self.attrs,
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._start
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.tracer.registry.observe(f"span.{self.name}.seconds", self.seconds)
+        fields: dict[str, Any] = {
+            "span": self.name,
+            "span_id": self.span_id,
+            "path": self.path,
+            "seconds": round(self.seconds, 6),
+            "status": "error" if exc is not None else "ok",
+            **self.attrs,
+        }
+        if exc is not None:
+            fields["exception"] = repr(exc)
+        self.tracer.log.info("span.end", **fields)
+
+
+class _NullSpan:
+    """Inert span: the disabled-observability path; shared singleton."""
+
+    __slots__ = ()
+    name = ""
+    seconds = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory for spans bound to one logger + registry pair."""
+
+    def __init__(
+        self, log: StructuredLogger, registry: MetricsRegistry | NullRegistry
+    ) -> None:
+        self.log = log
+        self.registry = registry
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, name, parent, attrs)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None

@@ -44,6 +44,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.recorder import current_recorder
+from repro.obs.slab import HOGWILD_SLOTS, MetricsSlab, MetricsSlabSpec
 from repro.parallel.pool import chunk_bounds, parallel_map
 from repro.parallel.seeding import worker_seed_sequence
 from repro.parallel.shm import SHM_AVAILABLE, SharedArray, SharedArraySpec, shared_arrays
@@ -78,6 +80,9 @@ class _EpochTask:
     total_batches: int
     config: "object"  # TrainConfig (imported lazily to avoid a cycle)
     vocab_counts: np.ndarray
+    # Optional shared-memory metrics row set; workers report live progress
+    # through it because the parent's Recorder is inert across fork.
+    slab: MetricsSlabSpec | None = None
 
 
 def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
@@ -95,6 +100,7 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
         task.w_in, task.w_out, task.centers, task.contexts
     )]
     sh_in, sh_out, sh_centers, sh_contexts = attachments
+    slab = MetricsSlab.attach(task.slab) if task.slab is not None else None
     try:
         # Rebuild the objective shell, then point it at the shared views.
         # The throwaway init matrices are freed immediately.
@@ -114,16 +120,25 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
         loss_sum = 0.0
         batches = 0
         denom = max(task.total_batches - 1, 1)
+        if slab is not None:
+            slab.put(task.worker, "epoch", task.epoch)
         for lo in range(0, order.shape[0], config.batch_size):
             sel = order[lo : lo + config.batch_size]
             frac = min(task.batch_offset + batches, denom) / denom
             lr = config.lr + (config.lr_min - config.lr) * frac
-            loss_sum += objective.batch_step(
+            loss = objective.batch_step(
                 sh_centers.array[sel], sh_contexts.array[sel], lr, rng
             )
+            loss_sum += loss
             batches += 1
+            if slab is not None:
+                slab.add(task.worker, "batches", 1)
+                slab.add(task.worker, "examples", sel.shape[0])
+                slab.add(task.worker, "loss_sum", loss)
         return loss_sum, batches
     finally:
+        if slab is not None:
+            slab.close()
         for shared in attachments:
             shared.close()
 
@@ -199,7 +214,15 @@ def train_hogwild(
     if checkpointer is not None and resume:
         state = checkpointer.restore(objective, rng) or state
 
-    with shared_arrays() as scope:
+    rec = current_recorder()
+    with rec.span(
+        "train.run",
+        objective=config.objective,
+        output_layer=config.output_layer,
+        dim=config.dim,
+        epochs=config.epochs,
+        workers=config.workers,
+    ) as span, shared_arrays() as scope:
         # Weights move into shared memory; the parent-side objective now
         # *views* the segments, so checkpoint snapshots read live state.
         sh_in = scope.from_array(objective.w_in)
@@ -235,6 +258,10 @@ def train_hogwild(
                 task_fn=task_fn,
             )
         vectors = objective.vectors.copy()  # escape the scope before unlink
+        if rec.enabled:
+            span.annotate(
+                epochs_run=len(state.loss_history), converged=state.converged
+            )
 
     return EmbeddingResult(
         vectors=vectors,
@@ -263,8 +290,22 @@ def _run_hogwild_epochs(
     task_fn,
 ) -> float:
     """Epoch loop for ``workers > 1``: fan shards out, barrier per epoch."""
+    from repro.core.trainer import _record_epoch_telemetry
+
     sh_centers = scope.from_array(np.ascontiguousarray(centers, dtype=np.int64))
     sh_contexts = scope.from_array(np.ascontiguousarray(contexts, dtype=np.int64))
+
+    rec = current_recorder()
+    slab = None
+    slab_spec = None
+    if rec.enabled:
+        # Per-worker progress rows live in the same shared scope as the
+        # weights, so crash cleanup (unlink) is covered by the scope.
+        sh_slab = scope.from_array(
+            np.zeros((config.workers, len(HOGWILD_SLOTS)), dtype=np.float64)
+        )
+        slab = MetricsSlab.over(sh_slab, HOGWILD_SLOTS)
+        slab_spec = slab.spec
 
     num_examples = centers.shape[0]
     shards = chunk_bounds(num_examples, config.workers)
@@ -284,30 +325,63 @@ def _run_hogwild_epochs(
     for epoch in range(state.epoch, config.epochs):
         if state.converged:
             break
-        tasks = [
-            _EpochTask(
-                w_in=w_in_spec,
-                w_out=w_out_spec,
-                centers=sh_centers.spec,
-                contexts=sh_contexts.spec,
-                lo=lo,
-                hi=hi,
-                epoch=epoch,
-                worker=w,
-                entropy=entropy,
-                batch_offset=epoch * batches_per_epoch + int(offsets[w]),
-                total_batches=total_batches,
-                config=config,
-                vocab_counts=counts,
-            )
-            for w, (lo, hi) in enumerate(shards)
-        ]
-        results = parallel_map(task, tasks, workers=config.workers)
-        loss_sum = sum(loss for loss, _ in results)
-        batches_run = sum(n for _, n in results)
-        state.batch_index += batches_run
-        mean_loss = loss_sum / max(batches_run, 1)
-        state.record_epoch(mean_loss, config)
+        with rec.span(
+            "train.epoch", epoch=epoch, workers=config.workers
+        ) as span:
+            epoch_start = time.perf_counter()
+            tasks = [
+                _EpochTask(
+                    w_in=w_in_spec,
+                    w_out=w_out_spec,
+                    centers=sh_centers.spec,
+                    contexts=sh_contexts.spec,
+                    lo=lo,
+                    hi=hi,
+                    epoch=epoch,
+                    worker=w,
+                    entropy=entropy,
+                    batch_offset=epoch * batches_per_epoch + int(offsets[w]),
+                    total_batches=total_batches,
+                    config=config,
+                    vocab_counts=counts,
+                    slab=slab_spec,
+                )
+                for w, (lo, hi) in enumerate(shards)
+            ]
+            results = parallel_map(task, tasks, workers=config.workers)
+            loss_sum = sum(loss for loss, _ in results)
+            batches_run = sum(n for _, n in results)
+            state.batch_index += batches_run
+            mean_loss = loss_sum / max(batches_run, 1)
+            state.record_epoch(mean_loss, config)
+            if rec.enabled:
+                epoch_seconds = time.perf_counter() - epoch_start
+                for w, row in enumerate(slab.rows()):
+                    rec.observe("hogwild.worker_batches", row["batches"])
+                    rec.observe("hogwild.worker_examples", row["examples"])
+                    rec.event(
+                        "hogwild.worker",
+                        level="debug",
+                        worker=w,
+                        epoch=epoch,
+                        batches=int(row["batches"]),
+                        examples=int(row["examples"]),
+                        loss_sum=round(row["loss_sum"], 6),
+                    )
+                slab.reset()
+                # End-of-epoch position on the linear LR schedule.
+                frac = min(
+                    (epoch + 1) * batches_per_epoch - 1, total_batches - 1
+                ) / max(total_batches - 1, 1)
+                _record_epoch_telemetry(
+                    rec,
+                    span,
+                    state,
+                    mean_loss,
+                    config.lr + (config.lr_min - config.lr) * frac,
+                    num_examples,
+                    epoch_seconds,
+                )
         if checkpointer is not None:
             checkpointer.save(
                 objective,

@@ -23,11 +23,14 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from repro.obs.logging import get_logger
+from repro.obs.recorder import current_recorder
 from repro.resilience.retry import RetryPolicy
+
+_log = get_logger("parallel.pool")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -122,18 +125,30 @@ def parallel_map(
     pending = list(range(len(items)))
     delays = policy.delay_schedule()
 
+    rec = current_recorder()
     for attempt in range(policy.max_attempts):
         pending = _pool_pass(fn, items, results, pending, workers, policy)
         if not pending:
             return results
         if attempt < policy.max_attempts - 1:
-            time.sleep(delays[attempt])
+            backoff_s = delays[attempt]
+            rec.inc("pool.retries")
+            rec.event(
+                "pool.retry",
+                level="warning",
+                attempt=attempt + 1,
+                pending=len(pending),
+                total=len(items),
+                backoff_s=backoff_s,
+            )
+            time.sleep(backoff_s)
 
-    warnings.warn(
-        f"parallel_map: process pool kept failing; computing {len(pending)} "
-        f"of {len(items)} item(s) serially",
-        RuntimeWarning,
-        stacklevel=2,
+    rec.inc("pool.serial_fallbacks")
+    _log.warning(
+        "pool.serial_fallback",
+        pending=len(pending),
+        total=len(items),
+        attempts=policy.max_attempts,
     )
     for i in pending:
         results[i] = fn(items[i])

@@ -29,6 +29,8 @@ from typing import Any, Callable, Collection
 
 import numpy as np
 
+from repro.obs.recorder import current_recorder
+
 __all__ = ["FaultInjector", "InjectedFault", "EXIT_CODE"]
 
 EXIT_CODE = 13  # distinctive status for injected process death
@@ -134,13 +136,24 @@ class FaultInjector:
         if self.delay:
             time.sleep(self.delay)
         if self._armed():
+            rec = current_recorder()
             if self._should(self.exit_on_calls, self.exit_items, args):
                 self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="exit",
+                    call=self.calls, pid=os.getpid(),
+                )
                 os._exit(EXIT_CODE)
             if self._should(self.fail_on_calls, self.fail_items, args) or (
                 self._random_says_fail(self.calls)
             ):
                 self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="fail",
+                    call=self.calls, pid=os.getpid(),
+                )
                 raise InjectedFault(
                     f"injected fault on call {self.calls} (args={args!r})"
                 )

@@ -27,6 +27,8 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.obs.recorder import current_recorder
+
 __all__ = [
     "Checkpoint",
     "CheckpointManager",
@@ -57,12 +59,16 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    rec = current_recorder()
     try:
-        with tmp.open("wb") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        with rec.time("checkpoint.write_seconds"):
+            with tmp.open("wb") as fh:
+                fh.write(data)
+                fh.flush()
+                with rec.time("checkpoint.fsync_seconds"):
+                    os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        rec.inc("checkpoint.bytes", len(data))
     finally:
         if tmp.exists():  # only on failure before the replace
             tmp.unlink()
@@ -85,7 +91,14 @@ def save_checkpoint(
     arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
     buf = io.BytesIO()
     np.savez(buf, **arrays)
-    atomic_write_bytes(path, buf.getvalue())
+    data = buf.getvalue()
+    atomic_write_bytes(path, data)
+    rec = current_recorder()
+    if rec.enabled:
+        rec.inc("checkpoint.saves")
+        rec.event(
+            "checkpoint.saved", level="debug", path=str(path), bytes=len(data)
+        )
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:

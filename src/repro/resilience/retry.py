@@ -21,6 +21,8 @@ from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+from repro.obs.recorder import current_recorder
+
 __all__ = ["RetryPolicy", "RetryError", "call_with_retry", "run_with_timeout"]
 
 R = TypeVar("R")
@@ -123,6 +125,7 @@ def call_with_retry(
     """
     policy = policy or RetryPolicy()
     delays = policy.delay_schedule()
+    rec = current_recorder()
     last: BaseException | None = None
     for attempt in range(1, policy.max_attempts + 1):
         try:
@@ -132,9 +135,24 @@ def call_with_retry(
                 raise
             last = exc
             if attempt < policy.max_attempts:
+                rec.inc("retry.attempts")
+                rec.event(
+                    "retry.attempt",
+                    level="warning",
+                    attempt=attempt,
+                    error=repr(exc),
+                    backoff_s=delays[attempt - 1],
+                )
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 sleep(delays[attempt - 1])
+    rec.inc("retry.exhausted")
+    rec.event(
+        "retry.exhausted",
+        level="error",
+        attempts=policy.max_attempts,
+        error=repr(last),
+    )
     assert last is not None
     raise RetryError(policy.max_attempts, last) from last
 

@@ -19,12 +19,14 @@ remaining positions are padded with ``-1``.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.graph.core import Graph
+from repro.obs.recorder import current_recorder
 from repro.parallel.seeding import spawn_seeds
 from repro.walks.alias import AliasTable, build_arc_alias
 from repro.walks.corpus import WalkCorpus
@@ -119,17 +121,44 @@ def generate_walks(
 
     config = config or RandomWalkConfig()
     workers = resolve_workers(workers)
-    if checkpoint_dir is not None:
-        return _generate_walks_checkpointed(
-            g,
-            config,
-            workers=workers,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
-            chunks=checkpoint_chunks or workers,
-        )
-    if workers > 1:
-        return _generate_walks_parallel(g, config, workers, keep_shared)
+    rec = current_recorder()
+    with rec.span(
+        "walks.generate",
+        n=int(g.n),
+        mode=str(WalkMode(config.mode).value),
+        walks_per_vertex=config.walks_per_vertex,
+        walk_length=config.walk_length,
+        workers=workers,
+    ) as span:
+        with rec.time("walks.generate_seconds") as timer:
+            if checkpoint_dir is not None:
+                corpus = _generate_walks_checkpointed(
+                    g,
+                    config,
+                    workers=workers,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=resume,
+                    chunks=checkpoint_chunks or workers,
+                )
+            elif workers > 1:
+                corpus = _generate_walks_parallel(g, config, workers, keep_shared)
+            else:
+                corpus = _generate_walks_serial(g, config)
+        if rec.enabled:
+            walks_per_sec = corpus.num_walks / max(timer.seconds, 1e-9)
+            rec.inc("walks.total", corpus.num_walks)
+            rec.inc("walks.tokens", corpus.num_tokens)
+            rec.set("walks.walks_per_sec", walks_per_sec)
+            span.annotate(
+                walks=corpus.num_walks,
+                tokens=corpus.num_tokens,
+                walks_per_sec=round(walks_per_sec, 1),
+            )
+        return corpus
+
+
+def _generate_walks_serial(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
+    """The single-process stepping loop shared by every dispatch path."""
     mode = WalkMode(config.mode)
     _validate_mode(g, mode)
 
@@ -182,7 +211,9 @@ def _chunk_walks(args: tuple) -> np.ndarray:
         seed=seed_state,
         start_vertices=starts,
     )
-    return generate_walks(g, chunk_config).walks
+    # Straight to the serial engine: chunks must not re-enter the public
+    # generate_walks(), which would nest spans and double-count metrics.
+    return _generate_walks_serial(g, chunk_config).walks
 
 
 def _chunk_task(args: tuple) -> np.ndarray:
@@ -190,16 +221,18 @@ def _chunk_task(args: tuple) -> np.ndarray:
     return _chunk_walks(args)
 
 
-def _chunk_task_shm(args: tuple) -> tuple[int, int]:
+def _chunk_task_shm(args: tuple) -> tuple[int, int, float]:
     """Worker that writes its chunk straight into the shared walk block.
 
-    Returns only the row bounds it filled — nothing heavyweight crosses
-    the pool's result pipe. Re-running a chunk (pool retry after a
-    worker death) rewrites the same rows with the same seed, so the
+    Returns only the row bounds it filled plus its own wall-clock
+    seconds (the parent records per-chunk latency) — nothing heavyweight
+    crosses the pool's result pipe. Re-running a chunk (pool retry after
+    a worker death) rewrites the same rows with the same seed, so the
     operation is idempotent.
     """
     from repro.parallel.shm import SharedArray
 
+    started = time.perf_counter()
     lo, hi, spec = args[4], args[5], args[6]
     walks = _chunk_walks(args)
     shared = SharedArray.attach(spec)
@@ -207,7 +240,7 @@ def _chunk_task_shm(args: tuple) -> tuple[int, int]:
         shared.array[lo:hi] = walks
     finally:
         shared.close()
-    return lo, hi
+    return lo, hi, time.perf_counter() - started
 
 
 def _chunk_tasks(
@@ -273,7 +306,17 @@ def _generate_walks_parallel(
     shared = SharedArray.create((total_rows, config.walk_length), np.int64)
     try:
         shm_tasks = [(*task, shared.spec) for task in tasks]
-        parallel_map(_chunk_task_shm, shm_tasks, workers=workers)
+        bounds = parallel_map(_chunk_task_shm, shm_tasks, workers=workers)
+        rec = current_recorder()
+        if rec.enabled:
+            for lo, hi, seconds in bounds:
+                rec.observe("walks.chunk_seconds", seconds)
+                rec.event(
+                    "walks.chunk",
+                    level="debug",
+                    rows=hi - lo,
+                    seconds=round(seconds, 6),
+                )
     except BaseException:
         shared.destroy()
         raise
@@ -320,6 +363,7 @@ def _generate_walks_checkpointed(
         return _empty_corpus(g, config)
     manager = CheckpointManager(checkpoint_dir)
     fingerprint = _walk_fingerprint(g, config, len(tasks))
+    rec = current_recorder()
 
     done: dict[int, np.ndarray] = {}
     if resume:
@@ -334,13 +378,19 @@ def _generate_walks_checkpointed(
                     "checkpoint directory or resume with the original settings"
                 )
             done[i] = ckpt.arrays["walks"]
+        if done:
+            rec.inc("walks.chunks_resumed", len(done))
+            rec.event(
+                "walks.resume", chunks=len(done), of=len(tasks)
+            )
 
     missing = [i for i in range(len(tasks)) if i not in done]
     # Compute in waves of `workers` chunks, checkpointing after each
     # wave, so a kill mid-job loses at most one wave of work.
     wave = max(workers, 1)
-    for lo in range(0, len(missing), wave):
+    for wave_index, lo in enumerate(range(0, len(missing), wave)):
         batch = missing[lo : lo + wave]
+        wave_started = time.perf_counter()
         computed = parallel_map(
             _chunk_task, [tasks[i] for i in batch], workers=workers
         )
@@ -351,6 +401,16 @@ def _generate_walks_checkpointed(
                 {"fingerprint": fingerprint, "chunk": i},
             )
             done[i] = walks
+        if rec.enabled:
+            wave_seconds = time.perf_counter() - wave_started
+            rec.observe("walks.wave_seconds", wave_seconds)
+            rec.inc("walks.chunks_computed", len(batch))
+            rec.event(
+                "walks.wave",
+                wave=wave_index,
+                chunks=len(batch),
+                seconds=round(wave_seconds, 6),
+            )
     ordered = [done[i] for i in range(len(tasks))]
     return WalkCorpus(np.vstack(ordered), num_vertices=g.n)
 

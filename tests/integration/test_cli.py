@@ -105,10 +105,13 @@ class TestEmbed:
         assert main(args + ["--on-error", "skip"]) == 0
         with np.load(out) as data:
             assert data["vectors"].shape == (4, 4)
-        # collect mode reports the dropped line on stderr
+        # collect mode reports the dropped line as a structured warning
+        # on stderr (stdout stays reserved for the command result)
         assert main(args + ["--on-error", "collect"]) == 0
-        err = capsys.readouterr().err
-        assert "dropped 1 malformed line" in err
+        captured = capsys.readouterr()
+        assert "io.malformed_lines" in captured.err
+        assert "dropped=1" in captured.err
+        assert "malformed" not in captured.out
         # strict mode refuses
         with pytest.raises(ValueError):
             main(args + ["--on-error", "strict"])

@@ -1,0 +1,127 @@
+"""Structured logging: sinks, formatters, and the JSONL event stream."""
+
+import io
+import json
+import logging
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    parse_jsonl,
+    teardown_logging,
+)
+
+
+@pytest.fixture()
+def sinks(tmp_path):
+    """A human StringIO sink + JSONL file at the given level."""
+    def _make(level="info"):
+        stream = io.StringIO()
+        path = tmp_path / "events.jsonl"
+        handlers = configure_logging(level, json_path=path, stream=stream)
+        made.append(handlers)
+        return stream, path
+
+    made: list = []
+    yield _make
+    for handlers in made:
+        teardown_logging(handlers)
+
+
+class TestGetLogger:
+    def test_lives_under_repro_tree(self):
+        assert get_logger().stdlib.name == ROOT_LOGGER_NAME
+        assert get_logger("walks.engine").stdlib.name == "repro.walks.engine"
+
+
+class TestHumanSink:
+    def test_event_and_fields_on_one_line(self, sinks):
+        stream, _ = sinks("info")
+        get_logger("x").info("walks.done", walks=600, rate=1234.5)
+        line = stream.getvalue().strip()
+        assert "info repro.x walks.done walks=600 rate=1234.5" in line
+
+    def test_level_gates_human_sink(self, sinks):
+        stream, _ = sinks("warning")
+        log = get_logger("x")
+        log.info("quiet.event")
+        log.warning("loud.event", n=1)
+        out = stream.getvalue()
+        assert "quiet.event" not in out
+        assert "loud.event" in out
+
+    def test_values_with_spaces_are_quoted(self, sinks):
+        stream, _ = sinks("info")
+        get_logger().info("evt", msg="two words")
+        assert 'msg="two words"' in stream.getvalue()
+
+
+class TestJsonlSink:
+    def test_records_debug_regardless_of_console_level(self, sinks):
+        _, path = sinks("error")
+        get_logger("x").debug("span.begin", span="walks.generate")
+        events = parse_jsonl(path)
+        assert events == [
+            {
+                "ts": events[0]["ts"],
+                "level": "debug",
+                "logger": "repro.x",
+                "event": "span.begin",
+                "span": "walks.generate",
+            }
+        ]
+
+    def test_fields_survive_verbatim(self, sinks):
+        _, path = sinks()
+        get_logger().info("evt", count=3, loss=0.25, name="a")
+        (event,) = parse_jsonl(path)
+        assert event["count"] == 3 and event["loss"] == 0.25
+        assert event["name"] == "a"
+
+    def test_exotic_fields_are_coerced_not_dropped(self, sinks):
+        _, path = sinks()
+        get_logger().info(
+            "evt", np_val=np.float32(1.5), path=Path("/tmp/x"), obj=object()
+        )
+        (event,) = parse_jsonl(path)
+        assert event["np_val"] == 1.5
+        assert event["path"] == "/tmp/x"
+        assert event["obj"].startswith("<object object")
+
+
+class TestLifecycle:
+    def test_teardown_detaches_handlers(self, tmp_path):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        before = list(root.handlers)
+        handlers = configure_logging(
+            "info", json_path=tmp_path / "e.jsonl", stream=io.StringIO()
+        )
+        assert len(root.handlers) == len(before) + 2
+        teardown_logging(handlers)
+        assert root.handlers == before
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level must be one of"):
+            configure_logging("loud")
+
+
+class TestParseJsonl:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert [e["event"] for e in parse_jsonl(path)] == ["a", "b"]
+
+    def test_torn_line_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"event": "a"}\n{"event": "tor')
+        with pytest.raises(json.JSONDecodeError):
+            parse_jsonl(path)
+
+    def test_accepts_open_file_objects(self):
+        events = parse_jsonl(io.StringIO('{"event": "a"}\n'))
+        assert events[0]["event"] == "a"

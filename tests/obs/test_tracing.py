@@ -1,0 +1,101 @@
+"""Trace spans: begin/end events, nesting, errors, duration histograms."""
+
+import io
+
+import pytest
+
+from repro.obs.logging import (
+    configure_logging,
+    get_logger,
+    parse_jsonl,
+    teardown_logging,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+@pytest.fixture()
+def traced(tmp_path):
+    """A Tracer wired to a JSONL sink; yields (tracer, read_events)."""
+    path = tmp_path / "events.jsonl"
+    handlers = configure_logging("error", json_path=path, stream=io.StringIO())
+    tracer = Tracer(get_logger("test"), MetricsRegistry())
+    yield tracer, lambda: parse_jsonl(path)
+    teardown_logging(handlers)
+
+
+class TestSpan:
+    def test_begin_and_end_events(self, traced):
+        tracer, events = traced
+        with tracer.span("walks.generate", n=60):
+            pass
+        begin, end = events()
+        assert begin["event"] == "span.begin"
+        assert begin["span"] == "walks.generate"
+        assert begin["n"] == 60
+        assert begin["parent_id"] is None
+        assert end["event"] == "span.end"
+        assert end["span_id"] == begin["span_id"]
+        assert end["status"] == "ok"
+        assert end["seconds"] >= 0
+
+    def test_nesting_builds_the_path(self, traced):
+        tracer, events = traced
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+        assert tracer.current is None
+        by_key = {(e["event"], e["span"]): e for e in events()}
+        outer_begin = by_key[("span.begin", "outer")]
+        inner_begin = by_key[("span.begin", "inner")]
+        assert inner_begin["path"] == "outer>inner"
+        assert inner_begin["parent_id"] == outer_begin["span_id"]
+        # inner ends before outer
+        names = [e["span"] for e in events() if e["event"] == "span.end"]
+        assert names == ["inner", "outer"]
+
+    def test_annotate_rides_the_end_event_only(self, traced):
+        tracer, events = traced
+        with tracer.span("train.epoch", epoch=0) as span:
+            span.annotate(loss=0.5)
+        begin, end = events()
+        assert "loss" not in begin
+        assert end["loss"] == 0.5
+        assert end["epoch"] == 0
+
+    def test_exception_marks_error_and_propagates(self, traced):
+        tracer, events = traced
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("train.run"):
+                raise RuntimeError("boom")
+        end = [e for e in events() if e["event"] == "span.end"][0]
+        assert end["status"] == "error"
+        assert "RuntimeError('boom')" in end["exception"]
+        assert tracer.current is None  # stack unwound
+
+    def test_duration_lands_in_histogram(self, traced):
+        tracer, _ = traced
+        with tracer.span("phase"):
+            pass
+        with tracer.span("phase"):
+            pass
+        snap = tracer.registry.histogram("span.phase.seconds").snapshot()
+        assert snap["count"] == 2
+
+    def test_span_ids_are_unique_and_increasing(self, traced):
+        tracer, _ = traced
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert b.span_id > a.span_id
+
+
+class TestNullSpan:
+    def test_inert_context(self):
+        with NULL_SPAN as span:
+            span.annotate(anything=1)
+        assert span is NULL_SPAN
+        assert NULL_SPAN.name == ""
+        assert NULL_SPAN.seconds == 0.0

@@ -1,5 +1,6 @@
 """Tests for chunking and parallel map (including failure recovery)."""
 
+import logging
 import os
 import warnings
 
@@ -89,10 +90,10 @@ class TestWorkerCrashRecovery:
         assert out == [x * x for x in range(8)]
         assert (tmp_path / "fired").exists()  # the fault really fired
 
-    def test_persistently_broken_pool_degrades_to_serial(self):
+    def test_persistently_broken_pool_degrades_to_serial(self, caplog):
         # Every worker process dies on its first call; after the retry
         # budget the map must fall back to in-process execution with a
-        # warning instead of crashing.
+        # structured warning event instead of crashing.
         chaotic = FaultInjector(
             square, exit_on_calls=range(1, 1000), only_in_subprocess=True
         )
@@ -102,9 +103,11 @@ class TestWorkerCrashRecovery:
             jitter=0.0,
             retry_on=POOL_RETRY_POLICY.retry_on,
         )
-        with pytest.warns(RuntimeWarning, match="serially"):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.pool"):
             out = parallel_map(chaotic, list(range(6)), workers=2, retry=fast)
         assert out == [x * x for x in range(6)]
+        events = [getattr(r, "repro_event", None) for r in caplog.records]
+        assert "pool.serial_fallback" in events
 
     def test_work_function_exception_still_propagates(self, tmp_path):
         chaotic = FaultInjector(square, fail_items=(2,))
