@@ -116,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = one per available core; walks transfer via shared memory)",
     )
     p_embed.add_argument(
+        "--worker-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervise parallel workers: kill and respawn any worker "
+        "whose heartbeat goes silent for SECONDS (default: no supervision)",
+    )
+    p_embed.add_argument(
+        "--max-respawns",
+        type=int,
+        default=3,
+        help="respawn budget per worker-count rung before degrading to "
+        "fewer workers (requires --worker-deadline; default: 3)",
+    )
+    p_embed.add_argument(
         "--on-error",
         choices=["strict", "skip", "collect"],
         default="strict",
@@ -228,6 +243,8 @@ def _v2v_config(args):
         q=args.q,
         train_workers=resolve_workers(getattr(args, "train_workers", 1)),
         seed=args.seed,
+        worker_deadline=getattr(args, "worker_deadline", None),
+        max_respawns=getattr(args, "max_respawns", 3),
     )
 
 

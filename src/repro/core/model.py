@@ -13,6 +13,9 @@ This is the public face of the reproduction. Typical use::
 
 from __future__ import annotations
 
+import io
+import json
+import zipfile
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -21,6 +24,13 @@ import numpy as np
 from repro.core.trainer import EmbeddingResult, TrainConfig, train_embeddings
 from repro.graph.core import Graph
 from repro.obs.recorder import ObsConfig, current_recorder, session
+from repro.resilience.checkpoint import (
+    CheckpointCorrupt,
+    atomic_write_bytes,
+    integrity_record,
+    verify_integrity,
+)
+from repro.resilience.supervisor import SupervisorConfig
 from repro.walks.corpus import WalkCorpus
 from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
 
@@ -69,6 +79,11 @@ class V2VConfig:
     # Telemetry is not part of the model's identity: excluded from
     # equality so configs differing only in observability stay equal.
     observability: ObsConfig | None = field(default=None, compare=False)
+    # Worker supervision (liveness, not identity — same exclusion).
+    # ``worker_deadline`` set → parallel stages run supervised: hung or
+    # dead workers are killed/respawned within that many seconds.
+    worker_deadline: float | None = field(default=None, compare=False)
+    max_respawns: int = field(default=3, compare=False)
 
     def __post_init__(self) -> None:
         # Fail fast: constructing the stage configs runs their full
@@ -106,6 +121,16 @@ class V2VConfig:
             stream_rows=self.stream_rows,
             workers=self.train_workers,
             seed=self.seed,
+            supervisor=self.supervisor_config(),
+        )
+
+    def supervisor_config(self) -> SupervisorConfig | None:
+        """The supervision policy, or ``None`` when disabled (default)."""
+        if self.worker_deadline is None:
+            return None
+        return SupervisorConfig(
+            worker_deadline=self.worker_deadline,
+            max_respawns=self.max_respawns,
         )
 
     def with_dim(self, dim: int) -> "V2VConfig":
@@ -197,6 +222,7 @@ class V2V:
                 workers=workers,
                 checkpoint_dir=walk_dir,
                 resume=resume,
+                supervisor=self.config.supervisor_config(),
             )
             return self.fit_corpus(
                 corpus, checkpoint_dir=checkpoint_dir, resume=resume
@@ -304,27 +330,63 @@ class V2V:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist the learned vectors (+ loss history) as .npz."""
+        """Persist the learned vectors (+ loss history) as .npz.
+
+        The write is atomic (tmp → fsync → rename, see
+        :func:`repro.resilience.checkpoint.atomic_write_bytes`) and the
+        file embeds a SHA-256/CRC32 integrity record that :meth:`load`
+        verifies, so a torn or bit-flipped model file is detected
+        instead of silently loading garbage vectors.
+        """
         result = self._require_fitted()
+        path = Path(path)
+        if path.suffix != ".npz":  # match np.savez_compressed behavior
+            path = path.with_name(path.name + ".npz")
+        arrays = {
+            "vectors": np.asarray(result.vectors),
+            "loss_history": np.asarray(result.loss_history),
+            "epochs_run": np.asarray(result.epochs_run),
+            "converged": np.asarray(int(result.converged)),
+        }
+        record = integrity_record(arrays)
+        buf = io.BytesIO()
         np.savez_compressed(
-            Path(path),
-            vectors=result.vectors,
-            loss_history=np.asarray(result.loss_history),
-            epochs_run=result.epochs_run,
-            converged=int(result.converged),
+            buf,
+            **arrays,
+            __integrity__=np.frombuffer(json.dumps(record).encode(), np.uint8),
         )
+        atomic_write_bytes(path, buf.getvalue())
 
     @classmethod
     def load(cls, path: str | Path, config: V2VConfig | None = None) -> "V2V":
-        """Load vectors saved by :meth:`save` into a fitted model."""
-        with np.load(Path(path), allow_pickle=False) as data:
-            model = cls(config)
-            model._result = EmbeddingResult(
-                vectors=data["vectors"],
-                loss_history=[float(x) for x in data["loss_history"]],
-                epochs_run=int(data["epochs_run"]),
-                train_seconds=0.0,
-                converged=bool(int(data["converged"])),
-                config=model.config.train_config(),
-            )
+        """Load vectors saved by :meth:`save` into a fitted model.
+
+        Raises :class:`repro.resilience.checkpoint.CheckpointCorrupt`
+        when the file is unreadable or fails its integrity record
+        (models saved before integrity records load unverified).
+        """
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {k: data[k] for k in data.files if k != "__integrity__"}
+                record = (
+                    json.loads(bytes(data["__integrity__"]).decode())
+                    if "__integrity__" in data.files
+                    else None
+                )
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as exc:
+            raise CheckpointCorrupt(path, f"unreadable container: {exc}") from exc
+        if record is not None:
+            verify_integrity(arrays, record, path=path)
+        model = cls(config)
+        model._result = EmbeddingResult(
+            vectors=arrays["vectors"],
+            loss_history=[float(x) for x in arrays["loss_history"]],
+            epochs_run=int(arrays["epochs_run"]),
+            train_seconds=0.0,
+            converged=bool(int(arrays["converged"])),
+            config=model.config.train_config(),
+        )
         return model

@@ -21,7 +21,7 @@ import time
 import warnings
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.core.skipgram import SkipGramNegativeSampling
 from repro.core.vocab import VertexVocab
 from repro.obs.recorder import current_recorder
 from repro.walks.corpus import WalkCorpus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.supervisor import SupervisorConfig
 
 __all__ = ["TrainConfig", "EmbeddingResult", "train_embeddings"]
 
@@ -67,6 +70,9 @@ class TrainConfig:
     workers: int = 1
     seed: int | None = None
     shuffle: bool = field(default=True, compare=False)
+    # Liveness policy for the Hogwild worker pool, not model identity:
+    # excluded from equality and from the resume fingerprint.
+    supervisor: "SupervisorConfig | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.dim < 1:
@@ -254,8 +260,10 @@ def _train_fingerprint(
     corpus: WalkCorpus, config: TrainConfig, init_vectors: np.ndarray | None
 ) -> dict:
     """Identity of a training job: config + corpus shape + warm start."""
+    config_dict = asdict(config)
+    config_dict.pop("supervisor", None)  # liveness policy, not identity
     return {
-        "config": asdict(config),
+        "config": config_dict,
         "corpus": {
             "num_walks": corpus.num_walks,
             "max_length": corpus.max_length,

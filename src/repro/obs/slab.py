@@ -23,10 +23,14 @@ import numpy as np
 
 from repro.parallel.shm import SharedArray, SharedArraySpec
 
-__all__ = ["MetricsSlab", "MetricsSlabSpec", "HOGWILD_SLOTS"]
+__all__ = ["MetricsSlab", "MetricsSlabSpec", "HOGWILD_SLOTS", "SUPERVISOR_SLOTS"]
 
 # Slot layout used by the Hogwild trainer's per-worker progress rows.
 HOGWILD_SLOTS = ("batches", "examples", "loss_sum", "epoch")
+
+# Slot layout used by the worker supervisor's liveness rows: the last
+# heartbeat timestamp (time.monotonic), items completed, total beats.
+SUPERVISOR_SLOTS = ("heartbeat", "items_done", "beats")
 
 
 @dataclass(frozen=True)

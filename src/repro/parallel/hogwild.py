@@ -95,7 +95,9 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
     """
     from repro.core.trainer import _build_objective
     from repro.core.vocab import VertexVocab
+    from repro.resilience.supervisor import current_heartbeat
 
+    heartbeat = current_heartbeat()
     attachments = [SharedArray.attach(s) for s in (
         task.w_in, task.w_out, task.centers, task.contexts
     )]
@@ -131,6 +133,7 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
             )
             loss_sum += loss
             batches += 1
+            heartbeat.beat()  # liveness signal for the supervisor watchdog
             if slab is not None:
                 slab.add(task.worker, "batches", 1)
                 slab.add(task.worker, "examples", sel.shape[0])
@@ -348,7 +351,12 @@ def _run_hogwild_epochs(
                 )
                 for w, (lo, hi) in enumerate(shards)
             ]
-            results = parallel_map(task, tasks, workers=config.workers)
+            results = parallel_map(
+                task,
+                tasks,
+                workers=config.workers,
+                supervisor=getattr(config, "supervisor", None),
+            )
             loss_sum = sum(loss for loss, _ in results)
             batches_run = sum(n for _, n in results)
             state.batch_index += batches_run

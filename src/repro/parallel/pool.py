@@ -108,6 +108,7 @@ def parallel_map(
     *,
     workers: int = 1,
     retry: RetryPolicy | None = None,
+    supervisor=None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, in-process if ``workers == 1``.
 
@@ -117,7 +118,19 @@ def parallel_map(
     :data:`POOL_RETRY_POLICY`) and finally degraded to serial execution,
     so completed items are never recomputed and the map never fails
     because of infrastructure alone.
+
+    Passing a :class:`repro.resilience.supervisor.SupervisorConfig` as
+    ``supervisor`` switches to the supervised execution mode
+    (:func:`repro.resilience.supervisor.supervised_map`): per-worker
+    heartbeats, hung-worker detection, kill/respawn with work
+    reassignment, and a degrade ladder — liveness guarantees the plain
+    pool cannot give (a hung ``ProcessPoolExecutor`` worker stalls the
+    map forever without ever breaking the pool).
     """
+    if supervisor is not None and workers > 1 and len(items) > 1:
+        from repro.resilience.supervisor import supervised_map
+
+        return supervised_map(fn, items, workers=workers, config=supervisor)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     policy = retry or POOL_RETRY_POLICY

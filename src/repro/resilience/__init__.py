@@ -1,33 +1,46 @@
 """Fault-tolerant execution: retry policies, atomic checkpoints, chaos.
 
 The north-star deployment runs walk generation and training as long
-multi-process jobs; this package supplies the three primitives every
-layer above uses to survive partial failure:
+multi-process jobs; this package supplies the primitives every layer
+above uses to survive partial failure:
 
 - :mod:`repro.resilience.retry` — :class:`RetryPolicy` (bounded attempts,
   exponential backoff with deterministic seeded jitter) plus
   :func:`call_with_retry` and :func:`run_with_timeout`.
 - :mod:`repro.resilience.checkpoint` — atomic ``write-tmp → fsync →
-  rename`` snapshots of numpy state with a :class:`CheckpointManager`
-  for named checkpoint directories.
+  rename`` snapshots of numpy state with embedded SHA-256/CRC32
+  integrity records, a typed :class:`CheckpointCorrupt` error, and a
+  :class:`CheckpointManager` that quarantines corrupt files on resume.
+- :mod:`repro.resilience.supervisor` — self-healing parallel maps:
+  per-worker shared-memory heartbeats, a watchdog that kills and
+  respawns dead *and hung* workers, straggler timeouts, and a degrade
+  ladder that ends at serial execution (:func:`supervised_map`).
 - :mod:`repro.resilience.chaos` — a deterministic fault-injection
-  harness (:class:`FaultInjector`) used by the test suite to prove each
-  recovery path actually fires.
+  harness (:class:`FaultInjector`: fail / exit / hang / corrupt_file)
+  used by the test suite to prove each recovery path actually fires.
 """
 
 from repro.resilience.chaos import FaultInjector, InjectedFault
 from repro.resilience.checkpoint import (
     Checkpoint,
+    CheckpointCorrupt,
     CheckpointManager,
     atomic_write_bytes,
+    integrity_record,
     load_checkpoint,
     save_checkpoint,
+    verify_integrity,
 )
 from repro.resilience.retry import (
     RetryError,
     RetryPolicy,
     call_with_retry,
     run_with_timeout,
+)
+from repro.resilience.supervisor import (
+    SupervisorConfig,
+    current_heartbeat,
+    supervised_map,
 )
 
 __all__ = [
@@ -36,10 +49,16 @@ __all__ = [
     "call_with_retry",
     "run_with_timeout",
     "Checkpoint",
+    "CheckpointCorrupt",
     "CheckpointManager",
     "atomic_write_bytes",
     "save_checkpoint",
     "load_checkpoint",
+    "integrity_record",
+    "verify_integrity",
+    "SupervisorConfig",
+    "supervised_map",
+    "current_heartbeat",
     "FaultInjector",
     "InjectedFault",
 ]

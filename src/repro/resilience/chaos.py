@@ -61,6 +61,24 @@ class FaultInjector:
         deterministically from ``(seed, call_number)``.
     delay:
         Seconds to sleep before each underlying call (latency chaos).
+    hang_on_calls / hang_items:
+        Trigger a *hang*: sleep ``hang_seconds`` before proceeding,
+        simulating a deadlocked/livelocked worker. Under supervision the
+        watchdog kills the hung process long before the sleep ends; the
+        marker is written **before** sleeping so the respawned retry
+        runs clean.
+    hang_seconds:
+        Duration of an injected hang (default one hour — effectively
+        forever for a supervised test, bounded for an unsupervised one).
+    corrupt_on_calls / corrupt_items:
+        Trigger file corruption: the file at ``corrupt_path`` is
+        truncated to half its size with every 97th remaining byte
+        XOR-flipped, then the underlying call proceeds normally. Models
+        a torn write / bit rot on an artifact that looks fine to the
+        writer.
+    corrupt_path:
+        The file the ``corrupt_file`` fault mangles. Required when any
+        corrupt trigger is set.
     once_marker:
         Optional path; faults fire only while it does not exist and
         create it upon firing, so a retried call succeeds.
@@ -81,6 +99,12 @@ class FaultInjector:
         failure_rate: float = 0.0,
         seed: int = 0,
         delay: float = 0.0,
+        hang_on_calls: Collection[int] = (),
+        hang_items: Collection[Any] = (),
+        hang_seconds: float = 3600.0,
+        corrupt_on_calls: Collection[int] = (),
+        corrupt_items: Collection[Any] = (),
+        corrupt_path: str | Path | None = None,
         once_marker: str | Path | None = None,
         only_in_subprocess: bool = False,
     ) -> None:
@@ -90,6 +114,10 @@ class FaultInjector:
             raise ValueError("delay must be non-negative")
         if seed < 0:
             raise ValueError("seed must be non-negative")
+        if hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        if (corrupt_on_calls or corrupt_items) and corrupt_path is None:
+            raise ValueError("corrupt faults require corrupt_path")
         self.fn = fn
         self.fail_on_calls = frozenset(int(c) for c in fail_on_calls)
         self.exit_on_calls = frozenset(int(c) for c in exit_on_calls)
@@ -98,6 +126,12 @@ class FaultInjector:
         self.failure_rate = float(failure_rate)
         self.seed = int(seed)
         self.delay = float(delay)
+        self.hang_on_calls = frozenset(int(c) for c in hang_on_calls)
+        self.hang_items = tuple(hang_items)
+        self.hang_seconds = float(hang_seconds)
+        self.corrupt_on_calls = frozenset(int(c) for c in corrupt_on_calls)
+        self.corrupt_items = tuple(corrupt_items)
+        self.corrupt_path = str(corrupt_path) if corrupt_path is not None else None
         self.once_marker = str(once_marker) if once_marker is not None else None
         self.only_in_subprocess = bool(only_in_subprocess)
         self._home_pid = os.getpid()
@@ -130,6 +164,19 @@ class FaultInjector:
             return True
         return bool(items) and bool(args) and args[0] in items
 
+    def _corrupt_file(self) -> None:
+        """Tear and bit-flip ``corrupt_path``: truncate to half, then XOR
+        every 97th remaining byte. A no-op if the file does not exist."""
+        path = Path(self.corrupt_path)
+        try:
+            raw = bytearray(path.read_bytes())
+        except FileNotFoundError:
+            return
+        raw = raw[: max(len(raw) // 2, 1)]
+        for i in range(0, len(raw), 97):
+            raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
     # ------------------------------------------------------------------
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         self.calls += 1
@@ -137,6 +184,25 @@ class FaultInjector:
             time.sleep(self.delay)
         if self._armed():
             rec = current_recorder()
+            if self._should(self.hang_on_calls, self.hang_items, args):
+                # Mark before sleeping: a supervisor kills this process
+                # mid-sleep, and the respawned retry must pass clean.
+                self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="hang",
+                    call=self.calls, pid=os.getpid(),
+                    seconds=self.hang_seconds,
+                )
+                time.sleep(self.hang_seconds)
+            if self._should(self.corrupt_on_calls, self.corrupt_items, args):
+                self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="corrupt_file",
+                    call=self.calls, pid=os.getpid(), path=self.corrupt_path,
+                )
+                self._corrupt_file()
             if self._should(self.exit_on_calls, self.exit_items, args):
                 self._mark_fired()
                 rec.inc("fault.injected")

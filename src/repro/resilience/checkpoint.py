@@ -11,6 +11,20 @@ trick :func:`repro.graph.io.save_graph` uses). Writes are atomic:
 resuming run) only ever sees either the previous complete checkpoint or
 the new complete checkpoint — never a torn file. A crash mid-write
 leaves at most a stale ``*.tmp.*`` file, which the manager sweeps.
+After the replace the **parent directory** is fsynced too: a rename is
+only durable once the directory entry itself reaches disk, so without
+it a power loss right after ``os.replace`` could roll the directory
+back to the old (or no) entry even though the data blocks were synced.
+
+Every checkpoint also embeds an integrity record — a SHA-256 digest
+over all array payloads plus the metadata, and a per-array CRC32 —
+inside its ``__meta__`` JSON (reserved key ``__integrity__``). Loads
+verify it and raise the typed :class:`CheckpointCorrupt` on any
+mismatch, truncation, or unreadable container, so callers can tell a
+*corrupt* checkpoint apart from a *missing* one (``FileNotFoundError``)
+and quarantine instead of crash: :meth:`CheckpointManager.load_if_exists`
+moves a bad file to ``<file>.corrupt.<ts>`` and returns ``None``, which
+resuming phases treat as "start fresh".
 
 :class:`CheckpointManager` scopes named checkpoints to a directory and
 is what the walk engine and trainer thread through the stack.
@@ -18,27 +32,121 @@ is what the walk engine and trainer thread through the stack.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
+import time
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 import numpy as np
 
+from repro.obs.logging import get_logger
 from repro.obs.recorder import current_recorder
 
 __all__ = [
     "Checkpoint",
+    "CheckpointCorrupt",
     "CheckpointManager",
     "atomic_write_bytes",
     "save_checkpoint",
     "load_checkpoint",
+    "integrity_record",
+    "verify_integrity",
 ]
 
 _META_KEY = "__meta__"
+_INTEGRITY_KEY = "__integrity__"
 _SUFFIX = ".ckpt.npz"
+
+_log = get_logger("repro.resilience.checkpoint")
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint/model file exists but cannot be trusted.
+
+    Raised for unreadable containers (torn zip, truncated file) and for
+    integrity-record mismatches (bit rot). Distinct from
+    ``FileNotFoundError`` — *missing* is a normal first-run state,
+    *corrupt* is an artifact that must be quarantined.
+    """
+
+    def __init__(self, path: str | Path, reason: str) -> None:
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+def _canonical_meta_bytes(meta: dict[str, Any]) -> bytes:
+    """Deterministic JSON encoding of user metadata for digesting.
+
+    ``sort_keys`` fixes ordering and JSON round-trips floats/ints/str
+    exactly, so the bytes are identical when recomputed from a loaded
+    meta dict (tuples serialize as JSON arrays on both sides).
+    """
+    return json.dumps(meta, sort_keys=True).encode()
+
+
+def integrity_record(
+    arrays: dict[str, np.ndarray], meta_bytes: bytes = b""
+) -> dict[str, Any]:
+    """Checksums for a set of named arrays plus a metadata blob.
+
+    Returns ``{"algo", "digest", "crc32"}``: one SHA-256 over every
+    array's name/dtype/shape/payload (in sorted-name order) and the
+    metadata bytes, plus a per-array CRC32 so a mismatch can be pinned
+    to the array that rotted.
+    """
+    digest = hashlib.sha256()
+    crcs: dict[str, int] = {}
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        raw = arr.tobytes()
+        digest.update(name.encode())
+        digest.update(arr.dtype.str.encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(raw)
+        crcs[name] = zlib.crc32(raw)
+    digest.update(meta_bytes)
+    return {"algo": "sha256", "digest": digest.hexdigest(), "crc32": crcs}
+
+
+def verify_integrity(
+    arrays: dict[str, np.ndarray],
+    record: dict[str, Any],
+    *,
+    meta_bytes: bytes = b"",
+    path: str | Path = "<memory>",
+) -> None:
+    """Check ``arrays``/``meta_bytes`` against a stored integrity record.
+
+    Raises :class:`CheckpointCorrupt` naming the offending arrays (via
+    their CRC32s) or the metadata when the SHA-256 does not match.
+    """
+    actual = integrity_record(arrays, meta_bytes)
+    if actual["digest"] == record.get("digest"):
+        return
+    stored_crcs = record.get("crc32", {})
+    bad = sorted(
+        name
+        for name, crc in actual["crc32"].items()
+        if stored_crcs.get(name) != crc
+    )
+    missing = sorted(set(stored_crcs) - set(actual["crc32"]))
+    if bad or missing:
+        parts = []
+        if bad:
+            parts.append(f"checksum mismatch in arrays {bad}")
+        if missing:
+            parts.append(f"missing arrays {missing}")
+        reason = "; ".join(parts)
+    else:
+        reason = "metadata does not match its digest"
+    raise CheckpointCorrupt(path, reason)
 
 
 @dataclass(frozen=True)
@@ -50,11 +158,16 @@ class Checkpoint:
 
 
 def atomic_write_bytes(path: str | Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (tmp → fsync → rename).
+    """Write ``data`` to ``path`` atomically and durably.
 
-    The temporary file lives in the destination directory so the final
+    tmp → flush → fsync(file) → ``os.replace`` → fsync(directory). The
+    temporary file lives in the destination directory so the final
     ``os.replace`` is a same-filesystem rename (the only portable way to
-    make it atomic).
+    make it atomic). The directory fsync is what makes the rename
+    *durable*: until the directory entry reaches disk, a power loss can
+    resurrect the old file (or none) even though the data blocks were
+    synced. Platforms where directories cannot be opened/fsynced
+    (e.g. Windows) skip that step — the replace is still atomic there.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -68,10 +181,25 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
                 with rec.time("checkpoint.fsync_seconds"):
                     os.fsync(fh.fileno())
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
         rec.inc("checkpoint.bytes", len(data))
     finally:
         if tmp.exists():  # only on failure before the replace
             tmp.unlink()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry to disk; a no-op where unsupported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def save_checkpoint(
@@ -82,12 +210,18 @@ def save_checkpoint(
     """Atomically write a checkpoint file.
 
     ``meta`` must be JSON-serializable; Python ints of any size are fine
-    (numpy RNG states carry 128-bit integers).
+    (numpy RNG states carry 128-bit integers). An integrity record
+    (SHA-256 + per-array CRC32) is embedded under the reserved
+    ``__integrity__`` meta key and verified by :func:`load_checkpoint`.
     """
     arrays = dict(arrays or {})
     if _META_KEY in arrays:
         raise ValueError(f"array name {_META_KEY!r} is reserved")
-    payload = json.dumps(meta or {}).encode()
+    meta = dict(meta or {})
+    if _INTEGRITY_KEY in meta:
+        raise ValueError(f"meta key {_INTEGRITY_KEY!r} is reserved")
+    meta[_INTEGRITY_KEY] = integrity_record(arrays, _canonical_meta_bytes(meta))
+    payload = json.dumps(meta).encode()
     arrays[_META_KEY] = np.frombuffer(payload, dtype=np.uint8)
     buf = io.BytesIO()
     np.savez(buf, **arrays)
@@ -102,10 +236,31 @@ def save_checkpoint(
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        meta = json.loads(bytes(data[_META_KEY]).decode()) if _META_KEY in data else {}
-        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+    """Read and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Raises ``FileNotFoundError`` when the file is missing and
+    :class:`CheckpointCorrupt` when it exists but is torn, truncated,
+    not an npz, or fails its embedded integrity record. Checkpoints
+    written before integrity records existed load without verification.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = (
+                json.loads(bytes(data[_META_KEY]).decode())
+                if _META_KEY in data
+                else {}
+            )
+            arrays = {k: data[k] for k in data.files if k != _META_KEY}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as exc:
+        raise CheckpointCorrupt(path, f"unreadable container: {exc}") from exc
+    record = meta.pop(_INTEGRITY_KEY, None) if isinstance(meta, dict) else None
+    if record is not None:
+        verify_integrity(
+            arrays, record, meta_bytes=_canonical_meta_bytes(meta), path=path
+        )
     return Checkpoint(arrays=arrays, meta=meta)
 
 
@@ -146,12 +301,53 @@ class CheckpointManager:
         return load_checkpoint(self.path_for(name))
 
     def load_if_exists(self, name: str) -> Checkpoint | None:
-        return self.load(name) if self.exists(name) else None
+        """The resume entry point: missing → None, corrupt → quarantine.
+
+        A corrupt checkpoint is moved aside (``<file>.corrupt.<ts>``),
+        logged, and reported as absent so the calling phase restarts
+        cleanly instead of crashing on a torn file.
+        """
+        try:
+            return self.load(name)
+        except FileNotFoundError:
+            return None
+        except CheckpointCorrupt as exc:
+            quarantined = self.quarantine(name)
+            current_recorder().inc("checkpoint.corrupt")
+            _log.warning(
+                "checkpoint.quarantined",
+                name=name,
+                reason=exc.reason,
+                quarantined_to=str(quarantined) if quarantined else None,
+            )
+            return None
+
+    def quarantine(self, name: str) -> Path | None:
+        """Move a suspect checkpoint to ``<file>.corrupt.<ts>``.
+
+        Returns the quarantine path, or ``None`` if the file vanished
+        first. Quarantined files keep their bytes for post-mortems but
+        no longer match the ``.ckpt.npz`` suffix, so :meth:`names` and
+        resume scans ignore them.
+        """
+        path = self.path_for(name)
+        stamp = int(time.time())
+        for attempt in range(100):
+            suffix = f".corrupt.{stamp}"
+            if attempt:
+                suffix += f".{attempt}"
+            target = path.with_name(path.name + suffix)
+            if target.exists():
+                continue
+            try:
+                os.replace(path, target)
+            except FileNotFoundError:
+                return None
+            return target
+        raise RuntimeError(f"could not find a free quarantine name for {path}")
 
     def delete(self, name: str) -> None:
-        path = self.path_for(name)
-        if path.exists():
-            path.unlink()
+        self.path_for(name).unlink(missing_ok=True)
 
     def names(self) -> list[str]:
         """Completed checkpoint names, sorted (tmp leftovers excluded)."""

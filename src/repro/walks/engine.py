@@ -89,6 +89,7 @@ def generate_walks(
     checkpoint_dir: "str | Path | None" = None,
     resume: bool = False,
     checkpoint_chunks: int | None = None,
+    supervisor=None,
 ) -> WalkCorpus:
     """Generate ``t`` walks from every vertex (or from ``start_vertices``).
 
@@ -116,6 +117,12 @@ def generate_walks(
     bitwise-identical to an uninterrupted run with the same
     ``(seed, chunk count)``. A fingerprint mismatch raises
     ``ValueError`` rather than silently mixing corpora.
+
+    ``supervisor`` (a :class:`repro.resilience.supervisor.SupervisorConfig`)
+    runs parallel chunks under worker supervision: heartbeat-based
+    hung-worker detection, kill/respawn with chunk reassignment, and a
+    degrade ladder to serial. Chunk recomputation is idempotent (same
+    seed → same rows), so a respawned chunk is bitwise-harmless.
     """
     from repro.parallel.pool import resolve_workers
 
@@ -139,9 +146,12 @@ def generate_walks(
                     checkpoint_dir=checkpoint_dir,
                     resume=resume,
                     chunks=checkpoint_chunks or workers,
+                    supervisor=supervisor,
                 )
             elif workers > 1:
-                corpus = _generate_walks_parallel(g, config, workers, keep_shared)
+                corpus = _generate_walks_parallel(
+                    g, config, workers, keep_shared, supervisor=supervisor
+                )
             else:
                 corpus = _generate_walks_serial(g, config)
         if rec.enabled:
@@ -182,11 +192,15 @@ def _generate_walks_serial(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
     # lets a future multi-process split reuse the same spawning scheme.
     rng = np.random.default_rng(spawn_seeds(config.seed, 1)[0])
 
+    from repro.resilience.supervisor import current_heartbeat
+
+    heartbeat = current_heartbeat()
     stepper = _make_stepper(g, mode, config)
     cur = starts.copy()
     active = np.ones(num_walks, dtype=bool)
     state = stepper.initial_state(num_walks)
     for step in range(1, config.walk_length):
+        heartbeat.beat()  # liveness signal for the supervisor watchdog
         idx = np.flatnonzero(active)
         if idx.size == 0:
             break
@@ -283,7 +297,11 @@ def _empty_corpus(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
 
 
 def _generate_walks_parallel(
-    g: Graph, config: RandomWalkConfig, workers: int, keep_shared: bool = False
+    g: Graph,
+    config: RandomWalkConfig,
+    workers: int,
+    keep_shared: bool = False,
+    supervisor=None,
 ) -> WalkCorpus:
     """Fan chunks out to a pool; rows land in one shared-memory block.
 
@@ -306,7 +324,9 @@ def _generate_walks_parallel(
     shared = SharedArray.create((total_rows, config.walk_length), np.int64)
     try:
         shm_tasks = [(*task, shared.spec) for task in tasks]
-        bounds = parallel_map(_chunk_task_shm, shm_tasks, workers=workers)
+        bounds = parallel_map(
+            _chunk_task_shm, shm_tasks, workers=workers, supervisor=supervisor
+        )
         rec = current_recorder()
         if rec.enabled:
             for lo, hi, seconds in bounds:
@@ -354,6 +374,7 @@ def _generate_walks_checkpointed(
     checkpoint_dir: str | Path,
     resume: bool,
     chunks: int,
+    supervisor=None,
 ) -> WalkCorpus:
     from repro.parallel.pool import parallel_map
     from repro.resilience.checkpoint import CheckpointManager
@@ -392,7 +413,10 @@ def _generate_walks_checkpointed(
         batch = missing[lo : lo + wave]
         wave_started = time.perf_counter()
         computed = parallel_map(
-            _chunk_task, [tasks[i] for i in batch], workers=workers
+            _chunk_task,
+            [tasks[i] for i in batch],
+            workers=workers,
+            supervisor=supervisor,
         )
         for i, walks in zip(batch, computed):
             manager.save(

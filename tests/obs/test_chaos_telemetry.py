@@ -21,9 +21,12 @@ from repro.walks.engine import RandomWalkConfig, generate_walks
 
 from tests.parallel.test_shm import shm_entries
 
-pytestmark = pytest.mark.skipif(
-    not hogwild_supported(), reason="platform has no shared memory"
-)
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.skipif(
+        not hogwild_supported(), reason="platform has no shared memory"
+    ),
+]
 
 
 @pytest.fixture(scope="module")

@@ -102,3 +102,55 @@ class TestOnlyInSubprocess:
     def test_disarmed_in_home_process(self):
         inj = FaultInjector(identity, fail_on_calls={1}, only_in_subprocess=True)
         assert inj(9) == 9  # would raise if armed
+
+
+class TestHangFault:
+    def test_hangs_then_proceeds(self):
+        inj = FaultInjector(identity, hang_on_calls={1}, hang_seconds=0.05)
+        start = time.perf_counter()
+        assert inj(7) == 7  # hang is latency, not failure
+        assert time.perf_counter() - start >= 0.04
+        # Second call does not hang.
+        start = time.perf_counter()
+        assert inj(8) == 8
+        assert time.perf_counter() - start < 0.04
+
+    def test_hang_items_with_once_marker(self, tmp_path):
+        marker = tmp_path / "fired"
+        inj = FaultInjector(
+            identity, hang_items=(3,), hang_seconds=0.05, once_marker=marker
+        )
+        inj(3)
+        # The marker is written *before* the sleep, so a killed-and-retried
+        # worker would find the fault disarmed.
+        assert marker.exists()
+        start = time.perf_counter()
+        inj(3)
+        assert time.perf_counter() - start < 0.04
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(identity, hang_seconds=0)
+
+
+class TestCorruptFileFault:
+    def test_corrupts_target_file(self, tmp_path):
+        victim = tmp_path / "artifact.bin"
+        original = bytes(range(256)) * 8
+        victim.write_bytes(original)
+        inj = FaultInjector(identity, corrupt_on_calls={1}, corrupt_path=victim)
+        assert inj(5) == 5  # the call itself succeeds
+        mangled = victim.read_bytes()
+        assert mangled != original
+        assert len(mangled) == len(original) // 2  # truncated
+
+    def test_missing_target_is_a_noop(self, tmp_path):
+        inj = FaultInjector(
+            identity, corrupt_on_calls={1}, corrupt_path=tmp_path / "ghost"
+        )
+        assert inj(1) == 1
+        assert not (tmp_path / "ghost").exists()
+
+    def test_requires_corrupt_path(self):
+        with pytest.raises(ValueError):
+            FaultInjector(identity, corrupt_on_calls={1})

@@ -1,0 +1,222 @@
+"""End-to-end artifact integrity: checksums, CheckpointCorrupt, quarantine.
+
+Every persisted artifact (checkpoint, saved model) embeds a SHA-256 +
+per-array CRC32 record; these tests tamper with the files in the ways
+real storage fails — truncation, bit flips, garbage — and assert the
+typed error, the quarantine path, and that resume restarts cleanly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import V2V, V2VConfig
+from repro.graph.generators import planted_partition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Recorder, use
+from repro.resilience.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointManager,
+    integrity_record,
+    load_checkpoint,
+    save_checkpoint,
+    verify_integrity,
+)
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    path = tmp_path / "state.ckpt.npz"
+    arrays = {
+        "w": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "b": np.array([1, 2, 3], dtype=np.int64),
+    }
+    save_checkpoint(path, arrays, {"epoch": 7})
+    return path, arrays
+
+
+def truncate(path, keep_fraction=0.5):
+    raw = path.read_bytes()
+    path.write_bytes(raw[: int(len(raw) * keep_fraction)])
+
+
+class TestIntegrityRecord:
+    def test_is_deterministic(self):
+        arrays = {"a": np.arange(5), "b": np.eye(3)}
+        assert integrity_record(arrays) == integrity_record(dict(arrays))
+
+    def test_sensitive_to_data_name_dtype_shape(self):
+        base = integrity_record({"a": np.arange(6)})
+        assert integrity_record({"a": np.arange(6) + 1})["digest"] != base["digest"]
+        assert integrity_record({"b": np.arange(6)})["digest"] != base["digest"]
+        assert (
+            integrity_record({"a": np.arange(6, dtype=np.float64)})["digest"]
+            != base["digest"]
+        )
+        assert (
+            integrity_record({"a": np.arange(6).reshape(2, 3)})["digest"]
+            != base["digest"]
+        )
+
+    def test_verify_names_the_rotten_array(self):
+        arrays = {"good": np.arange(4), "bad": np.arange(9)}
+        record = integrity_record(arrays)
+        arrays["bad"] = arrays["bad"].copy()
+        arrays["bad"][0] = 99
+        with pytest.raises(CheckpointCorrupt, match="bad"):
+            verify_integrity(arrays, record, path="x.npz")
+
+    def test_verify_detects_meta_tamper(self):
+        arrays = {"a": np.arange(4)}
+        record = integrity_record(arrays, b'{"epoch": 1}')
+        with pytest.raises(CheckpointCorrupt, match="metadata"):
+            verify_integrity(arrays, record, meta_bytes=b'{"epoch": 2}')
+
+
+class TestLoadCheckpointErrors:
+    def test_missing_is_file_not_found(self, tmp_path):
+        # "missing" must stay distinguishable from "corrupt".
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "ghost.ckpt.npz")
+
+    def test_truncated_file_is_corrupt(self, saved):
+        path, _ = saved
+        truncate(path)
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path)
+
+    def test_garbage_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "junk.ckpt.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path)
+
+    def test_empty_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "empty.ckpt.npz"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path)
+
+    def test_corrupt_error_carries_path_and_reason(self, saved):
+        path, _ = saved
+        truncate(path)
+        with pytest.raises(CheckpointCorrupt) as excinfo:
+            load_checkpoint(path)
+        assert excinfo.value.path == path
+        assert excinfo.value.reason
+
+    def test_integrity_key_is_reserved(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint(tmp_path / "x.npz", {}, {"__integrity__": 1})
+
+    def test_meta_not_polluted_by_integrity_record(self, saved):
+        path, arrays = saved
+        ckpt = load_checkpoint(path)
+        assert ckpt.meta == {"epoch": 7}
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(ckpt.arrays[name], arr)
+
+
+@pytest.mark.chaos
+class TestQuarantine:
+    def test_corrupt_checkpoint_is_moved_aside(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("epoch", {"w": np.arange(4)}, {"epoch": 1})
+        truncate(manager.path_for("epoch"))
+
+        registry = MetricsRegistry()
+        with use(Recorder(registry)):
+            assert manager.load_if_exists("epoch") is None
+        assert registry.snapshot()["counters"]["checkpoint.corrupt"] == 1
+
+        # Original gone; quarantined copy keeps the bytes for forensics.
+        assert not manager.exists("epoch")
+        quarantined = [p for p in tmp_path.iterdir() if ".corrupt." in p.name]
+        assert len(quarantined) == 1
+        # Quarantined files are invisible to checkpoint enumeration.
+        assert manager.names() == []
+
+    def test_resave_after_quarantine_recovers(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("epoch", {"w": np.arange(4)}, {"epoch": 1})
+        truncate(manager.path_for("epoch"))
+        assert manager.load_if_exists("epoch") is None
+        manager.save("epoch", {"w": np.arange(8)}, {"epoch": 2})
+        ckpt = manager.load_if_exists("epoch")
+        assert ckpt is not None and ckpt.meta["epoch"] == 2
+
+    def test_missing_returns_none_without_quarantine(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.load_if_exists("never-saved") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_quarantine_missing_file_returns_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.quarantine("ghost") is None
+
+
+class TestDelete:
+    def test_delete_is_idempotent(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("a", {"x": np.arange(2)})
+        manager.delete("a")
+        assert not manager.exists("a")
+        manager.delete("a")  # second delete: no raise (TOCTOU-free)
+
+
+class TestModelIntegrity:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        g = planted_partition(n=40, groups=2, alpha=0.7, inter_edges=5, seed=0)
+        config = V2VConfig(
+            dim=6, epochs=2, walks_per_vertex=2, walk_length=10, seed=0
+        )
+        return V2V(config).fit(g)
+
+    def test_roundtrip(self, fitted, tmp_path):
+        fitted.save(tmp_path / "model.npz")
+        loaded = V2V.load(tmp_path / "model.npz")
+        np.testing.assert_array_equal(loaded.vectors, fitted.vectors)
+        assert loaded.result.epochs_run == fitted.result.epochs_run
+
+    def test_suffix_appended_like_savez(self, fitted, tmp_path):
+        fitted.save(tmp_path / "model")
+        assert (tmp_path / "model.npz").exists()
+        V2V.load(tmp_path / "model.npz")
+
+    def test_bit_flip_is_detected(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorrupt):
+            V2V.load(path)
+
+    def test_truncation_is_detected(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+        truncate(path)
+        with pytest.raises(CheckpointCorrupt):
+            V2V.load(path)
+
+    def test_missing_model_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            V2V.load(tmp_path / "ghost.npz")
+
+    def test_atomic_model_write_leaves_no_tmp(self, fitted, tmp_path):
+        fitted.save(tmp_path / "model.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_legacy_model_without_record_still_loads(self, fitted, tmp_path):
+        # Files written before integrity records load unverified.
+        path = tmp_path / "legacy.npz"
+        result = fitted.result
+        np.savez_compressed(
+            path,
+            vectors=result.vectors,
+            loss_history=np.asarray(result.loss_history),
+            epochs_run=result.epochs_run,
+            converged=int(result.converged),
+        )
+        loaded = V2V.load(path)
+        np.testing.assert_array_equal(loaded.vectors, result.vectors)
