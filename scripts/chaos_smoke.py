@@ -37,6 +37,7 @@ from repro.parallel.hogwild import (
     hogwild_supported,
     train_hogwild,
 )
+from repro.pipeline import ExecutionContext
 from repro.resilience.chaos import FaultInjector
 from repro.resilience.supervisor import SupervisorConfig
 from repro.walks.engine import RandomWalkConfig, generate_walks
@@ -100,15 +101,14 @@ def _corrupt_checkpoint_scenario(corpus, out_dir, scratch):
     train_embeddings(
         corpus,
         TrainConfig(dim=8, epochs=2, seed=1, early_stop=False),
-        checkpoint_dir=ckpt_dir,
+        context=ExecutionContext(checkpoint_dir=ckpt_dir),
     )
     victim = ckpt_dir / "trainer.ckpt.npz"
     FaultInjector(lambda: None, corrupt_on_calls={1}, corrupt_path=victim)()
     resumed = train_embeddings(
         corpus,
         TrainConfig(dim=8, epochs=2, seed=1, early_stop=False),
-        checkpoint_dir=ckpt_dir,
-        resume=True,
+        context=ExecutionContext(checkpoint_dir=ckpt_dir, resume=True),
     )
     quarantined = [p.name for p in ckpt_dir.iterdir() if ".corrupt." in p.name]
     if not quarantined:

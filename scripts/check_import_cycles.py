@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Layering lint: fail CI when a module imports against the layer order.
+
+The architecture (docs/architecture.md) is a DAG:
+
+    graph → walks → core → pipeline → cli
+                      ↑________tasks/community/viz
+
+Two classes of violation are checked, on *module-level* imports only
+(``import x`` / ``from x import y`` at the top of the file, outside
+``if TYPE_CHECKING:`` blocks). Function-local imports are exempt by
+design — that is exactly how the deprecation shims in ``walks.engine``
+and ``core.trainer`` reach ``repro.pipeline`` without a cycle.
+
+1. ``repro.pipeline`` must not import ``repro.cli`` — the pipeline is a
+   library layer; the CLI sits on top of it.
+2. ``repro.core``, ``repro.walks``, and ``repro.parallel`` must not
+   import ``repro.pipeline`` — the engines sit *below* the runtime that
+   orchestrates them.
+3. Nothing under ``repro`` imports ``repro.cli`` at module level.
+
+Run from the repo root: ``python scripts/check_import_cycles.py``.
+Exits 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+# (package prefix of the importing module, forbidden import prefix, why)
+RULES = [
+    (
+        "repro.pipeline",
+        "repro.cli",
+        "the pipeline layer must not depend on the CLI",
+    ),
+    (
+        "repro.core",
+        "repro.pipeline",
+        "engines sit below the pipeline runtime (use function-local imports in shims)",
+    ),
+    (
+        "repro.walks",
+        "repro.pipeline",
+        "engines sit below the pipeline runtime (use function-local imports in shims)",
+    ),
+    (
+        "repro.parallel",
+        "repro.pipeline",
+        "engines sit below the pipeline runtime (use function-local imports in shims)",
+    ),
+    (
+        "repro",
+        "repro.cli",
+        "repro.cli is the top of the stack; no library module may import it",
+    ),
+]
+
+
+def module_name(path: Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def module_level_imports(tree: ast.Module) -> list[tuple[int, str]]:
+    """(lineno, imported module) pairs for top-level imports, skipping
+    ``if TYPE_CHECKING:`` bodies (annotations don't create runtime deps)."""
+    found: list[tuple[int, str]] = []
+    for node in tree.body:
+        if isinstance(node, ast.If) and _is_type_checking_guard(node):
+            continue
+        if isinstance(node, ast.Import):
+            found.extend((node.lineno, alias.name) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            found.append((node.lineno, node.module))
+    return found
+
+
+def _in_layer(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+# Entry points whose whole job is to invoke the CLI.
+EXEMPT = {"repro.__main__"}
+
+
+def check() -> list[str]:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        mod = module_name(path)
+        if mod in EXEMPT:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, imported in module_level_imports(tree):
+            for layer, forbidden, why in RULES:
+                if _in_layer(mod, layer) and _in_layer(imported, forbidden):
+                    violations.append(
+                        f"{path.relative_to(SRC.parent)}:{lineno}: "
+                        f"{mod} imports {imported} ({why})"
+                    )
+                    break
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for line in violations:
+        print(line, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print("import layering OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,17 +4,28 @@ Applications* (Nguyen & Tirthapura, IPDPSW 2018).
 Public API highlights::
 
     from repro import V2V, V2VConfig, Graph
+    from repro import ExecutionContext, Pipeline
     from repro.graph import planted_partition
     from repro.community import V2VCommunityDetector, cnm_communities
     from repro.ml import KMeans, KNNClassifier, PCA
 
-See README.md for the architecture overview and DESIGN.md for the
-experiment index.
+See README.md for the architecture overview, docs/architecture.md for
+the staged pipeline runtime, and DESIGN.md for the experiment index.
 """
 
 from repro.core.model import V2V, V2VConfig
 from repro.core.trainer import EmbeddingResult, TrainConfig, train_embeddings
 from repro.graph.core import EdgeList, Graph
+from repro.pipeline import (
+    DetectStage,
+    ExecutionContext,
+    LayoutStage,
+    Pipeline,
+    PipelineResult,
+    PredictStage,
+    TrainStage,
+    WalkStage,
+)
 from repro.walks.corpus import WalkCorpus
 from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
 
@@ -32,5 +43,13 @@ __all__ = [
     "TrainConfig",
     "EmbeddingResult",
     "train_embeddings",
+    "ExecutionContext",
+    "Pipeline",
+    "PipelineResult",
+    "WalkStage",
+    "TrainStage",
+    "DetectStage",
+    "PredictStage",
+    "LayoutStage",
     "__version__",
 ]

@@ -28,9 +28,114 @@ import numpy as np
 
 from repro.obs.logging import get_logger
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_runtime_flags", "runtime_from_args"]
 
 _log = get_logger("cli")
+
+
+def add_runtime_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    checkpointing: bool = False,
+    workers: bool = False,
+) -> None:
+    """Attach the shared runtime flags to a subcommand parser.
+
+    Telemetry flags are always added; ``checkpointing`` adds
+    ``--checkpoint-dir``/``--resume`` and ``workers`` adds
+    ``--walk-workers``/``--worker-deadline``/``--max-respawns``.
+    :func:`runtime_from_args` turns the parsed result into the
+    :class:`repro.pipeline.ExecutionContext` commands run under.
+    """
+    if checkpointing:
+        parser.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            help="directory for atomic walk/trainer checkpoints (durable runs)",
+        )
+        parser.add_argument(
+            "--resume",
+            action="store_true",
+            help="continue from the checkpoints in --checkpoint-dir",
+        )
+    if workers:
+        parser.add_argument(
+            "--walk-workers",
+            type=int,
+            default=1,
+            help="processes for walk generation "
+            "(0 = one per available core; walks transfer via shared memory)",
+        )
+        parser.add_argument(
+            "--worker-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="supervise parallel workers: kill and respawn any worker "
+            "whose heartbeat goes silent for SECONDS (default: no supervision)",
+        )
+        parser.add_argument(
+            "--max-respawns",
+            type=int,
+            default=3,
+            help="respawn budget per worker-count rung before degrading to "
+            "fewer workers (requires --worker-deadline; default: 3)",
+        )
+    g = parser.add_argument_group("telemetry")
+    g.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="verbosity of the human log on stderr (default: warning)",
+    )
+    g.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="also write every event (DEBUG and up) as JSONL to PATH",
+    )
+    g.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run manifest (config + final metrics) to PATH",
+    )
+    g.add_argument(
+        "--trace",
+        action="store_true",
+        help="mirror span begin/end events on the human sink",
+    )
+    g.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable observability entirely (no-op recorder)",
+    )
+
+
+def runtime_from_args(args):
+    """Build the :class:`repro.pipeline.ExecutionContext` for a command.
+
+    Reads the flags :func:`add_runtime_flags` declares; flags a command
+    didn't opt into fall back to their inert defaults, so this is safe to
+    call for every subcommand.
+    """
+    from repro.parallel.pool import resolve_workers
+    from repro.pipeline.context import ExecutionContext
+    from repro.resilience.supervisor import SupervisorConfig
+
+    supervisor = None
+    if getattr(args, "worker_deadline", None) is not None:
+        supervisor = SupervisorConfig(
+            worker_deadline=args.worker_deadline,
+            max_respawns=getattr(args, "max_respawns", 3),
+        )
+    return ExecutionContext(
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=getattr(args, "resume", False),
+        workers=resolve_workers(getattr(args, "walk_workers", 1)),
+        supervisor=supervisor,
+        seed=getattr(args, "seed", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,79 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--q", type=float, default=1.0, help="node2vec in-out bias")
         p.add_argument("--seed", type=int, default=0)
 
-    def add_obs_args(p: argparse.ArgumentParser) -> None:
-        g = p.add_argument_group("telemetry")
-        g.add_argument(
-            "--log-level",
-            choices=["debug", "info", "warning", "error"],
-            default="warning",
-            help="verbosity of the human log on stderr (default: warning)",
-        )
-        g.add_argument(
-            "--log-json",
-            default=None,
-            metavar="PATH",
-            help="also write every event (DEBUG and up) as JSONL to PATH",
-        )
-        g.add_argument(
-            "--metrics-out",
-            default=None,
-            metavar="PATH",
-            help="write the run manifest (config + final metrics) to PATH",
-        )
-        g.add_argument(
-            "--trace",
-            action="store_true",
-            help="mirror span begin/end events on the human sink",
-        )
-        g.add_argument(
-            "--no-telemetry",
-            action="store_true",
-            help="disable observability entirely (no-op recorder)",
-        )
-
     p_embed = sub.add_parser("embed", help="train V2V vectors from an edge list")
     p_embed.add_argument("graph", help="edge-list file (src dst [w [t]])")
     p_embed.add_argument("-o", "--output", required=True, help="output .npz")
     p_embed.add_argument("--directed", action="store_true")
-    p_embed.add_argument(
-        "--checkpoint-dir",
-        default=None,
-        help="directory for atomic walk/trainer checkpoints (durable runs)",
-    )
-    p_embed.add_argument(
-        "--resume",
-        action="store_true",
-        help="continue from the checkpoints in --checkpoint-dir",
-    )
     p_embed.add_argument(
         "--train-workers",
         type=int,
         default=1,
         help="Hogwild training processes over shared weight matrices "
         "(1 = deterministic serial trainer, 0 = one per available core)",
-    )
-    p_embed.add_argument(
-        "--walk-workers",
-        type=int,
-        default=1,
-        help="processes for walk generation "
-        "(0 = one per available core; walks transfer via shared memory)",
-    )
-    p_embed.add_argument(
-        "--worker-deadline",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="supervise parallel workers: kill and respawn any worker "
-        "whose heartbeat goes silent for SECONDS (default: no supervision)",
-    )
-    p_embed.add_argument(
-        "--max-respawns",
-        type=int,
-        default=3,
-        help="respawn budget per worker-count rung before degrading to "
-        "fewer workers (requires --worker-deadline; default: 3)",
     )
     p_embed.add_argument(
         "--on-error",
@@ -201,8 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL event stream (defaults to the manifest's events_path)",
     )
 
-    for p in (p_embed, p_detect, p_predict, p_link, p_layout, p_gen, p_report):
-        add_obs_args(p)
+    # The pipeline commands get the full runtime surface (durable
+    # checkpoints + supervised workers); the rest are telemetry-only.
+    for p in (p_embed, p_detect, p_link):
+        add_runtime_flags(p, checkpointing=True, workers=True)
+    for p in (p_predict, p_layout, p_gen, p_report):
+        add_runtime_flags(p)
     return parser
 
 
@@ -250,15 +296,9 @@ def _v2v_config(args):
 
 def _cmd_embed(args) -> int:
     from repro.core.model import V2V
-    from repro.parallel.pool import resolve_workers
 
     graph = _load_graph(args.graph, args.directed, errors=args.on_error)
-    model = V2V(_v2v_config(args)).fit(
-        graph,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        workers=resolve_workers(args.walk_workers),
-    )
+    model = V2V(_v2v_config(args)).fit(graph, context=runtime_from_args(args))
     model.save(args.output)
     result = model.result
     print(
@@ -275,18 +315,27 @@ def _cmd_detect(args) -> int:
         girvan_newman_communities,
         louvain_communities,
     )
-    from repro.community.v2v_detector import V2VCommunityDetector
 
     graph = _load_graph(args.graph, args.directed)
     if args.method == "v2v":
-        detector = V2VCommunityDetector(
-            args.k, config=_v2v_config(args), n_init=args.restarts
+        from repro.pipeline import DetectStage, Pipeline, TrainStage, WalkStage
+
+        cfg = _v2v_config(args)
+        pipeline = Pipeline(
+            [
+                WalkStage(cfg.walk_config()),
+                TrainStage(cfg.train_config()),
+                DetectStage(args.k, n_init=args.restarts, seed=args.seed),
+            ]
         )
-        result = detector.detect(graph.to_undirected() if graph.directed else graph)
-        membership = result.membership
+        result = pipeline.execute(
+            graph.to_undirected() if graph.directed else graph,
+            context=runtime_from_args(args),
+        )
+        membership = result.value
         print(
-            f"v2v: train {result.train_seconds:.2f}s, "
-            f"cluster {result.cluster_seconds:.4f}s"
+            f"v2v: train {result.seconds_for('walks', 'train'):.2f}s, "
+            f"cluster {result.seconds_for('detect'):.4f}s"
         )
     elif args.method == "cnm":
         membership = cnm_communities(graph, target_communities=args.k)
@@ -307,7 +356,7 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    from repro.ml.cross_validation import cross_validate_knn
+    from repro.pipeline import Pipeline, PredictStage
 
     with np.load(args.vectors, allow_pickle=False) as data:
         vectors = data["vectors"]
@@ -321,14 +370,17 @@ def _cmd_predict(args) -> int:
             vectors=int(vectors.shape[0]),
         )
         return 2
-    acc = cross_validate_knn(
-        vectors,
-        labels,
-        k=args.k,
-        n_splits=args.folds,
-        repeats=args.repeats,
-        seed=args.seed,
-    )
+    acc = Pipeline(
+        [
+            PredictStage(
+                labels,
+                k=args.k,
+                folds=args.folds,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+        ]
+    ).run(vectors, context=runtime_from_args(args))
     print(f"{args.folds}-fold k-NN (k={args.k}) accuracy: {acc:.4f}")
     return 0
 
@@ -343,6 +395,7 @@ def _cmd_linkpred(args) -> int:
         operator=args.operator,
         test_fraction=args.test_fraction,
         seed=args.seed,
+        context=runtime_from_args(args),
     )
     print(
         f"link prediction ({args.operator}, dim={result.dim}): "
@@ -353,15 +406,15 @@ def _cmd_linkpred(args) -> int:
 
 
 def _cmd_layout(args) -> int:
-    from repro.viz.forceatlas import force_atlas_layout
+    from repro.pipeline import LayoutStage, Pipeline
 
     graph = _load_graph(args.graph, directed=False)
-    layout = force_atlas_layout(
-        graph, iterations=args.iterations, seed=args.seed
-    )
+    positions = Pipeline(
+        [LayoutStage(iterations=args.iterations, seed=args.seed)]
+    ).run(graph, context=runtime_from_args(args))
     with Path(args.output).open("w") as fh:
         fh.write("vertex,x,y\n")
-        for v, (x, y) in enumerate(layout.positions):
+        for v, (x, y) in enumerate(positions):
             fh.write(f"{v},{x:.6f},{y:.6f}\n")
     print(f"layout ({args.iterations} iterations) -> {args.output}")
     return 0

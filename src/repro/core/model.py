@@ -16,14 +16,14 @@ from __future__ import annotations
 import io
 import json
 import zipfile
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.trainer import EmbeddingResult, TrainConfig, train_embeddings
 from repro.graph.core import Graph
-from repro.obs.recorder import ObsConfig, current_recorder, session
+from repro.obs.recorder import ObsConfig, current_recorder
 from repro.resilience.checkpoint import (
     CheckpointCorrupt,
     atomic_write_bytes,
@@ -137,6 +137,44 @@ class V2VConfig:
         """Convenience for the dimension sweeps in Figs 5/6/9/10."""
         return replace(self, dim=dim)
 
+    # ------------------------------------------------------------------
+    # Serialization — the single source of truth for persisting a config
+    # (used by V2V.save/load and the observability run manifest).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able form of the config.
+
+        ``observability`` is excluded: telemetry settings are per-run
+        plumbing (file handles, sinks), not model identity, and they do
+        not survive serialization meaningfully.
+        """
+        data = {k: v for k, v in self.__dict__.items() if k != "observability"}
+        data["walk_mode"] = str(WalkMode(self.walk_mode).value)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding of :meth:`to_dict` (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "V2VConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown V2VConfig keys: {', '.join(unknown)} "
+                "(file written by an incompatible version?)"
+            )
+        data = dict(data)
+        if "walk_mode" in data:
+            data["walk_mode"] = WalkMode(data["walk_mode"])
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "V2VConfig":
+        return cls.from_dict(json.loads(text))
+
 
 class V2V:
     """Vertex-to-Vector model (fit/transform interface).
@@ -155,15 +193,58 @@ class V2V:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
+    def _context(
+        self,
+        context,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        workers: int | None = 1,
+    ):
+        """Resolve the :class:`~repro.pipeline.ExecutionContext` to run under.
+
+        Either the caller hands us a prebuilt context, or we assemble one
+        from the convenience kwargs — never both. The model config then
+        fills any runtime concern the context left unset (supervision
+        policy, telemetry, seed), so a bare ``fit(graph)`` still honors
+        ``V2VConfig.observability`` and friends.
+        """
+        from repro.pipeline.context import ExecutionContext
+
+        if context is not None:
+            if checkpoint_dir is not None or resume or workers != 1:
+                raise TypeError(
+                    "pass runtime settings either via context= or as "
+                    "checkpoint_dir/resume/workers keyword arguments, not both"
+                )
+            ctx = context
+        else:
+            ctx = ExecutionContext(
+                checkpoint_dir=checkpoint_dir, resume=resume, workers=workers
+            )
+        ctx = ctx.with_supervisor(self.config.supervisor_config())
+        if ctx.observability is None and self.config.observability is not None:
+            ctx = replace(ctx, observability=self.config.observability)
+        if ctx.seed is None and self.config.seed is not None:
+            ctx = replace(ctx, seed=self.config.seed)
+        return ctx
+
     def fit(
         self,
         graph: Graph,
         *,
+        context=None,
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
         workers: int | None = 1,
     ) -> "V2V":
         """Generate walks on ``graph`` and train the embedding.
+
+        ``fit`` is a facade over the staged runtime: it executes
+        ``Pipeline([WalkStage, TrainStage])`` (:mod:`repro.pipeline`)
+        under one :class:`~repro.pipeline.ExecutionContext`. Pass a
+        prebuilt context via ``context=`` for full control, or use the
+        convenience kwargs below (mutually exclusive with ``context=``).
 
         ``workers`` parallelizes the *walk* stage (``None``/< 1 = auto
         via :func:`repro.parallel.pool.resolve_workers`); the *training*
@@ -180,70 +261,53 @@ class V2V:
         with a different ``train_workers`` is refused rather than mixing
         determinism regimes.
 
-        With ``config.observability`` set (and no recorder already
-        installed by an enclosing session, e.g. the CLI's), ``fit``
-        opens its own :func:`repro.obs.session` for the duration of the
-        pipeline, so library users get logs/metrics/manifest without
-        touching global state themselves.
+        With observability configured (on the context or via
+        ``config.observability``) and no recorder already installed by an
+        enclosing session (e.g. the CLI's), ``fit`` opens its own
+        :func:`repro.obs.session` for the duration of the pipeline, so
+        library users get logs/metrics/manifest without touching global
+        state themselves.
         """
-        obs_cfg = self.config.observability
-        if obs_cfg is not None and not current_recorder().enabled:
-            run_config = {
-                k: v
-                for k, v in self.config.__dict__.items()
-                if k != "observability"
-            }
-            run_config["entrypoint"] = "V2V.fit"
-            with session(obs_cfg, run_config=run_config):
-                return self._fit(
-                    graph,
-                    checkpoint_dir=checkpoint_dir,
-                    resume=resume,
-                    workers=workers,
-                )
-        return self._fit(
-            graph, checkpoint_dir=checkpoint_dir, resume=resume, workers=workers
+        ctx = self._context(
+            context, checkpoint_dir=checkpoint_dir, resume=resume, workers=workers
         )
+        run_config = self.config.to_dict()
+        run_config["entrypoint"] = "V2V.fit"
+        with ctx.session(run_config=run_config):
+            return self._fit(graph, ctx)
 
-    def _fit(
-        self,
-        graph: Graph,
-        *,
-        checkpoint_dir: str | Path | None,
-        resume: bool,
-        workers: int | None,
-    ) -> "V2V":
+    def _fit(self, graph: Graph, ctx) -> "V2V":
+        from repro.pipeline import Pipeline, TrainStage, WalkStage
+
         rec = current_recorder()
         with rec.span("pipeline.fit", n=int(graph.n), dim=self.config.dim):
-            walk_dir = Path(checkpoint_dir) / "walks" if checkpoint_dir else None
-            corpus = generate_walks(
-                graph,
-                self.config.walk_config(),
-                workers=workers,
-                checkpoint_dir=walk_dir,
-                resume=resume,
-                supervisor=self.config.supervisor_config(),
-            )
-            return self.fit_corpus(
-                corpus, checkpoint_dir=checkpoint_dir, resume=resume
-            )
+            result = Pipeline(
+                [
+                    WalkStage(self.config.walk_config()),
+                    TrainStage(self.config.train_config()),
+                ]
+            ).execute(graph, context=ctx)
+        self._corpus = result.outputs["walks"]
+        self._result = result.outputs["train"]
+        return self
 
     def fit_corpus(
         self,
         corpus: WalkCorpus,
         *,
         init_vectors: np.ndarray | None = None,
+        context=None,
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
     ) -> "V2V":
         """Train on an existing walk corpus (optionally warm-started)."""
+        ctx = self._context(context, checkpoint_dir=checkpoint_dir, resume=resume)
         self._corpus = corpus
         self._result = train_embeddings(
             corpus,
             self.config.train_config(),
+            context=ctx,
             init_vectors=init_vectors,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
         )
         return self
 
@@ -347,6 +411,11 @@ class V2V:
             "loss_history": np.asarray(result.loss_history),
             "epochs_run": np.asarray(result.epochs_run),
             "converged": np.asarray(int(result.converged)),
+            # The config rides along (integrity-covered), so load() can
+            # rebuild the exact model without the caller re-supplying it.
+            "config_json": np.frombuffer(
+                self.config.to_json().encode(), np.uint8
+            ),
         }
         record = integrity_record(arrays)
         buf = io.BytesIO()
@@ -380,6 +449,9 @@ class V2V:
             raise CheckpointCorrupt(path, f"unreadable container: {exc}") from exc
         if record is not None:
             verify_integrity(arrays, record, path=path)
+        config_json = arrays.pop("config_json", None)
+        if config is None and config_json is not None:
+            config = V2VConfig.from_json(bytes(config_json).decode())
         model = cls(config)
         model._result = EmbeddingResult(
             vectors=arrays["vectors"],

@@ -193,36 +193,29 @@ class _TrainState:
             self.best_loss = min(self.best_loss, mean_loss)
 
 
-class _TrainerCheckpointer:
-    """Per-epoch atomic snapshots of a training run (or None-op)."""
+class _TrainerSnapshots:
+    """Per-epoch atomic snapshots of a training run.
 
-    def __init__(
-        self,
-        checkpoint_dir: str | Path,
-        fingerprint: dict,
-        every: int,
-    ) -> None:
-        from repro.resilience.checkpoint import CheckpointManager
+    A thin policy layer (what to store, how often) over the shared
+    fingerprinted-slot machinery in
+    :class:`repro.pipeline.checkpointing.FingerprintedCheckpoints` —
+    the fingerprint stamping/verification itself lives there now,
+    shared with the walk engine.
+    """
 
+    def __init__(self, store, every: int) -> None:
         if every < 1:
             raise ValueError("checkpoint_every must be >= 1")
-        self.manager = CheckpointManager(checkpoint_dir)
-        self.fingerprint = fingerprint
+        self.store = store  # a FingerprintedCheckpoints
         self.every = every
 
     def restore(
         self, objective, rng: np.random.Generator
     ) -> _TrainState | None:
         """Load the trainer snapshot, if any, into objective/rng/state."""
-        ckpt = self.manager.load_if_exists(TRAINER_CHECKPOINT)
+        ckpt = self.store.load(TRAINER_CHECKPOINT)
         if ckpt is None:
             return None
-        if ckpt.meta.get("fingerprint") != self.fingerprint:
-            raise ValueError(
-                f"trainer checkpoint in {self.manager.directory} was written "
-                "by a different configuration or corpus; clear the directory "
-                "or resume with the original settings"
-            )
         objective.w_in = np.ascontiguousarray(ckpt.arrays["w_in"], dtype=np.float64)
         objective.w_out = np.ascontiguousarray(ckpt.arrays["w_out"], dtype=np.float64)
         rng.bit_generator.state = ckpt.meta["rng_state"]
@@ -240,11 +233,10 @@ class _TrainerCheckpointer:
     ) -> None:
         if not final and state.epoch % self.every != 0:
             return
-        self.manager.save(
+        self.store.save(
             TRAINER_CHECKPOINT,
             {"w_in": objective.w_in, "w_out": objective.w_out},
             {
-                "fingerprint": self.fingerprint,
                 "rng_state": rng.bit_generator.state,
                 "epoch": state.epoch,
                 "loss_history": state.loss_history,
@@ -254,6 +246,24 @@ class _TrainerCheckpointer:
                 "converged": state.converged,
             },
         )
+
+
+def _trainer_snapshots(
+    corpus: WalkCorpus,
+    config: TrainConfig,
+    ctx,
+    init_vectors: np.ndarray | None,
+    every: int,
+) -> _TrainerSnapshots | None:
+    """The run's snapshot slot, or None when checkpointing is off."""
+    store = ctx.fingerprinted(
+        _train_fingerprint(corpus, config, init_vectors),
+        what="trainer checkpoint",
+        described="configuration or corpus",
+    )
+    if store is None:
+        return None
+    return _TrainerSnapshots(store, every)
 
 
 def _train_fingerprint(
@@ -274,13 +284,19 @@ def _train_fingerprint(
     }
 
 
+# Local "not passed" sentinel for the legacy keyword shims (the pipeline
+# layer has its own; this module must not import it at module level).
+_UNSET = object()
+
+
 def train_embeddings(
     corpus: WalkCorpus,
     config: TrainConfig | None = None,
     *,
+    context=None,
     init_vectors: np.ndarray | None = None,
-    checkpoint_dir: str | Path | None = None,
-    resume: bool = False,
+    checkpoint_dir: "str | Path | None" = _UNSET,  # type: ignore[assignment]
+    resume: bool = _UNSET,  # type: ignore[assignment]
     checkpoint_every: int = 1,
     epoch_callback: Callable[[int, float], None] | None = None,
 ) -> EmbeddingResult:
@@ -295,14 +311,19 @@ def train_embeddings(
     :meth:`repro.core.model.V2V.refit` to retrain after small graph
     changes without re-learning from scratch.
 
-    ``checkpoint_dir`` snapshots the trainer atomically every
-    ``checkpoint_every`` epochs; with ``resume=True`` an existing
-    snapshot (written by the same config and corpus — anything else
-    raises ``ValueError``) is restored and training continues from the
-    epoch after it, replaying the exact RNG stream of an uninterrupted
-    run. ``epoch_callback(epoch_index, mean_loss)`` fires after each
-    completed epoch (after the snapshot, so a crash inside the callback
-    is itself resumable).
+    Runtime concerns travel in ``context``
+    (:class:`repro.pipeline.ExecutionContext`): with
+    ``context.checkpoint_dir`` set the trainer snapshots atomically
+    every ``checkpoint_every`` epochs, and with ``context.resume`` an
+    existing snapshot (written by the same config and corpus — anything
+    else raises ``ValueError``) is restored and training continues from
+    the epoch after it, replaying the exact RNG stream of an
+    uninterrupted run. ``epoch_callback(epoch_index, mean_loss)`` fires
+    after each completed epoch (after the snapshot, so a crash inside
+    the callback is itself resumable). The individual
+    ``checkpoint_dir=``/``resume=`` keyword arguments remain accepted
+    for compatibility with a ``DeprecationWarning`` and cannot be
+    combined with ``context``.
 
     ``config.workers > 1`` dispatches to the shared-memory Hogwild
     trainer (:func:`repro.parallel.hogwild.train_hogwild`): the weight
@@ -310,7 +331,37 @@ def train_embeddings(
     set is sharded across lock-free SGD worker processes. ``workers=1``
     always takes this serial path and is bitwise-reproducible.
     """
+    from repro.pipeline.context import UNSET, context_from_legacy
+
+    ctx = context_from_legacy(
+        context,
+        checkpoint_dir=UNSET if checkpoint_dir is _UNSET else checkpoint_dir,
+        resume=UNSET if resume is _UNSET else resume,
+    )
+    return _train_embeddings(
+        corpus,
+        config,
+        ctx,
+        init_vectors=init_vectors,
+        checkpoint_every=checkpoint_every,
+        epoch_callback=epoch_callback,
+    )
+
+
+def _train_embeddings(
+    corpus: WalkCorpus,
+    config: TrainConfig | None,
+    ctx,
+    *,
+    init_vectors: np.ndarray | None = None,
+    checkpoint_every: int = 1,
+    epoch_callback: Callable[[int, float], None] | None = None,
+) -> EmbeddingResult:
+    """Context-based trainer entry (``ctx`` is an ExecutionContext)."""
     config = config or TrainConfig()
+    # TrainConfig.supervisor predates the context; honor it when the
+    # context does not name its own supervision policy.
+    ctx = ctx.with_supervisor(config.supervisor)
     if config.workers > 1:
         from repro.parallel.hogwild import hogwild_supported, train_hogwild
 
@@ -318,9 +369,8 @@ def train_embeddings(
             return train_hogwild(
                 corpus,
                 config,
+                context=ctx,
                 init_vectors=init_vectors,
-                checkpoint_dir=checkpoint_dir,
-                resume=resume,
                 checkpoint_every=checkpoint_every,
                 epoch_callback=epoch_callback,
             )
@@ -348,14 +398,8 @@ def train_embeddings(
         if vocab.total_tokens == 0:
             raise ValueError("corpus is empty; nothing to train on")
 
-        checkpointer = (
-            _TrainerCheckpointer(
-                checkpoint_dir,
-                _train_fingerprint(corpus, config, init_vectors),
-                checkpoint_every,
-            )
-            if checkpoint_dir is not None
-            else None
+        checkpointer = _trainer_snapshots(
+            corpus, config, ctx, init_vectors, checkpoint_every
         )
 
         if config.streaming:
@@ -366,7 +410,7 @@ def train_embeddings(
                 rng,
                 init_vectors,
                 checkpointer=checkpointer,
-                resume=resume,
+                resume=ctx.resume,
                 epoch_callback=epoch_callback,
             )
 
@@ -382,7 +426,7 @@ def train_embeddings(
 
         objective = _build_objective(config, vocab, rng, init_vectors)
         state = _TrainState()
-        if checkpointer is not None and resume:
+        if checkpointer is not None and ctx.resume:
             state = checkpointer.restore(objective, rng) or state
 
         elapsed = _run_dense_epochs(
@@ -450,7 +494,7 @@ def _run_dense_epochs(
     rng: np.random.Generator,
     state: _TrainState,
     *,
-    checkpointer: _TrainerCheckpointer | None = None,
+    checkpointer: _TrainerSnapshots | None = None,
     epoch_callback: Callable[[int, float], None] | None = None,
 ) -> float:
     """The serial in-memory epoch loop; returns elapsed seconds.
@@ -512,7 +556,7 @@ def _train_streaming(
     rng: np.random.Generator,
     init_vectors: np.ndarray | None,
     *,
-    checkpointer: _TrainerCheckpointer | None = None,
+    checkpointer: _TrainerSnapshots | None = None,
     resume: bool = False,
     epoch_callback: Callable[[int, float], None] | None = None,
 ) -> EmbeddingResult:

@@ -146,13 +146,19 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
             shared.close()
 
 
+# Local "not passed" sentinel for the legacy keyword shims (the pipeline
+# layer has its own; this module must not import it at module level).
+_UNSET = object()
+
+
 def train_hogwild(
     corpus,
     config=None,
     *,
+    context=None,
     init_vectors: np.ndarray | None = None,
-    checkpoint_dir: str | Path | None = None,
-    resume: bool = False,
+    checkpoint_dir: "str | Path | None" = _UNSET,  # type: ignore[assignment]
+    resume: bool = _UNSET,  # type: ignore[assignment]
     checkpoint_every: int = 1,
     epoch_callback: Callable[[int, float], None] | None = None,
     task_fn: Callable[[_EpochTask], tuple[float, int]] | None = None,
@@ -160,9 +166,13 @@ def train_hogwild(
     """Train embeddings with shared weights and ``config.workers`` processes.
 
     Same contract as :func:`repro.core.trainer.train_embeddings` (which
-    dispatches here for ``workers > 1``); additionally accepts
-    ``task_fn`` so the chaos tests can wrap the per-epoch worker task in
-    a :class:`repro.resilience.chaos.FaultInjector`.
+    dispatches here for ``workers > 1``): runtime concerns ride in
+    ``context`` (:class:`repro.pipeline.ExecutionContext`), with the
+    individual ``checkpoint_dir=``/``resume=`` keywords kept as
+    deprecated compatibility shims. Additionally accepts ``task_fn`` so
+    the chaos tests can wrap the per-epoch worker task in a
+    :class:`repro.resilience.chaos.FaultInjector` (``context``'s own
+    ``fault_injector`` hook does the same for pipeline-driven runs).
 
     ``workers=1`` is the deterministic path: it runs the serial epoch
     loop in-process against the shared matrices and produces embeddings
@@ -172,14 +182,20 @@ def train_hogwild(
         EmbeddingResult,
         TrainConfig,
         _build_objective,
-        _train_fingerprint,
-        _TrainerCheckpointer,
+        _trainer_snapshots,
         _TrainState,
         _run_dense_epochs,
     )
     from repro.core.vocab import VertexVocab
+    from repro.pipeline.context import UNSET, context_from_legacy
 
+    ctx = context_from_legacy(
+        context,
+        checkpoint_dir=UNSET if checkpoint_dir is _UNSET else checkpoint_dir,
+        resume=UNSET if resume is _UNSET else resume,
+    )
     config = config or TrainConfig()
+    ctx = ctx.with_supervisor(config.supervisor)
     if config.streaming:
         raise ValueError("the Hogwild trainer has no streaming mode")
     if not hogwild_supported():  # pragma: no cover - exotic platforms
@@ -192,14 +208,8 @@ def train_hogwild(
     if vocab.total_tokens == 0:
         raise ValueError("corpus is empty; nothing to train on")
 
-    checkpointer = (
-        _TrainerCheckpointer(
-            checkpoint_dir,
-            _train_fingerprint(corpus, config, init_vectors),
-            checkpoint_every,
-        )
-        if checkpoint_dir is not None
-        else None
+    checkpointer = _trainer_snapshots(
+        corpus, config, ctx, init_vectors, checkpoint_every
     )
 
     centers, contexts = corpus.context_arrays(config.window)
@@ -214,7 +224,7 @@ def train_hogwild(
 
     objective = _build_objective(config, vocab, rng, init_vectors)
     state = _TrainState()
-    if checkpointer is not None and resume:
+    if checkpointer is not None and ctx.resume:
         state = checkpointer.restore(objective, rng) or state
 
     rec = current_recorder()
@@ -254,6 +264,7 @@ def train_hogwild(
                 contexts,
                 vocab,
                 config,
+                ctx,
                 rng,
                 state,
                 checkpointer=checkpointer,
@@ -285,6 +296,7 @@ def _run_hogwild_epochs(
     contexts: np.ndarray,
     vocab,
     config,
+    ctx,
     rng: np.random.Generator,
     state,
     *,
@@ -321,7 +333,7 @@ def _run_hogwild_epochs(
     # One picklable entropy for the whole run; workers re-derive their
     # streams from (entropy, epoch, worker) — stable across resume.
     entropy = np.random.SeedSequence(config.seed).entropy
-    task = task_fn or hogwild_epoch_task
+    task = task_fn or ctx.wrap_task(hogwild_epoch_task)
     counts = vocab.counts
 
     start = time.perf_counter()
@@ -355,7 +367,7 @@ def _run_hogwild_epochs(
                 task,
                 tasks,
                 workers=config.workers,
-                supervisor=getattr(config, "supervisor", None),
+                supervisor=ctx.supervisor,
             )
             loss_sum = sum(loss for loss, _ in results)
             batches_run = sum(n for _, n in results)

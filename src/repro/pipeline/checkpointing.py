@@ -1,0 +1,121 @@
+"""Fingerprinted checkpoint slots — the durability contract every stage shares.
+
+Before this module existed, ``walks.engine._generate_walks_checkpointed``
+and ``core.trainer._TrainerCheckpointer`` each reimplemented the same
+three-step dance:
+
+1. stamp every saved checkpoint with a *job fingerprint* (a JSON-able
+   dict describing the configuration + inputs that produced it),
+2. on resume, load a checkpoint only if its fingerprint matches the
+   current job **exactly**, and
+3. refuse — loudly, with a typed error — to resume over a checkpoint
+   written by a different configuration, rather than silently mixing
+   artifacts from two different runs.
+
+:class:`FingerprintedCheckpoints` is that dance, extracted once. It
+wraps a :class:`repro.resilience.checkpoint.CheckpointManager` (so all
+writes stay atomic and integrity-protected) and scopes every named slot
+to one fingerprint. :class:`FingerprintMismatch` subclasses
+``ValueError`` so long-standing ``pytest.raises(ValueError)`` call sites
+and user code keep working.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.resilience.checkpoint import Checkpoint, CheckpointManager
+
+__all__ = ["FingerprintMismatch", "FingerprintedCheckpoints"]
+
+_RESUME_HINT = (
+    "clear the checkpoint directory or resume with the original settings"
+)
+
+
+class FingerprintMismatch(ValueError):
+    """A checkpoint exists but belongs to a different job.
+
+    Subclasses ``ValueError`` because that is what the walk engine and
+    trainer historically raised; callers matching on ``ValueError``
+    (or on the message fragments) are unaffected by the refactor.
+    """
+
+    def __init__(self, path: str | Path, what: str, described: str) -> None:
+        super().__init__(
+            f"{what} {path} was written by a different {described}; "
+            f"{_RESUME_HINT}"
+        )
+        self.path = Path(path)
+
+
+class FingerprintedCheckpoints:
+    """Named checkpoint slots bound to one job fingerprint.
+
+    Parameters
+    ----------
+    manager:
+        The directory-scoped :class:`CheckpointManager` doing the atomic
+        I/O.
+    fingerprint:
+        JSON-able identity of the job. Saves stamp it into the metadata;
+        loads verify it and raise :class:`FingerprintMismatch` on any
+        difference.
+    what / described:
+        Words for the mismatch message — e.g. ``what="walk checkpoint"``
+        and ``described="walk configuration"`` produce the walk engine's
+        historical error text.
+    """
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        fingerprint: dict[str, Any],
+        *,
+        what: str = "checkpoint",
+        described: str = "configuration",
+    ) -> None:
+        self.manager = manager
+        self.fingerprint = fingerprint
+        self.what = what
+        self.described = described
+
+    @property
+    def directory(self) -> Path:
+        return self.manager.directory
+
+    def load(self, name: str) -> Checkpoint | None:
+        """Load slot ``name`` if present *and* written by this job.
+
+        Missing (or quarantined-as-corrupt) slots return ``None`` — the
+        normal "nothing to resume" state. A present slot whose stamped
+        fingerprint differs raises :class:`FingerprintMismatch`.
+        """
+        ckpt = self.manager.load_if_exists(name)
+        if ckpt is None:
+            return None
+        if ckpt.meta.get("fingerprint") != self.fingerprint:
+            raise FingerprintMismatch(
+                self.manager.path_for(name), self.what, self.described
+            )
+        return ckpt
+
+    def save(
+        self,
+        name: str,
+        arrays: dict[str, np.ndarray] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        """Atomically save slot ``name`` stamped with the job fingerprint."""
+        meta = dict(meta or {})
+        meta["fingerprint"] = self.fingerprint
+        return self.manager.save(name, arrays, meta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FingerprintedCheckpoints({str(self.directory)!r}, "
+            f"what={self.what!r})"
+        )

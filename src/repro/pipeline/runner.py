@@ -1,0 +1,157 @@
+"""The Pipeline runner: chain stages under one ExecutionContext.
+
+``Pipeline([WalkStage(...), TrainStage(...)])`` is the executable form
+of the paper's flow diagram — each stage's output feeds the next stage's
+input, while the runner supplies the cross-cutting runtime behaviour
+every stage used to reimplement:
+
+* a tracing span per stage (``pipeline.stage`` with the stage name), so
+  any run's timeline decomposes by stage in the event stream;
+* per-stage durable caching: a stage that opts in (``cache_output``)
+  has its output checkpointed under ``<checkpoint_dir>/stages/`` and is
+  *skipped* on resume when a cached output with a matching fingerprint
+  exists. Heavy stages (walks, train) instead resume incrementally
+  inside their engines — mid-stage, not just at stage boundaries;
+* typed error transparency: exceptions raised by a stage propagate
+  unchanged (annotated with the stage name via ``add_note``), so
+  callers keep catching the engines' own error types.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.recorder import current_recorder
+from repro.pipeline.context import ExecutionContext
+from repro.pipeline.stage import Stage, StageError
+
+__all__ = ["Pipeline", "PipelineResult", "StageReport"]
+
+#: Subdirectory of the context's checkpoint_dir holding cached stage
+#: outputs. Separate from the stages' own incremental artifacts
+#: (``walks/``, ``trainer.ckpt.npz``) so the two never collide.
+STAGE_CACHE_SCOPE = "stages"
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """What one stage did during :meth:`Pipeline.execute`."""
+
+    name: str
+    seconds: float
+    #: True when the stage never ran because a fingerprint-matched cached
+    #: output was restored (pipeline-level resume).
+    skipped: bool = False
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Final value plus every intermediate output and per-stage report."""
+
+    value: Any
+    outputs: dict[str, Any] = field(default_factory=dict)
+    reports: list[StageReport] = field(default_factory=list)
+
+    def report_for(self, name: str) -> StageReport:
+        for report in self.reports:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    def seconds_for(self, *names: str) -> float:
+        """Total wall-clock of the named stages (CLI timing summaries)."""
+        return sum(self.report_for(n).seconds for n in names)
+
+
+class Pipeline:
+    """An ordered chain of :class:`~repro.pipeline.stage.Stage` objects."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        stages = list(stages)
+        if not stages:
+            raise StageError("a Pipeline needs at least one stage")
+        seen: set[str] = set()
+        for stage in stages:
+            name = getattr(stage, "name", None)
+            if not name or not isinstance(name, str):
+                raise StageError(f"stage {stage!r} has no usable name")
+            if name in seen:
+                raise StageError(f"duplicate stage name {name!r} in pipeline")
+            seen.add(name)
+        self.stages = stages
+
+    @property
+    def names(self) -> list[str]:
+        return [stage.name for stage in self.stages]
+
+    def extended(self, *stages: Stage) -> "Pipeline":
+        """A new pipeline with ``stages`` appended (composition helper)."""
+        return Pipeline([*self.stages, *stages])
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, value: Any = None, context: ExecutionContext | None = None
+    ) -> PipelineResult:
+        """Run every stage in order, feeding each the previous output."""
+        ctx = context or ExecutionContext()
+        rec = current_recorder()
+        outputs: dict[str, Any] = {}
+        reports: list[StageReport] = []
+        for stage in self.stages:
+            started = time.perf_counter()
+            with rec.span("pipeline.stage", stage=stage.name) as span:
+                value, skipped = self._run_stage(stage, ctx, value)
+                if rec.enabled:
+                    span.annotate(skipped=skipped)
+            outputs[stage.name] = value
+            reports.append(
+                StageReport(
+                    name=stage.name,
+                    seconds=time.perf_counter() - started,
+                    skipped=skipped,
+                )
+            )
+        return PipelineResult(value=value, outputs=outputs, reports=reports)
+
+    def run(
+        self, value: Any = None, context: ExecutionContext | None = None
+    ) -> Any:
+        """:meth:`execute`, returning only the final stage's output."""
+        return self.execute(value, context).value
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self, stage: Stage, ctx: ExecutionContext, value: Any
+    ) -> tuple[Any, bool]:
+        cache = self._stage_cache(stage, ctx, value)
+        if cache is not None and ctx.resume:
+            cached = cache.load(stage.name)
+            if cached is not None:
+                return stage.restore(dict(cached.arrays)), True
+        try:
+            output = stage.run(ctx, value)
+        except Exception as exc:
+            # Typed errors must reach the caller unchanged; the note only
+            # adds where in the pipeline they happened.
+            if hasattr(exc, "add_note"):  # pragma: no branch - 3.11+
+                exc.add_note(f"raised by pipeline stage {stage.name!r}")
+            raise
+        if cache is not None:
+            cache.save(stage.name, stage.dump(output))
+        return output, False
+
+    def _stage_cache(self, stage: Stage, ctx: ExecutionContext, value: Any):
+        """The stage's fingerprinted output cache, or None when inapplicable."""
+        if not getattr(stage, "cache_output", False):
+            return None
+        fingerprint = stage.fingerprint(ctx, value)
+        if fingerprint is None:
+            return None
+        return ctx.fingerprinted(
+            fingerprint,
+            scope=STAGE_CACHE_SCOPE,
+            what="stage checkpoint",
+            described="configuration",
+        )

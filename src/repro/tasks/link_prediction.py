@@ -205,14 +205,21 @@ def link_prediction_experiment(
     operator: str = "hadamard",
     test_fraction: float = 0.3,
     seed: int | None = 0,
+    context=None,
 ) -> LinkPredictionResult:
     """End-to-end link prediction on ``g``; returns ROC AUC on held-out
-    edges vs sampled non-edges."""
+    edges vs sampled non-edges.
+
+    ``context`` is an optional :class:`repro.pipeline.ExecutionContext`
+    carrying runtime concerns (checkpointing, workers, supervision) into
+    the embedding stage; the experiment itself stays deterministic in
+    ``seed`` regardless.
+    """
     config = config or V2VConfig(dim=32, seed=seed)
     residual, train_pos, train_neg, test_pos, test_neg = train_test_edge_split(
         g, test_fraction, seed=seed
     )
-    model = V2V(config).fit(residual)
+    model = V2V(config).fit(residual, context=context)
     vectors = model.vectors
 
     x_train = np.vstack(

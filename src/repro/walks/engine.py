@@ -80,54 +80,90 @@ class RandomWalkConfig:
             raise ValueError("p/q only apply to node2vec walks")
 
 
+# Local "not passed" sentinel for the legacy keyword shims (the pipeline
+# layer has its own; this module must not import it at module level).
+_UNSET = object()
+
+
 def generate_walks(
     g: Graph,
     config: RandomWalkConfig | None = None,
     *,
-    workers: int | None = 1,
+    context=None,
+    workers: "int | None" = _UNSET,  # type: ignore[assignment]
     keep_shared: bool = False,
-    checkpoint_dir: "str | Path | None" = None,
-    resume: bool = False,
+    checkpoint_dir: "str | Path | None" = _UNSET,  # type: ignore[assignment]
+    resume: bool = _UNSET,  # type: ignore[assignment]
     checkpoint_chunks: int | None = None,
-    supervisor=None,
+    supervisor=_UNSET,
 ) -> WalkCorpus:
     """Generate ``t`` walks from every vertex (or from ``start_vertices``).
 
     Returns a :class:`WalkCorpus` whose ``walks`` matrix has one row per
     walk, padded with ``-1`` after termination.
 
-    ``workers > 1`` splits the walk set across a process pool; each chunk
-    gets an independent spawned seed stream, so results are reproducible
-    for a fixed ``(seed, workers)`` pair (but differ across worker
-    counts, since the streams differ). ``workers=None`` (or any value
-    < 1) means auto: :func:`repro.parallel.pool.resolve_workers` picks
-    the affinity-respecting default. Parallel workers write their rows
-    straight into one shared-memory block — chunk results are never
-    pickled back through the pool — and ``keep_shared=True`` hands that
-    block to the returned corpus zero-copy (call
-    :meth:`WalkCorpus.release` when done, or let GC unlink it).
+    Runtime concerns — worker count, checkpoint directory, resume,
+    supervision, chaos hooks — travel in ``context``, a
+    :class:`repro.pipeline.ExecutionContext`:
 
-    ``checkpoint_dir`` enables durable execution: the walk set is split
-    into ``checkpoint_chunks`` chunks (default ``max(workers, 1)``) and
-    each completed chunk is written atomically to the directory. With
-    ``resume=True``, chunks already on disk (with a matching
-    configuration fingerprint) are reused instead of recomputed, so a
-    killed run restarts where it stopped and — because chunk seeds are
-    spawned deterministically from ``config.seed`` — produces a corpus
-    bitwise-identical to an uninterrupted run with the same
-    ``(seed, chunk count)``. A fingerprint mismatch raises
-    ``ValueError`` rather than silently mixing corpora.
+    * ``context.workers > 1`` splits the walk set across a process pool;
+      each chunk gets an independent spawned seed stream, so results are
+      reproducible for a fixed ``(seed, workers)`` pair (but differ
+      across worker counts, since the streams differ). ``None``/< 1
+      means auto via :func:`repro.parallel.pool.resolve_workers`.
+      Parallel workers write their rows straight into one shared-memory
+      block — chunk results are never pickled back through the pool —
+      and ``keep_shared=True`` hands that block to the returned corpus
+      zero-copy (call :meth:`WalkCorpus.release` when done, or let GC
+      unlink it).
+    * ``context.checkpoint_dir`` enables durable execution: the walk set
+      is split into ``checkpoint_chunks`` chunks (default
+      ``max(workers, 1)``) and each completed chunk is written
+      atomically to the directory. With ``context.resume`` true, chunks
+      already on disk (with a matching configuration fingerprint) are
+      reused instead of recomputed, so a killed run restarts where it
+      stopped and — because chunk seeds are spawned deterministically
+      from ``config.seed`` — produces a corpus bitwise-identical to an
+      uninterrupted run with the same ``(seed, chunk count)``. A
+      fingerprint mismatch raises
+      :class:`repro.pipeline.FingerprintMismatch` (a ``ValueError``)
+      rather than silently mixing corpora.
+    * ``context.supervisor`` runs parallel chunks under worker
+      supervision: heartbeat-based hung-worker detection, kill/respawn
+      with chunk reassignment, and a degrade ladder to serial. Chunk
+      recomputation is idempotent (same seed → same rows), so a
+      respawned chunk is bitwise-harmless.
 
-    ``supervisor`` (a :class:`repro.resilience.supervisor.SupervisorConfig`)
-    runs parallel chunks under worker supervision: heartbeat-based
-    hung-worker detection, kill/respawn with chunk reassignment, and a
-    degrade ladder to serial. Chunk recomputation is idempotent (same
-    seed → same rows), so a respawned chunk is bitwise-harmless.
+    The individual ``workers=``/``checkpoint_dir=``/``resume=``/
+    ``supervisor=`` keyword arguments remain accepted for compatibility
+    (``checkpoint_dir``/``resume``/``supervisor`` with a
+    ``DeprecationWarning``); they cannot be combined with ``context``.
     """
-    from repro.parallel.pool import resolve_workers
+    from repro.pipeline.context import UNSET, context_from_legacy
 
+    ctx = context_from_legacy(
+        context,
+        workers=UNSET if workers is _UNSET else workers,
+        checkpoint_dir=UNSET if checkpoint_dir is _UNSET else checkpoint_dir,
+        resume=UNSET if resume is _UNSET else resume,
+        supervisor=UNSET if supervisor is _UNSET else supervisor,
+    )
+    return _generate_walks(
+        g, config, ctx, keep_shared=keep_shared, chunks=checkpoint_chunks
+    )
+
+
+def _generate_walks(
+    g: Graph,
+    config: RandomWalkConfig | None,
+    ctx,
+    *,
+    keep_shared: bool = False,
+    chunks: int | None = None,
+) -> WalkCorpus:
+    """Context-based engine entry (``ctx`` is an ExecutionContext)."""
     config = config or RandomWalkConfig()
-    workers = resolve_workers(workers)
+    workers = ctx.resolve_workers()
     rec = current_recorder()
     with rec.span(
         "walks.generate",
@@ -138,20 +174,12 @@ def generate_walks(
         workers=workers,
     ) as span:
         with rec.time("walks.generate_seconds") as timer:
-            if checkpoint_dir is not None:
+            if ctx.checkpoint_dir is not None:
                 corpus = _generate_walks_checkpointed(
-                    g,
-                    config,
-                    workers=workers,
-                    checkpoint_dir=checkpoint_dir,
-                    resume=resume,
-                    chunks=checkpoint_chunks or workers,
-                    supervisor=supervisor,
+                    g, config, ctx, chunks=chunks or workers
                 )
             elif workers > 1:
-                corpus = _generate_walks_parallel(
-                    g, config, workers, keep_shared, supervisor=supervisor
-                )
+                corpus = _generate_walks_parallel(g, config, ctx, keep_shared)
             else:
                 corpus = _generate_walks_serial(g, config)
         if rec.enabled:
@@ -299,9 +327,8 @@ def _empty_corpus(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
 def _generate_walks_parallel(
     g: Graph,
     config: RandomWalkConfig,
-    workers: int,
+    ctx,
     keep_shared: bool = False,
-    supervisor=None,
 ) -> WalkCorpus:
     """Fan chunks out to a pool; rows land in one shared-memory block.
 
@@ -313,11 +340,12 @@ def _generate_walks_parallel(
     from repro.parallel.pool import parallel_map
     from repro.parallel.shm import SHM_AVAILABLE, SharedArray
 
+    workers = ctx.resolve_workers()
     tasks = _chunk_tasks(g, config, workers)
     if tasks is None:
         return _empty_corpus(g, config)
     if not SHM_AVAILABLE:  # pragma: no cover - exotic platforms only
-        chunks = parallel_map(_chunk_task, tasks, workers=workers)
+        chunks = parallel_map(ctx.wrap_task(_chunk_task), tasks, workers=workers)
         return WalkCorpus(np.vstack(chunks), num_vertices=g.n)
 
     total_rows = tasks[-1][5]
@@ -325,7 +353,10 @@ def _generate_walks_parallel(
     try:
         shm_tasks = [(*task, shared.spec) for task in tasks]
         bounds = parallel_map(
-            _chunk_task_shm, shm_tasks, workers=workers, supervisor=supervisor
+            ctx.wrap_task(_chunk_task_shm),
+            shm_tasks,
+            workers=workers,
+            supervisor=ctx.supervisor,
         )
         rec = current_recorder()
         if rec.enabled:
@@ -369,35 +400,29 @@ def _walk_fingerprint(g: Graph, config: RandomWalkConfig, chunks: int) -> dict:
 def _generate_walks_checkpointed(
     g: Graph,
     config: RandomWalkConfig,
+    ctx,
     *,
-    workers: int,
-    checkpoint_dir: str | Path,
-    resume: bool,
     chunks: int,
-    supervisor=None,
 ) -> WalkCorpus:
     from repro.parallel.pool import parallel_map
-    from repro.resilience.checkpoint import CheckpointManager
 
     tasks = _chunk_tasks(g, config, chunks)
     if tasks is None:
         return _empty_corpus(g, config)
-    manager = CheckpointManager(checkpoint_dir)
-    fingerprint = _walk_fingerprint(g, config, len(tasks))
+    store = ctx.fingerprinted(
+        _walk_fingerprint(g, config, len(tasks)),
+        what="walk checkpoint",
+        described="walk configuration",
+    )
+    workers = ctx.resolve_workers()
     rec = current_recorder()
 
     done: dict[int, np.ndarray] = {}
-    if resume:
+    if ctx.resume:
         for i in range(len(tasks)):
-            ckpt = manager.load_if_exists(f"walks-{i:04d}")
+            ckpt = store.load(f"walks-{i:04d}")
             if ckpt is None:
                 continue
-            if ckpt.meta.get("fingerprint") != fingerprint:
-                raise ValueError(
-                    f"walk checkpoint {manager.path_for(f'walks-{i:04d}')} was "
-                    "written by a different walk configuration; clear the "
-                    "checkpoint directory or resume with the original settings"
-                )
             done[i] = ckpt.arrays["walks"]
         if done:
             rec.inc("walks.chunks_resumed", len(done))
@@ -413,17 +438,13 @@ def _generate_walks_checkpointed(
         batch = missing[lo : lo + wave]
         wave_started = time.perf_counter()
         computed = parallel_map(
-            _chunk_task,
+            ctx.wrap_task(_chunk_task),
             [tasks[i] for i in batch],
             workers=workers,
-            supervisor=supervisor,
+            supervisor=ctx.supervisor,
         )
         for i, walks in zip(batch, computed):
-            manager.save(
-                f"walks-{i:04d}",
-                {"walks": walks},
-                {"fingerprint": fingerprint, "chunk": i},
-            )
+            store.save(f"walks-{i:04d}", {"walks": walks}, {"chunk": i})
             done[i] = walks
         if rec.enabled:
             wave_seconds = time.perf_counter() - wave_started

@@ -134,3 +134,63 @@ class TestPersistence:
     def test_save_unfitted_raises(self, tmp_path):
         with pytest.raises(RuntimeError):
             V2V().save(tmp_path / "x.npz")
+
+    def test_load_restores_embedded_config(self, fitted, tmp_path):
+        _g, model = fitted
+        p = tmp_path / "model.npz"
+        model.save(p)
+        loaded = V2V.load(p)
+        assert loaded.config == model.config
+
+    def test_load_explicit_config_wins(self, fitted, tmp_path):
+        _g, model = fitted
+        p = tmp_path / "model.npz"
+        model.save(p)
+        override = V2VConfig(dim=12, seed=99)
+        assert V2V.load(p, config=override).config is override
+
+    def test_load_legacy_file_without_config(self, fitted, tmp_path):
+        """Files saved before config embedding still load (default config)."""
+        _g, model = fitted
+        p = tmp_path / "legacy.npz"
+        result = model.result
+        np.savez_compressed(
+            p,
+            vectors=np.asarray(result.vectors),
+            loss_history=np.asarray(result.loss_history),
+            epochs_run=np.asarray(result.epochs_run),
+            converged=np.asarray(int(result.converged)),
+        )
+        loaded = V2V.load(p)
+        np.testing.assert_array_equal(loaded.vectors, model.vectors)
+        assert loaded.config == V2VConfig()
+
+
+class TestConfigSerialization:
+    def test_json_roundtrip(self):
+        cfg = V2VConfig(
+            dim=7,
+            walk_mode=WalkMode.NODE2VEC,
+            p=0.5,
+            q=2.0,
+            seed=4,
+        )
+        assert V2VConfig.from_json(cfg.to_json()) == cfg
+
+    def test_to_dict_excludes_observability(self):
+        from repro.obs.recorder import ObsConfig
+
+        cfg = V2VConfig(observability=ObsConfig(enabled=True))
+        assert "observability" not in cfg.to_dict()
+
+    def test_walk_mode_serializes_as_string(self):
+        data = V2VConfig(walk_mode=WalkMode.TEMPORAL, time_window=2.0).to_dict()
+        assert data["walk_mode"] == "temporal"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown V2VConfig keys: bogus"):
+            V2VConfig.from_dict({"dim": 5, "bogus": 1})
+
+    def test_canonical_ordering(self):
+        # sort_keys makes the encoding canonical: equal configs, equal text
+        assert V2VConfig(seed=1).to_json() == V2VConfig(seed=1).to_json()

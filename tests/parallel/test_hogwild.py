@@ -24,6 +24,7 @@ from repro.parallel.hogwild import (
     hogwild_supported,
     train_hogwild,
 )
+from repro.pipeline import ExecutionContext
 from repro.resilience.chaos import FaultInjector
 from repro.resilience.checkpoint import CheckpointManager
 from repro.walks.engine import RandomWalkConfig, generate_walks
@@ -140,14 +141,16 @@ class TestCheckpointResume:
             train_hogwild(
                 corpus,
                 config,
-                checkpoint_dir=tmp_path,
+                context=ExecutionContext(checkpoint_dir=tmp_path),
                 epoch_callback=_CrashAfterEpoch(1),
             )
         assert CheckpointManager(tmp_path).exists("trainer")
 
         # Resuming replays the remaining epochs' exact RNG streams.
         resumed = train_hogwild(
-            corpus, config, checkpoint_dir=tmp_path, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
         )
         np.testing.assert_array_equal(baseline.vectors, resumed.vectors)
         assert resumed.loss_history == baseline.loss_history
@@ -156,14 +159,13 @@ class TestCheckpointResume:
         train_embeddings(
             corpus,
             TrainConfig(**TRAIN_CFG, workers=2),
-            checkpoint_dir=tmp_path,
+            context=ExecutionContext(checkpoint_dir=tmp_path),
         )
         with pytest.raises(ValueError, match="different configuration"):
             train_embeddings(
                 corpus,
                 TrainConfig(**TRAIN_CFG),
-                checkpoint_dir=tmp_path,
-                resume=True,
+                context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
             )
 
     def test_multiworker_resume_continues_epochs(self, corpus, tmp_path, no_leaks):
@@ -172,11 +174,13 @@ class TestCheckpointResume:
             train_embeddings(
                 corpus,
                 config,
-                checkpoint_dir=tmp_path,
+                context=ExecutionContext(checkpoint_dir=tmp_path),
                 epoch_callback=_CrashAfterEpoch(1),
             )
         resumed = train_embeddings(
-            corpus, config, checkpoint_dir=tmp_path, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
         )
         assert resumed.epochs_run == config.epochs
         assert len(resumed.loss_history) == config.epochs

@@ -1,0 +1,140 @@
+"""The legacy per-function runtime kwargs keep working — with a warning.
+
+The PR that introduced ``ExecutionContext`` kept the historical
+signatures of ``generate_walks``/``train_embeddings`` as thin shims.
+These tests pin the compatibility contract:
+
+* the modern call paths are completely warning-free (asserted under
+  ``simplefilter("error")``);
+* ``checkpoint_dir=``/``resume=``/``supervisor=`` still function but
+  emit the migration ``DeprecationWarning``;
+* ``workers=`` stays a silent, documented shorthand;
+* mixing ``context=`` with legacy kwargs is a ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.graph.core import Graph
+from repro.pipeline import ExecutionContext
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+
+
+@pytest.fixture(scope="module")
+def walk_config():
+    return RandomWalkConfig(walks_per_vertex=2, walk_length=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def train_config():
+    return TrainConfig(dim=4, epochs=1, seed=0)
+
+
+class TestModernPathIsWarningFree:
+    def test_generate_walks(self, graph, walk_config, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            generate_walks(graph, walk_config)
+            generate_walks(graph, walk_config, workers=2)
+            generate_walks(
+                graph,
+                walk_config,
+                context=ExecutionContext(checkpoint_dir=tmp_path),
+            )
+
+    def test_train_embeddings(self, graph, walk_config, train_config, tmp_path):
+        corpus = generate_walks(graph, walk_config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            train_embeddings(corpus, train_config)
+            train_embeddings(
+                corpus,
+                train_config,
+                context=ExecutionContext(checkpoint_dir=tmp_path),
+            )
+
+    def test_v2v_fit_with_context(self, graph, tmp_path):
+        from repro import V2V, V2VConfig
+
+        cfg = V2VConfig(dim=4, epochs=1, walks_per_vertex=2, walk_length=6, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            V2V(cfg).fit(graph, context=ExecutionContext(checkpoint_dir=tmp_path))
+
+
+class TestLegacyKwargsWarnButWork:
+    def test_generate_walks_checkpoint_dir(self, graph, walk_config, tmp_path):
+        with pytest.warns(DeprecationWarning, match="checkpoint_dir"):
+            corpus = generate_walks(graph, walk_config, checkpoint_dir=tmp_path)
+        assert (tmp_path / "walks-0000.ckpt.npz").exists()
+        with pytest.warns(DeprecationWarning, match="checkpoint_dir, resume"):
+            resumed = generate_walks(
+                graph, walk_config, checkpoint_dir=tmp_path, resume=True
+            )
+        assert np.array_equal(corpus.walks, resumed.walks)
+
+    def test_generate_walks_supervisor(self, graph, walk_config):
+        from repro.resilience.supervisor import SupervisorConfig
+
+        with pytest.warns(DeprecationWarning, match="supervisor"):
+            generate_walks(
+                graph,
+                walk_config,
+                workers=2,
+                supervisor=SupervisorConfig(worker_deadline=30.0),
+            )
+
+    def test_train_embeddings_checkpoint_dir(
+        self, graph, walk_config, train_config, tmp_path
+    ):
+        corpus = generate_walks(graph, walk_config)
+        with pytest.warns(DeprecationWarning, match="checkpoint_dir"):
+            first = train_embeddings(corpus, train_config, checkpoint_dir=tmp_path)
+        assert (tmp_path / "trainer.ckpt.npz").exists()
+        with pytest.warns(DeprecationWarning, match="checkpoint_dir, resume"):
+            resumed = train_embeddings(
+                corpus, train_config, checkpoint_dir=tmp_path, resume=True
+            )
+        assert np.array_equal(first.vectors, resumed.vectors)
+
+
+class TestConflictingSettings:
+    def test_generate_walks_context_plus_legacy(self, graph, walk_config, tmp_path):
+        with pytest.raises(TypeError, match="not both"):
+            generate_walks(
+                graph,
+                walk_config,
+                context=ExecutionContext(),
+                checkpoint_dir=tmp_path,
+            )
+
+    def test_train_embeddings_context_plus_legacy(
+        self, graph, walk_config, train_config, tmp_path
+    ):
+        corpus = generate_walks(graph, walk_config)
+        with pytest.raises(TypeError, match="not both"):
+            train_embeddings(
+                corpus,
+                train_config,
+                context=ExecutionContext(),
+                resume=True,
+            )
+
+    def test_v2v_fit_context_plus_kwargs(self, graph, tmp_path):
+        from repro import V2V, V2VConfig
+
+        cfg = V2VConfig(dim=4, epochs=1, walks_per_vertex=2, walk_length=6, seed=0)
+        with pytest.raises(TypeError, match="not both"):
+            V2V(cfg).fit(
+                graph, context=ExecutionContext(), checkpoint_dir=tmp_path
+            )

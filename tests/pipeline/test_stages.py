@@ -1,0 +1,164 @@
+"""Behavior of the concrete stages, alone and composed end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.graph.generators import planted_partition
+from repro.pipeline import (
+    DetectStage,
+    ExecutionContext,
+    LayoutStage,
+    Pipeline,
+    PredictStage,
+    TrainStage,
+    WalkStage,
+)
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return planted_partition(n=60, groups=3, alpha=0.8, inter_edges=20, seed=9)
+
+
+@pytest.fixture(scope="module")
+def blob_vectors():
+    """Three well-separated Gaussian blobs, 20 points each."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack(
+        [rng.normal(c, 0.3, size=(20, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(3), 20)
+    return points, labels
+
+
+class TestWalkAndTrainStages:
+    def test_pipeline_matches_direct_engine_calls(self, small_graph):
+        walk_cfg = RandomWalkConfig(walks_per_vertex=2, walk_length=10, seed=3)
+        train_cfg = TrainConfig(dim=8, epochs=2, seed=3)
+
+        direct_corpus = generate_walks(small_graph, walk_cfg)
+        direct = train_embeddings(direct_corpus, train_cfg)
+
+        result = Pipeline(
+            [WalkStage(walk_cfg), TrainStage(train_cfg)]
+        ).execute(small_graph)
+
+        assert np.array_equal(result.outputs["walks"].walks, direct_corpus.walks)
+        assert np.array_equal(result.value.vectors, direct.vectors)
+
+    def test_walk_stage_checkpoints_under_walks_scope(self, small_graph, tmp_path):
+        walk_cfg = RandomWalkConfig(walks_per_vertex=2, walk_length=10, seed=3)
+        ctx = ExecutionContext(checkpoint_dir=tmp_path)
+        Pipeline([WalkStage(walk_cfg)]).run(small_graph, context=ctx)
+        assert (tmp_path / "walks" / "walks-0000.ckpt.npz").exists()
+
+    def test_train_stage_checkpoints_at_root(self, small_graph, tmp_path):
+        walk_cfg = RandomWalkConfig(walks_per_vertex=2, walk_length=10, seed=3)
+        corpus = generate_walks(small_graph, walk_cfg)
+        ctx = ExecutionContext(checkpoint_dir=tmp_path)
+        Pipeline([TrainStage(TrainConfig(dim=8, epochs=2, seed=3))]).run(
+            corpus, context=ctx
+        )
+        assert (tmp_path / "trainer.ckpt.npz").exists()
+
+
+class TestDetectStage:
+    def test_recovers_planted_clusters(self, blob_vectors):
+        points, truth = blob_vectors
+        membership = Pipeline([DetectStage(3, n_init=5, seed=0)]).run(points)
+        from repro.ml.metrics import adjusted_rand_index
+
+        assert membership.shape == truth.shape
+        assert membership.dtype == np.int64
+        assert adjusted_rand_index(truth, membership) == 1.0
+
+    def test_cached_resume_skips_clustering(self, blob_vectors, tmp_path):
+        points, _ = blob_vectors
+        stage = DetectStage(3, n_init=5, seed=0)
+        first = Pipeline([stage]).run(
+            points, context=ExecutionContext(checkpoint_dir=tmp_path)
+        )
+        resumed = Pipeline([stage]).execute(
+            points,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert resumed.report_for("detect").skipped is True
+        assert np.array_equal(resumed.value, first)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            DetectStage(0)
+
+
+class TestPredictStage:
+    def test_accuracy_on_separable_data(self, blob_vectors):
+        points, truth = blob_vectors
+        acc = Pipeline(
+            [PredictStage(truth, k=3, folds=5, seed=0)]
+        ).run(points)
+        assert isinstance(acc, float)
+        assert acc > 0.9
+
+    def test_label_mismatch_is_typed(self, blob_vectors):
+        points, _ = blob_vectors
+        with pytest.raises(ValueError, match="does not match"):
+            Pipeline([PredictStage(np.arange(5), seed=0)]).run(points)
+
+    def test_cached_restore_returns_float(self, blob_vectors, tmp_path):
+        points, truth = blob_vectors
+        stage = PredictStage(truth, k=3, folds=5, seed=0)
+        first = Pipeline([stage]).run(
+            points, context=ExecutionContext(checkpoint_dir=tmp_path)
+        )
+        resumed = Pipeline([stage]).run(
+            points,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert isinstance(resumed, float)
+        assert resumed == first
+
+
+class TestLayoutStage:
+    def test_matches_direct_call_and_caches(self, small_graph, tmp_path):
+        from repro.viz.forceatlas import force_atlas_layout
+
+        direct = np.asarray(
+            force_atlas_layout(small_graph, iterations=15, seed=4).positions
+        )
+        stage = LayoutStage(iterations=15, seed=4)
+        positions = Pipeline([stage]).run(
+            small_graph, context=ExecutionContext(checkpoint_dir=tmp_path)
+        )
+        assert positions.shape == (small_graph.n, 2)
+        assert np.array_equal(positions, direct)
+
+        resumed = Pipeline([stage]).execute(
+            small_graph,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
+        )
+        assert resumed.report_for("layout").skipped is True
+        assert np.array_equal(resumed.value, direct)
+
+
+class TestEndToEndComposition:
+    def test_walks_train_detect_chain(self, small_graph):
+        """The paper's Section III flow as one pipeline."""
+        pipeline = Pipeline(
+            [
+                WalkStage(RandomWalkConfig(walks_per_vertex=6, walk_length=20, seed=0)),
+                TrainStage(TrainConfig(dim=12, epochs=4, seed=0)),
+                DetectStage(3, n_init=10, seed=0),
+            ]
+        )
+        result = pipeline.execute(small_graph)
+        truth = small_graph.vertex_labels("community")
+        from repro.ml.metrics import adjusted_rand_index
+
+        assert adjusted_rand_index(np.asarray(truth), result.value) > 0.8
+        # every intermediate output is addressable
+        assert set(result.outputs) == {"walks", "train", "detect"}

@@ -11,6 +11,7 @@ import pytest
 from repro.core.model import V2V, V2VConfig
 from repro.core.trainer import TrainConfig, train_embeddings
 from repro.graph.generators import planted_partition
+from repro.pipeline import ExecutionContext
 from repro.resilience.chaos import FaultInjector, InjectedFault
 from repro.resilience.checkpoint import CheckpointManager
 from repro.walks.engine import RandomWalkConfig, generate_walks
@@ -29,10 +30,14 @@ class TestWalkResume:
     def test_checkpointed_run_matches_rerun(self, graph, tmp_path):
         cfg = RandomWalkConfig(**WALK_CFG)
         first = generate_walks(
-            graph, cfg, checkpoint_dir=tmp_path, checkpoint_chunks=4
+            graph, cfg, context=ExecutionContext(checkpoint_dir=tmp_path),
+            checkpoint_chunks=4,
         )
         resumed = generate_walks(
-            graph, cfg, checkpoint_dir=tmp_path, resume=True, checkpoint_chunks=4
+            graph,
+            cfg,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
+            checkpoint_chunks=4,
         )
         np.testing.assert_array_equal(first.walks, resumed.walks)
         assert len(CheckpointManager(tmp_path).names()) == 4
@@ -40,7 +45,10 @@ class TestWalkResume:
     def test_partial_chunks_are_completed(self, graph, tmp_path):
         cfg = RandomWalkConfig(**WALK_CFG)
         full = generate_walks(
-            graph, cfg, checkpoint_dir=tmp_path / "full", checkpoint_chunks=4
+            graph,
+            cfg,
+            context=ExecutionContext(checkpoint_dir=tmp_path / "full"),
+            checkpoint_chunks=4,
         )
         # Simulate a crash that persisted only the first two chunks.
         mgr_full = CheckpointManager(tmp_path / "full")
@@ -51,8 +59,9 @@ class TestWalkResume:
         resumed = generate_walks(
             graph,
             cfg,
-            checkpoint_dir=tmp_path / "part",
-            resume=True,
+            context=ExecutionContext(
+                checkpoint_dir=tmp_path / "part", resume=True
+            ),
             checkpoint_chunks=4,
         )
         np.testing.assert_array_equal(full.walks, resumed.walks)
@@ -62,7 +71,7 @@ class TestWalkResume:
         generate_walks(
             graph,
             RandomWalkConfig(**WALK_CFG),
-            checkpoint_dir=tmp_path,
+            context=ExecutionContext(checkpoint_dir=tmp_path),
             checkpoint_chunks=4,
         )
         other = RandomWalkConfig(**{**WALK_CFG, "seed": 6})
@@ -70,18 +79,21 @@ class TestWalkResume:
             generate_walks(
                 graph,
                 other,
-                checkpoint_dir=tmp_path,
-                resume=True,
+                context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
                 checkpoint_chunks=4,
             )
 
     def test_without_resume_recomputes(self, graph, tmp_path):
         cfg = RandomWalkConfig(**WALK_CFG)
         first = generate_walks(
-            graph, cfg, checkpoint_dir=tmp_path, checkpoint_chunks=2
+            graph, cfg, context=ExecutionContext(checkpoint_dir=tmp_path),
+            checkpoint_chunks=2,
         )
         again = generate_walks(
-            graph, cfg, checkpoint_dir=tmp_path, resume=False, checkpoint_chunks=2
+            graph,
+            cfg,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=False),
+            checkpoint_chunks=2,
         )
         np.testing.assert_array_equal(first.walks, again.walks)
 
@@ -112,13 +124,15 @@ class TestTrainerResume:
             train_embeddings(
                 corpus,
                 config,
-                checkpoint_dir=ckpt_dir,
+                context=ExecutionContext(checkpoint_dir=ckpt_dir),
                 epoch_callback=_CrashAfterEpoch(crash_after),
             )
         assert CheckpointManager(ckpt_dir).exists("trainer")
 
         resumed = train_embeddings(
-            corpus, config, checkpoint_dir=ckpt_dir, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=ckpt_dir, resume=True),
         )
         np.testing.assert_array_equal(baseline.vectors, resumed.vectors)
         assert resumed.loss_history == baseline.loss_history
@@ -131,20 +145,26 @@ class TestTrainerResume:
             train_embeddings(
                 corpus,
                 config,
-                checkpoint_dir=tmp_path,
+                context=ExecutionContext(checkpoint_dir=tmp_path),
                 epoch_callback=_CrashAfterEpoch(1),
             )
         resumed = train_embeddings(
-            corpus, config, checkpoint_dir=tmp_path, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
         )
         np.testing.assert_array_equal(baseline.vectors, resumed.vectors)
         assert resumed.loss_history == baseline.loss_history
 
     def test_resume_of_finished_run_returns_final_state(self, corpus, tmp_path):
         config = TrainConfig(**TRAIN_CFG)
-        done = train_embeddings(corpus, config, checkpoint_dir=tmp_path)
+        done = train_embeddings(
+            corpus, config, context=ExecutionContext(checkpoint_dir=tmp_path)
+        )
         again = train_embeddings(
-            corpus, config, checkpoint_dir=tmp_path, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
         )
         np.testing.assert_array_equal(done.vectors, again.vectors)
         assert again.epochs_run == done.epochs_run
@@ -152,15 +172,23 @@ class TestTrainerResume:
     def test_checkpointing_does_not_change_results(self, corpus, tmp_path):
         config = TrainConfig(**TRAIN_CFG)
         plain = train_embeddings(corpus, config)
-        checkpointed = train_embeddings(corpus, config, checkpoint_dir=tmp_path)
+        checkpointed = train_embeddings(
+            corpus, config, context=ExecutionContext(checkpoint_dir=tmp_path)
+        )
         np.testing.assert_array_equal(plain.vectors, checkpointed.vectors)
 
     def test_config_mismatch_refuses_resume(self, corpus, tmp_path):
-        train_embeddings(corpus, TrainConfig(**TRAIN_CFG), checkpoint_dir=tmp_path)
+        train_embeddings(
+            corpus,
+            TrainConfig(**TRAIN_CFG),
+            context=ExecutionContext(checkpoint_dir=tmp_path),
+        )
         other = TrainConfig(**{**TRAIN_CFG, "lr": 0.01})
         with pytest.raises(ValueError, match="different configuration"):
             train_embeddings(
-                corpus, other, checkpoint_dir=tmp_path, resume=True
+                corpus,
+                other,
+                context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
             )
 
     def test_early_stop_state_survives_resume(self, corpus, tmp_path):
@@ -174,11 +202,13 @@ class TestTrainerResume:
             train_embeddings(
                 corpus,
                 config,
-                checkpoint_dir=tmp_path,
+                context=ExecutionContext(checkpoint_dir=tmp_path),
                 epoch_callback=_CrashAfterEpoch(0),
             )
         resumed = train_embeddings(
-            corpus, config, checkpoint_dir=tmp_path, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=tmp_path, resume=True),
         )
         assert resumed.converged == baseline.converged
         assert resumed.loss_history == baseline.loss_history
@@ -197,7 +227,7 @@ class TestFacadeResume:
         generate_walks(
             graph,
             config.walk_config(),
-            checkpoint_dir=tmp_path / "b" / "walks",
+            context=ExecutionContext(checkpoint_dir=tmp_path / "b" / "walks"),
         )  # walk stage completed; trainer checkpoint absent
         resumed = V2V(config).fit(
             graph, checkpoint_dir=tmp_path / "b", resume=True

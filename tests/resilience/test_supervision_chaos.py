@@ -24,6 +24,7 @@ from repro.parallel.hogwild import (
     hogwild_supported,
     train_hogwild,
 )
+from repro.pipeline import ExecutionContext
 from repro.resilience.chaos import FaultInjector
 from repro.resilience.supervisor import SupervisorConfig
 from repro.walks import engine
@@ -144,7 +145,9 @@ class TestWalkWorkerKilled:
         cfg = ObsConfig(log_level="error", metrics_out=str(manifest_path))
         with session(cfg, run_config={"chaos": "walk-kill"}, stream=io.StringIO()):
             supervised = generate_walks(
-                graph, config, workers=2, supervisor=SUPERVISED
+                graph,
+                config,
+                context=ExecutionContext(workers=2, supervisor=SUPERVISED),
             )
 
         assert (tmp_path / "fired").exists(), "fault never fired"
@@ -159,7 +162,9 @@ class TestCorruptCheckpointRestart:
         config = RandomWalkConfig(walks_per_vertex=4, walk_length=20, seed=5)
         ckpt_dir = tmp_path / "walks"
         baseline = generate_walks(
-            graph, config, workers=2, checkpoint_dir=ckpt_dir
+            graph,
+            config,
+            context=ExecutionContext(workers=2, checkpoint_dir=ckpt_dir),
         )
         # The corrupt_file fault mangles one completed chunk on disk.
         victim = ckpt_dir / "walks-0000.ckpt.npz"
@@ -169,7 +174,11 @@ class TestCorruptCheckpointRestart:
         )
         injector()
         resumed = generate_walks(
-            graph, config, workers=2, checkpoint_dir=ckpt_dir, resume=True
+            graph,
+            config,
+            context=ExecutionContext(
+                workers=2, checkpoint_dir=ckpt_dir, resume=True
+            ),
         )
         # Quarantined aside, recomputed, and bitwise-identical anyway.
         np.testing.assert_array_equal(resumed.walks, baseline.walks)
@@ -180,7 +189,9 @@ class TestCorruptCheckpointRestart:
         config = TrainConfig(dim=8, epochs=2, seed=1, early_stop=False)
         fresh = train_embeddings(corpus, config)
         ckpt_dir = tmp_path / "ckpt"
-        train_embeddings(corpus, config, checkpoint_dir=ckpt_dir)
+        train_embeddings(
+            corpus, config, context=ExecutionContext(checkpoint_dir=ckpt_dir)
+        )
         victim = ckpt_dir / "trainer.ckpt.npz"
         assert victim.exists()
         injector = FaultInjector(
@@ -190,7 +201,9 @@ class TestCorruptCheckpointRestart:
         # Resume must NOT crash with a BadZipFile: the corrupt snapshot is
         # quarantined and training restarts from scratch, deterministically.
         resumed = train_embeddings(
-            corpus, config, checkpoint_dir=ckpt_dir, resume=True
+            corpus,
+            config,
+            context=ExecutionContext(checkpoint_dir=ckpt_dir, resume=True),
         )
         np.testing.assert_array_equal(resumed.vectors, fresh.vectors)
         assert any(".corrupt." in p.name for p in ckpt_dir.iterdir())
