@@ -1,0 +1,127 @@
+"""PR 6 perf guard: cooperative cancel checks cost < 1% of the hot loop.
+
+Run lifecycle control threads a ``scope.check()`` poll through the
+serial trainer's batch loop — once per batch, never per example. The
+guard mirrors ``test_perf_obs_overhead``: measure the real per-epoch
+wall time of a dense training run (which already contains the live
+check calls), microbench the exact check the loop executes against a
+fully-armed scope (token *and* deadline present — the worst case), and
+assert ``check_cost × batches_per_epoch / epoch_seconds`` stays under
+the ISSUE's 1% budget. Bitwise identity of a run with and without an
+armed (never-cancelled) scope is asserted alongside: lifecycle polling
+must not touch the RNG or float streams.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench.harness import ExperimentRecord, Timer, format_table
+from repro.core.trainer import TrainConfig, train_embeddings
+from repro.datasets.synthetic import community_benchmark
+from repro.resilience.lifecycle import (
+    CancellationToken,
+    Deadline,
+    cancel_scope,
+    current_cancel_scope,
+)
+from repro.walks.engine import RandomWalkConfig, generate_walks
+
+OVERHEAD_BUDGET = 0.01  # the ISSUE's < 1% guard
+MICROBENCH_ITERS = 200_000
+
+
+def run(scale) -> tuple[list[ExperimentRecord], float]:
+    graph = community_benchmark(
+        0.5, n=scale.n, groups=scale.groups, inter_edges=scale.inter_edges,
+        seed=scale.seed,
+    )
+    corpus = generate_walks(
+        graph,
+        RandomWalkConfig(
+            walks_per_vertex=scale.walks_per_vertex,
+            walk_length=scale.walk_length,
+            seed=scale.seed,
+        ),
+    )
+    config = TrainConfig(
+        dim=scale.table1_dim, epochs=scale.epochs, seed=scale.seed,
+        early_stop=False,
+    )
+    batches_per_epoch = max(
+        1, int(np.ceil(corpus.num_examples(config.window) / config.batch_size))
+    )
+
+    # The shipped path (ambient NULL_SCOPE): min-of-3 against noise.
+    plain_seconds = []
+    plain_vectors = None
+    for _ in range(3):
+        with Timer() as t:
+            plain_vectors = train_embeddings(corpus, config).vectors
+        plain_seconds.append(t.seconds)
+    epoch_seconds = min(plain_seconds) / config.epochs
+
+    # Armed scope (token + deadline live, never tripped): same numbers.
+    with cancel_scope(CancellationToken(), Deadline(3600.0)):
+        with Timer() as t:
+            armed_vectors = train_embeddings(corpus, config).vectors
+    armed_seconds = t.seconds
+    np.testing.assert_array_equal(plain_vectors, armed_vectors)
+
+    # Microbench the exact per-batch poll against the worst-case scope.
+    with cancel_scope(CancellationToken(), Deadline(3600.0)):
+        scope = current_cancel_scope()
+        start = time.perf_counter()
+        for _ in range(MICROBENCH_ITERS):
+            scope.check()
+        check_seconds = (time.perf_counter() - start) / MICROBENCH_ITERS
+    overhead_fraction = (
+        check_seconds * batches_per_epoch / max(epoch_seconds, 1e-12)
+    )
+
+    records = [
+        ExperimentRecord(
+            params={"path": "ambient NULL_SCOPE (default)"},
+            values={
+                "train_seconds": min(plain_seconds),
+                "epoch_seconds": epoch_seconds,
+            },
+        ),
+        ExperimentRecord(
+            params={"path": "armed token+deadline"},
+            values={
+                "train_seconds": armed_seconds,
+                "epoch_seconds": armed_seconds / config.epochs,
+            },
+        ),
+        ExperimentRecord(
+            params={"path": "scope.check() / batch"},
+            values={
+                "check_seconds": check_seconds,
+                "batches_per_epoch": batches_per_epoch,
+                "overhead_fraction": overhead_fraction,
+            },
+        ),
+    ]
+    return records, overhead_fraction
+
+
+def test_perf_lifecycle_overhead(benchmark, scale, results_dir):
+    records, overhead_fraction = benchmark.pedantic(
+        run, args=(scale,), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        records,
+        title=(
+            f"PR 6 — lifecycle cancel-check overhead on the dense trainer "
+            f"[scale={scale.name}]"
+        ),
+    )
+    emit("perf_lifecycle_overhead", records, rendered, results_dir)
+    assert overhead_fraction < OVERHEAD_BUDGET, (
+        f"cancel checks cost {overhead_fraction:.2%} of an epoch, "
+        f"budget is {OVERHEAD_BUDGET:.0%}"
+    )

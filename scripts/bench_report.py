@@ -1,13 +1,19 @@
 #!/usr/bin/env python
-"""PR 3 bench report: pipeline throughput read from run manifests.
+"""Pipeline bench report: throughput read from run manifests.
 
 Each measurement runs inside an observability session
 (:func:`repro.obs.session`) and writes a run manifest; the report then
 reads walks/sec, per-epoch timings, and the host description *from the
 manifests* instead of re-measuring with its own stopwatch — the bench
 and the telemetry can no longer disagree. The summary is written as a
-schema-versioned JSON (default ``BENCH_PR3.json``); CI runs this on a
+schema-versioned JSON (default ``BENCH_PR6.json``); CI runs this on a
 tiny corpus as a smoke step and uploads the JSON plus the manifests.
+
+Since PR 6 the report also records ``lifecycle_overhead``: the measured
+cost of the per-batch cooperative cancel poll (``scope.check()`` against
+a fully-armed token + deadline) relative to a serial training epoch —
+the run-lifecycle counterpart of the disabled-telemetry guard, budgeted
+at < 1% (``benchmarks/test_perf_lifecycle_overhead.py`` enforces it).
 
 Throughput depends on the host — single-core containers show parallel
 *slowdown* (documented in docs/PERFORMANCE.md) — so the report records
@@ -15,7 +21,7 @@ the manifest's host block alongside the numbers and never fails on a
 regression, only on a crash or an invalid manifest.
 
 Run:  PYTHONPATH=src python scripts/bench_report.py [--workers 1 2 4]
-          [--n 400] [--epochs 10] [--output BENCH_PR3.json]
+          [--n 400] [--epochs 10] [--output BENCH_PR6.json]
           [--manifest-dir bench_manifests]
 """
 
@@ -24,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -121,10 +128,17 @@ def measure(
             }
         )
 
+    serial_cfg = TrainConfig(
+        dim=dim, epochs=epochs, seed=seed, early_stop=False, workers=1
+    )
+    lifecycle = _lifecycle_overhead(
+        corpus, serial_cfg, serial_epoch_seconds=serial_seconds / max(epochs, 1)
+    )
+
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "manifest_schema_version": SCHEMA_VERSION,
-        "bench": "pr3_pipeline_telemetry",
+        "bench": "pr6_run_lifecycle",
         "host": host,
         "corpus": {
             "n": n,
@@ -136,6 +150,46 @@ def measure(
         "train_config": {"dim": dim, "epochs": epochs, "seed": seed},
         "walk_generation": walk_rows,
         "training": train_rows,
+        "lifecycle_overhead": lifecycle,
+    }
+
+
+def _lifecycle_overhead(
+    corpus, config: TrainConfig, *, serial_epoch_seconds: float
+) -> dict:
+    """Cancel-poll cost per batch vs one serial epoch (< 1% budget).
+
+    Microbenches the exact ``scope.check()`` the dense batch loop runs,
+    against the worst-case scope (live token *and* deadline), and scales
+    it by the loop's batches per epoch. The measured serial epoch time
+    already contains the real polls, so the fraction is an upper bound.
+    """
+    from repro.resilience.lifecycle import (
+        CancellationToken,
+        Deadline,
+        cancel_scope,
+        current_cancel_scope,
+    )
+
+    iters = 200_000
+    with cancel_scope(CancellationToken(), Deadline(3600.0)):
+        scope = current_cancel_scope()
+        start = time.perf_counter()
+        for _ in range(iters):
+            scope.check()
+        check_seconds = (time.perf_counter() - start) / iters
+    batches_per_epoch = max(
+        1,
+        int(np.ceil(corpus.num_examples(config.window) / config.batch_size)),
+    )
+    fraction = check_seconds * batches_per_epoch / max(serial_epoch_seconds, 1e-12)
+    return {
+        "check_seconds": check_seconds,
+        "batches_per_epoch": batches_per_epoch,
+        "serial_epoch_seconds": round(serial_epoch_seconds, 6),
+        "overhead_fraction": fraction,
+        "budget_fraction": 0.01,
+        "within_budget": fraction < 0.01,
     }
 
 
@@ -157,11 +211,26 @@ def render(report: dict) -> str:
         )
         for row in report["training"]
     ]
+    lifecycle = report.get("lifecycle_overhead")
+    if lifecycle:
+        records.append(
+            ExperimentRecord(
+                params={"stage": "lifecycle", "workers": 1},
+                values={
+                    "check_us": round(lifecycle["check_seconds"] * 1e6, 3),
+                    "batches_per_epoch": lifecycle["batches_per_epoch"],
+                    "overhead_fraction": round(
+                        lifecycle["overhead_fraction"], 6
+                    ),
+                    "within_budget": lifecycle["within_budget"],
+                },
+            )
+        )
     host = report["host"]
     return format_table(
         records,
         title=(
-            f"PR 3 pipeline telemetry bench "
+            f"PR 6 run-lifecycle bench "
             f"(cpus={host['cpu_count']}, python={host['python']})"
         ),
     )
@@ -177,7 +246,7 @@ def main() -> int:
     parser.add_argument("--dim", type=int, default=16)
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", default="BENCH_PR3.json")
+    parser.add_argument("--output", default="BENCH_PR6.json")
     parser.add_argument(
         "--manifest-dir",
         default=None,

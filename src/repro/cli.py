@@ -16,6 +16,12 @@ Telemetry: every command runs inside an observability session
 structured logs go to stderr (``--log-level``) and, machine-readably, to
 ``--log-json``; ``--metrics-out`` writes the run manifest on exit.
 ``--no-telemetry`` opts out entirely (the no-op recorder).
+
+Lifecycle: SIGTERM/SIGINT request a cooperative shutdown that finishes
+the current checkpointable unit, writes a final checkpoint, and exits
+130; a second signal hard-exits immediately. ``--deadline SECONDS``
+bounds the run's wall clock the same way with exit code 124. See
+docs/resilience.md ("Run lifecycle") for the full exit-code table.
 """
 
 from __future__ import annotations
@@ -81,6 +87,15 @@ def add_runtime_flags(
             help="respawn budget per worker-count rung before degrading to "
             "fewer workers (requires --worker-deadline; default: 3)",
         )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run: on expiry the run "
+        "stops at the next checkpoint boundary and exits 124 "
+        "(resume later with --resume)",
+    )
     g = parser.add_argument_group("telemetry")
     g.add_argument(
         "--log-level",
@@ -129,12 +144,15 @@ def runtime_from_args(args):
             worker_deadline=args.worker_deadline,
             max_respawns=getattr(args, "max_respawns", 3),
         )
+    token, deadline = getattr(args, "_lifecycle", (None, None))
     return ExecutionContext(
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=getattr(args, "resume", False),
         workers=resolve_workers(getattr(args, "walk_workers", 1)),
         supervisor=supervisor,
         seed=getattr(args, "seed", None),
+        cancellation=token,
+        deadline=deadline,
     )
 
 
@@ -502,10 +520,44 @@ def _run_config(args) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     from repro.obs.recorder import session
+    from repro.resilience.lifecycle import (
+        EXIT_INTERRUPTED,
+        CancellationToken,
+        Deadline,
+        RunInterrupted,
+        signal_guard,
+    )
 
     args = build_parser().parse_args(argv)
-    with session(_obs_config(args), run_config=_run_config(args)):
-        return COMMANDS[args.command](args)
+    deadline_s = getattr(args, "deadline", None)
+    token = CancellationToken()
+    deadline = Deadline(deadline_s) if deadline_s is not None else None
+    # runtime_from_args picks the pair up and puts it on the
+    # ExecutionContext; engines then poll the ambient scope.
+    args._lifecycle = (token, deadline)
+    try:
+        # signal_guard() nests inside session(): an escaping
+        # RunInterrupted restores default signal handling first, then
+        # session writes the manifest (status: interrupted) — so a
+        # signal during manifest writing terminates instead of looping.
+        with session(_obs_config(args), run_config=_run_config(args)):
+            with signal_guard(token, deadline=deadline):
+                return COMMANDS[args.command](args)
+    except RunInterrupted as exc:
+        _log.warning(
+            "run.interrupted", reason=exc.reason, exit_code=exc.exit_code
+        )
+        return exc.exit_code
+    except KeyboardInterrupt:
+        # A Ctrl-C that beat the cooperative checks (or arrived outside
+        # the guard): same contract as RunInterrupted, one structured
+        # line instead of a traceback.
+        _log.warning(
+            "run.interrupted",
+            reason="keyboard_interrupt",
+            exit_code=EXIT_INTERRUPTED,
+        )
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -31,6 +31,7 @@ from repro.core.negative import NegativeSampler
 from repro.core.skipgram import SkipGramNegativeSampling
 from repro.core.vocab import VertexVocab
 from repro.obs.recorder import current_recorder
+from repro.resilience.lifecycle import current_cancel_scope
 from repro.walks.corpus import WalkCorpus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -385,7 +386,7 @@ def _train_embeddings(
         )
         config = replace(config, workers=1)
     rec = current_recorder()
-    with rec.span(
+    with ctx.lifecycle(), rec.span(
         "train.run",
         objective=config.objective,
         output_layer=config.output_layer,
@@ -508,17 +509,28 @@ def _run_dense_epochs(
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
     rec = current_recorder()
+    scope = current_cancel_scope()
 
     start = time.perf_counter()
     for _epoch in range(state.epoch, config.epochs):
         if state.converged:
             break
+        if scope.cancelled():
+            # Clean epoch boundary: weights/RNG match the last completed
+            # epoch exactly, so this final snapshot is resume-safe.
+            if checkpointer is not None:
+                checkpointer.save(objective, rng, state, final=True)
+            scope.check()
         with rec.span("train.epoch", epoch=state.epoch) as span:
             epoch_start = time.perf_counter()
             order = rng.permutation(num_examples) if config.shuffle else np.arange(num_examples)
             epoch_loss = 0.0
             lr = config.lr
             for lo in range(0, num_examples, config.batch_size):
+                # Mid-epoch cancel raises *without* saving: the weights
+                # already hold partial-epoch updates, so only the last
+                # epoch-boundary snapshot is a valid resume point.
+                scope.check()
                 sel = order[lo : lo + config.batch_size]
                 # Linear LR decay over the scheduled (not early-stopped) run.
                 frac = state.batch_index / max(total_batches - 1, 1)
@@ -587,11 +599,16 @@ def _train_streaming(
     batches_per_epoch = max(1, int(np.ceil(num_examples / config.batch_size)))
     total_batches = batches_per_epoch * config.epochs
     rec = current_recorder()
+    scope = current_cancel_scope()
 
     start = time.perf_counter()
     for _epoch in range(state.epoch, config.epochs):
         if state.converged:
             break
+        if scope.cancelled():
+            if checkpointer is not None:
+                checkpointer.save(objective, rng, state, final=True)
+            scope.check()
         with rec.span("train.epoch", epoch=state.epoch, streaming=True) as span:
             epoch_start = time.perf_counter()
             if config.shuffle:
@@ -623,6 +640,7 @@ def _train_streaming(
                 loss = 0.0
                 steps = 0
                 for lo in range(0, full, config.batch_size):
+                    scope.check()
                     frac = min(state.batch_index, total_batches - 1) / max(
                         total_batches - 1, 1
                     )

@@ -9,6 +9,13 @@ missing :data:`REQUIRED_KEYS`.
 The schema is versioned (``schema_version``) so bench trajectories stay
 comparable across PRs; additive changes keep the version, breaking
 changes bump it.
+
+Every manifest carries a terminal ``status`` — ``"completed"``,
+``"interrupted"`` (cooperative cancellation / deadline expiry; see
+:mod:`repro.resilience.lifecycle`), or ``"failed"`` — plus an
+``interrupt_reason`` for the non-completed cases, so ``repro report``
+and the chaos harness can tell a clean run from a wound-down one
+without parsing the event stream. Additive fields: schema version 1.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.obs.metrics import MetricsRegistry, NullRegistry
 __all__ = [
     "SCHEMA_VERSION",
     "REQUIRED_KEYS",
+    "RUN_STATUSES",
     "ManifestError",
     "build_manifest",
     "write_manifest",
@@ -38,6 +46,11 @@ __all__ = [
 SCHEMA_VERSION = 1
 MANIFEST_KIND = "repro-run-manifest"
 REQUIRED_KEYS = ("schema_version", "kind", "created_unix", "host", "config", "metrics")
+
+#: Terminal run states. ``interrupted`` covers cooperative cancellation
+#: (signal) and deadline expiry; the distinction lives in
+#: ``interrupt_reason`` and the process exit code (130 vs 124).
+RUN_STATUSES = ("completed", "interrupted", "failed")
 
 
 class ManifestError(ValueError):
@@ -69,7 +82,11 @@ def build_manifest(
     *,
     run_config: dict | None = None,
     events_path: str | Path | None = None,
+    status: str = "completed",
+    interrupt_reason: str | None = None,
 ) -> dict[str, Any]:
+    if status not in RUN_STATUSES:
+        raise ManifestError(f"status must be one of {RUN_STATUSES}, got {status!r}")
     config = run_config or {}
     return {
         "schema_version": SCHEMA_VERSION,
@@ -80,6 +97,8 @@ def build_manifest(
         "config_fingerprint": config_fingerprint(config),
         "metrics": registry.snapshot(),
         "events_path": str(events_path) if events_path is not None else None,
+        "status": status,
+        "interrupt_reason": interrupt_reason,
     }
 
 
@@ -89,12 +108,18 @@ def write_manifest(
     registry: MetricsRegistry | NullRegistry,
     run_config: dict | None = None,
     events_path: str | Path | None = None,
+    status: str = "completed",
+    interrupt_reason: str | None = None,
 ) -> dict[str, Any]:
     """Build and atomically write the manifest; returns the dict."""
     from repro.resilience.checkpoint import atomic_write_bytes
 
     manifest = build_manifest(
-        registry, run_config=run_config, events_path=events_path
+        registry,
+        run_config=run_config,
+        events_path=events_path,
+        status=status,
+        interrupt_reason=interrupt_reason,
     )
     atomic_write_bytes(
         path, (json.dumps(manifest, indent=2, default=str) + "\n").encode()

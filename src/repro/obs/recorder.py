@@ -148,6 +148,23 @@ class NullRecorder:
         return NULL_REGISTRY.time(name)
 
 
+def _classify_exit(exc: BaseException) -> tuple[str, str]:
+    """Map the exception escaping a session to a manifest status.
+
+    Cooperative shutdown (``RunInterrupted``) and a raw Ctrl-C are both
+    ``interrupted`` — the run wound down on purpose; anything else is a
+    genuine ``failed``. Lazy import: resilience imports obs, so the
+    reverse edge must stay function-local.
+    """
+    from repro.resilience.lifecycle import RunInterrupted
+
+    if isinstance(exc, RunInterrupted):
+        return "interrupted", exc.reason
+    if isinstance(exc, KeyboardInterrupt):
+        return "interrupted", "keyboard_interrupt"
+    return "failed", type(exc).__name__
+
+
 NULL_RECORDER = NullRecorder()
 
 _current: Recorder | NullRecorder = NULL_RECORDER
@@ -219,10 +236,16 @@ def session(
                 log_json=config.log_json,
                 metrics_out=config.metrics_out,
             )
+            status, reason = "completed", None
             try:
                 yield recorder
+            except BaseException as exc:
+                status, reason = _classify_exit(exc)
+                raise
             finally:
-                recorder.event("run.end")
+                recorder.event(
+                    "run.end", status=status, **({"reason": reason} if reason else {})
+                )
                 if config.metrics_out is not None:
                     from repro.obs.manifest import write_manifest
 
@@ -231,6 +254,8 @@ def session(
                         registry=recorder.registry,
                         run_config=run_config or {},
                         events_path=config.log_json,
+                        status=status,
+                        interrupt_reason=reason,
                     )
     finally:
         teardown_logging(handlers)

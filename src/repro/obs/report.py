@@ -59,6 +59,11 @@ def render_report(
         f"({host.get('cpu_affinity', '?')} usable), "
         f"python {host.get('python', '?')}",
     ]
+    status = manifest.get("status", "completed")
+    reason = manifest.get("interrupt_reason")
+    lines.append(
+        f"  status: {status}" + (f" (reason: {reason})" if reason else "")
+    )
     config = manifest.get("config") or {}
     if config:
         rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))

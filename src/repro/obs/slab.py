@@ -26,7 +26,11 @@ from repro.parallel.shm import SharedArray, SharedArraySpec
 __all__ = ["MetricsSlab", "MetricsSlabSpec", "HOGWILD_SLOTS", "SUPERVISOR_SLOTS"]
 
 # Slot layout used by the Hogwild trainer's per-worker progress rows.
-HOGWILD_SLOTS = ("batches", "examples", "loss_sum", "epoch")
+# "cancel" is the lifecycle flag word: the parent broadcasts 1.0 into it
+# when cancellation is requested and each worker polls its own row per
+# batch — the lock-free path by which a SIGTERM in the parent reaches
+# loops running in other processes.
+HOGWILD_SLOTS = ("batches", "examples", "loss_sum", "epoch", "cancel")
 
 # Slot layout used by the worker supervisor's liveness rows: the last
 # heartbeat timestamp (time.monotonic), items completed, total beats.
@@ -95,6 +99,15 @@ class MetricsSlab:
 
     def put(self, worker: int, slot: str, value: float) -> None:
         self._array[worker, self._slot_index[slot]] = value
+
+    def broadcast(self, slot: str, value: float) -> None:
+        """Write ``value`` into ``slot`` for every worker row at once.
+
+        Used by the parent to flip the lifecycle ``cancel`` flag. A
+        whole-column numpy store with no allocation beyond the scalar,
+        so it is safe to call from a signal-handler-driven callback.
+        """
+        self._array[:, self._slot_index[slot]] = value
 
     # Parent-side reads ----------------------------------------------------
     def get(self, worker: int, slot: str) -> float:

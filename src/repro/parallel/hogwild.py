@@ -48,6 +48,7 @@ from repro.obs.recorder import current_recorder
 from repro.obs.slab import HOGWILD_SLOTS, MetricsSlab, MetricsSlabSpec
 from repro.parallel.pool import chunk_bounds, parallel_map
 from repro.parallel.seeding import worker_seed_sequence
+from repro.resilience.lifecycle import current_cancel_scope
 from repro.parallel.shm import SHM_AVAILABLE, SharedArray, SharedArraySpec, shared_arrays
 
 __all__ = ["train_hogwild", "hogwild_supported", "hogwild_epoch_task"]
@@ -125,6 +126,12 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
         if slab is not None:
             slab.put(task.worker, "epoch", task.epoch)
         for lo in range(0, order.shape[0], config.batch_size):
+            # Lifecycle flag word: the parent broadcasts 1.0 here when
+            # cancellation is requested (signal or deadline). Returning
+            # early hands back a partial shard; the parent detects the
+            # short epoch and discards it rather than recording it.
+            if slab is not None and slab.get(task.worker, "cancel"):
+                break
             sel = order[lo : lo + config.batch_size]
             frac = min(task.batch_offset + batches, denom) / denom
             lr = config.lr + (config.lr_min - config.lr) * frac
@@ -228,7 +235,7 @@ def train_hogwild(
         state = checkpointer.restore(objective, rng) or state
 
     rec = current_recorder()
-    with rec.span(
+    with ctx.lifecycle(), rec.span(
         "train.run",
         objective=config.objective,
         output_layer=config.output_layer,
@@ -305,22 +312,26 @@ def _run_hogwild_epochs(
     task_fn,
 ) -> float:
     """Epoch loop for ``workers > 1``: fan shards out, barrier per epoch."""
-    from repro.core.trainer import _record_epoch_telemetry
-
     sh_centers = scope.from_array(np.ascontiguousarray(centers, dtype=np.int64))
     sh_contexts = scope.from_array(np.ascontiguousarray(contexts, dtype=np.int64))
 
     rec = current_recorder()
-    slab = None
-    slab_spec = None
-    if rec.enabled:
-        # Per-worker progress rows live in the same shared scope as the
-        # weights, so crash cleanup (unlink) is covered by the scope.
-        sh_slab = scope.from_array(
-            np.zeros((config.workers, len(HOGWILD_SLOTS)), dtype=np.float64)
+    # Per-worker progress rows live in the same shared scope as the
+    # weights, so crash cleanup (unlink) is covered by the scope. The
+    # slab is created unconditionally (not just when telemetry is on)
+    # because its "cancel" column is the lifecycle channel by which the
+    # parent's cancellation reaches worker processes lock-free.
+    sh_slab = scope.from_array(
+        np.zeros((config.workers, len(HOGWILD_SLOTS)), dtype=np.float64)
+    )
+    slab = MetricsSlab.over(sh_slab, HOGWILD_SLOTS)
+    slab_spec = slab.spec
+    lifecycle = current_cancel_scope()
+    unsubscribe = None
+    if lifecycle.token is not None:
+        unsubscribe = lifecycle.token.on_cancel(
+            lambda: slab.broadcast("cancel", 1.0)
         )
-        slab = MetricsSlab.over(sh_slab, HOGWILD_SLOTS)
-        slab_spec = slab.spec
 
     num_examples = centers.shape[0]
     shards = chunk_bounds(num_examples, config.workers)
@@ -337,78 +348,148 @@ def _run_hogwild_epochs(
     counts = vocab.counts
 
     start = time.perf_counter()
-    for epoch in range(state.epoch, config.epochs):
-        if state.converged:
-            break
-        with rec.span(
-            "train.epoch", epoch=epoch, workers=config.workers
-        ) as span:
-            epoch_start = time.perf_counter()
-            tasks = [
-                _EpochTask(
-                    w_in=w_in_spec,
-                    w_out=w_out_spec,
-                    centers=sh_centers.spec,
-                    contexts=sh_contexts.spec,
-                    lo=lo,
-                    hi=hi,
-                    epoch=epoch,
-                    worker=w,
-                    entropy=entropy,
-                    batch_offset=epoch * batches_per_epoch + int(offsets[w]),
-                    total_batches=total_batches,
-                    config=config,
-                    vocab_counts=counts,
-                    slab=slab_spec,
-                )
-                for w, (lo, hi) in enumerate(shards)
-            ]
-            results = parallel_map(
-                task,
-                tasks,
-                workers=config.workers,
-                supervisor=ctx.supervisor,
-            )
-            loss_sum = sum(loss for loss, _ in results)
-            batches_run = sum(n for _, n in results)
-            state.batch_index += batches_run
-            mean_loss = loss_sum / max(batches_run, 1)
-            state.record_epoch(mean_loss, config)
-            if rec.enabled:
-                epoch_seconds = time.perf_counter() - epoch_start
-                for w, row in enumerate(slab.rows()):
-                    rec.observe("hogwild.worker_batches", row["batches"])
-                    rec.observe("hogwild.worker_examples", row["examples"])
-                    rec.event(
-                        "hogwild.worker",
-                        level="debug",
-                        worker=w,
-                        epoch=epoch,
-                        batches=int(row["batches"]),
-                        examples=int(row["examples"]),
-                        loss_sum=round(row["loss_sum"], 6),
-                    )
-                slab.reset()
-                # End-of-epoch position on the linear LR schedule.
-                frac = min(
-                    (epoch + 1) * batches_per_epoch - 1, total_batches - 1
-                ) / max(total_batches - 1, 1)
-                _record_epoch_telemetry(
-                    rec,
-                    span,
-                    state,
-                    mean_loss,
-                    config.lr + (config.lr_min - config.lr) * frac,
-                    num_examples,
-                    epoch_seconds,
-                )
-        if checkpointer is not None:
-            checkpointer.save(
+    try:
+        for epoch in range(state.epoch, config.epochs):
+            if state.converged:
+                break
+            if lifecycle.cancelled():
+                # Clean epoch boundary (or deadline noticed here):
+                # snapshot then raise. check() also cancels the token on
+                # deadline expiry so the slab broadcast fires for it.
+                if checkpointer is not None:
+                    checkpointer.save(objective, rng, state, final=True)
+                lifecycle.check()
+            mean_loss = _hogwild_epoch(
+                epoch,
                 objective,
-                rng,
+                sh_centers,
+                sh_contexts,
+                w_in_spec,
+                w_out_spec,
+                slab,
+                slab_spec,
+                shards,
+                offsets,
+                batches_per_epoch,
+                total_batches,
+                entropy,
+                counts,
+                task,
+                config,
+                ctx,
                 state,
-                final=state.converged or state.epoch == config.epochs,
+                lifecycle,
+                rec,
             )
-        if epoch_callback is not None:
-            epoch_callback(state.epoch - 1, mean_loss)
+            if checkpointer is not None:
+                checkpointer.save(
+                    objective,
+                    rng,
+                    state,
+                    final=state.converged or state.epoch == config.epochs,
+                )
+            if epoch_callback is not None:
+                epoch_callback(state.epoch - 1, mean_loss)
+    finally:
+        if unsubscribe is not None:
+            unsubscribe()
     return time.perf_counter() - start
+
+
+def _hogwild_epoch(
+    epoch: int,
+    objective,
+    sh_centers,
+    sh_contexts,
+    w_in_spec,
+    w_out_spec,
+    slab,
+    slab_spec,
+    shards,
+    offsets,
+    batches_per_epoch,
+    total_batches,
+    entropy,
+    counts,
+    task,
+    config,
+    ctx,
+    state,
+    lifecycle,
+    rec,
+) -> float:
+    """One fan-out/barrier epoch; returns the recorded mean loss.
+
+    A partial epoch (workers bailed out via the slab's cancel flag) is
+    *discarded*: the shared weights then hold an incomplete update pass,
+    which is not a valid resume point, so the epoch is neither recorded
+    nor checkpointed — resume replays it from the last boundary.
+    """
+    from repro.core.trainer import _record_epoch_telemetry
+
+    num_examples = int(sh_centers.array.shape[0])
+    with rec.span(
+        "train.epoch", epoch=epoch, workers=config.workers
+    ) as span:
+        epoch_start = time.perf_counter()
+        tasks = [
+            _EpochTask(
+                w_in=w_in_spec,
+                w_out=w_out_spec,
+                centers=sh_centers.spec,
+                contexts=sh_contexts.spec,
+                lo=lo,
+                hi=hi,
+                epoch=epoch,
+                worker=w,
+                entropy=entropy,
+                batch_offset=epoch * batches_per_epoch + int(offsets[w]),
+                total_batches=total_batches,
+                config=config,
+                vocab_counts=counts,
+                slab=slab_spec,
+            )
+            for w, (lo, hi) in enumerate(shards)
+        ]
+        results = parallel_map(
+            task,
+            tasks,
+            workers=config.workers,
+            supervisor=ctx.supervisor,
+        )
+        loss_sum = sum(loss for loss, _ in results)
+        batches_run = sum(n for _, n in results)
+        if lifecycle.cancelled() and batches_run < batches_per_epoch:
+            lifecycle.check()
+        state.batch_index += batches_run
+        mean_loss = loss_sum / max(batches_run, 1)
+        state.record_epoch(mean_loss, config)
+        if rec.enabled:
+            epoch_seconds = time.perf_counter() - epoch_start
+            for w, row in enumerate(slab.rows()):
+                rec.observe("hogwild.worker_batches", row["batches"])
+                rec.observe("hogwild.worker_examples", row["examples"])
+                rec.event(
+                    "hogwild.worker",
+                    level="debug",
+                    worker=w,
+                    epoch=epoch,
+                    batches=int(row["batches"]),
+                    examples=int(row["examples"]),
+                    loss_sum=round(row["loss_sum"], 6),
+                )
+            slab.reset()
+            # End-of-epoch position on the linear LR schedule.
+            frac = min(
+                (epoch + 1) * batches_per_epoch - 1, total_batches - 1
+            ) / max(total_batches - 1, 1)
+            _record_epoch_telemetry(
+                rec,
+                span,
+                state,
+                mean_loss,
+                config.lr + (config.lr_min - config.lr) * frac,
+                num_examples,
+                epoch_seconds,
+            )
+    return mean_loss

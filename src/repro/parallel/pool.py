@@ -28,6 +28,7 @@ from typing import Callable, Sequence, TypeVar
 
 from repro.obs.logging import get_logger
 from repro.obs.recorder import current_recorder
+from repro.resilience.lifecycle import current_cancel_scope
 from repro.resilience.retry import RetryPolicy
 
 _log = get_logger("parallel.pool")
@@ -132,7 +133,12 @@ def parallel_map(
 
         return supervised_map(fn, items, workers=workers, config=supervisor)
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        scope = current_cancel_scope()
+        results_serial: list = []
+        for item in items:
+            scope.check()  # cooperative cancel between in-process items
+            results_serial.append(fn(item))
+        return results_serial
     policy = retry or POOL_RETRY_POLICY
     results: list = [_UNSET] * len(items)
     pending = list(range(len(items)))
@@ -144,6 +150,10 @@ def parallel_map(
         if not pending:
             return results
         if attempt < policy.max_attempts - 1:
+            # Don't sit out a backoff (or burn another attempt) once
+            # shutdown is requested; completed items are checkpointed or
+            # recomputed deterministically by the caller on resume.
+            current_cancel_scope().check()
             backoff_s = delays[attempt]
             rec.inc("pool.retries")
             rec.event(
@@ -163,7 +173,9 @@ def parallel_map(
         total=len(items),
         attempts=policy.max_attempts,
     )
+    scope = current_cancel_scope()
     for i in pending:
+        scope.check()
         results[i] = fn(items[i])
     return results
 

@@ -25,7 +25,9 @@ schedule a duplicate unlink.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
+import os
 import weakref
 from dataclasses import dataclass
 from typing import Iterator
@@ -83,6 +85,15 @@ class SharedArray:
         self._finalizer = weakref.finalize(
             self, _release, shm, owner, spec.name
         )
+        # Second safety net for *abnormal* exits that never drop the
+        # reference (an exception unwinding past a bare create(), a
+        # KeyboardInterrupt outside any scope): owned segments are swept
+        # at interpreter exit. The pid pins the sweep to the creating
+        # process — a forked worker inheriting the set must not unlink
+        # names its parent still uses.
+        if owner:
+            self._creator_pid = os.getpid()
+            _LIVE_OWNED.add(self)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -158,6 +169,23 @@ def _release(shm, owner: bool, name: str) -> None:
     if owner:
         with contextlib.suppress(FileNotFoundError, OSError):
             shm.unlink()
+
+
+# Owned-but-unreleased segments, swept at interpreter exit. A WeakSet so
+# membership never delays GC (the weakref.finalize above handles the
+# dropped-reference case; this handles the still-referenced one).
+_LIVE_OWNED: "weakref.WeakSet[SharedArray]" = weakref.WeakSet()
+
+
+def _sweep_owned_segments() -> None:  # pragma: no cover - exercised via subprocess
+    for shared in list(_LIVE_OWNED):
+        if getattr(shared, "_creator_pid", None) != os.getpid():
+            continue
+        with contextlib.suppress(Exception):
+            shared.destroy()
+
+
+atexit.register(_sweep_owned_segments)
 
 
 def _require_shm() -> None:

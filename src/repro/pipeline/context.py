@@ -38,6 +38,13 @@ from repro.obs.recorder import ObsConfig, current_recorder, session
 from repro.parallel.seeding import spawn_seeds, worker_seed_sequence
 from repro.pipeline.checkpointing import FingerprintedCheckpoints
 from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.lifecycle import (
+    CancellationToken,
+    CancelScope,
+    Deadline,
+    cancel_scope,
+    current_cancel_scope,
+)
 from repro.resilience.supervisor import SupervisorConfig
 
 __all__ = ["ExecutionContext", "UNSET", "context_from_legacy"]
@@ -88,6 +95,15 @@ class ExecutionContext:
         randomness (downstream tasks without their own seed). Stage
         configs keep their own seeds for anything that defines model
         identity.
+    cancellation:
+        Cooperative shutdown latch (see
+        :mod:`repro.resilience.lifecycle`). The CLI wires its signal
+        handlers to this token; engines poll it at checkpointable
+        boundaries. Excluded from equality — requesting cancellation
+        never changes what a run *would* compute.
+    deadline:
+        Wall-clock budget for the run. Expiry behaves like
+        cancellation with reason ``"deadline"`` (exit code 124).
     """
 
     observability: ObsConfig | None = None
@@ -99,6 +115,8 @@ class ExecutionContext:
         default=None, compare=False
     )
     seed: int | None = None
+    cancellation: CancellationToken | None = field(default=None, compare=False)
+    deadline: Deadline | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.checkpoint_dir is not None and not isinstance(
@@ -126,6 +144,33 @@ class ExecutionContext:
             return
         with session(self.observability, run_config=run_config) as rec:
             yield rec
+
+    # -- lifecycle ------------------------------------------------------
+    def lifecycle(self) -> contextlib.AbstractContextManager[CancelScope]:
+        """Activate this context's cancellation/deadline as the ambient
+        scope (merging with any enclosing one). Engines enter this at
+        their public boundary; hot loops then poll via
+        :func:`repro.resilience.lifecycle.current_cancel_scope`."""
+        return cancel_scope(self.cancellation, self.deadline)
+
+    @property
+    def cancel_requested(self) -> bool:
+        """True once this run should wind down (token or deadline)."""
+        return self._scope().cancelled()
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`repro.resilience.lifecycle.RunInterrupted` if
+        shutdown was requested — for code holding a context directly."""
+        self._scope().check()
+
+    def _scope(self) -> CancelScope:
+        ambient = current_cancel_scope()
+        if self.cancellation is None and self.deadline is None:
+            return ambient
+        return CancelScope(
+            self.cancellation or ambient.token,
+            self.deadline or ambient.deadline,
+        )
 
     # -- workers / supervision / chaos ---------------------------------
     def resolve_workers(self) -> int:

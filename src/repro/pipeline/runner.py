@@ -14,7 +14,14 @@ every stage used to reimplement:
   inside their engines — mid-stage, not just at stage boundaries;
 * typed error transparency: exceptions raised by a stage propagate
   unchanged (annotated with the stage name via ``add_note``), so
-  callers keep catching the engines' own error types.
+  callers keep catching the engines' own error types;
+* run lifecycle control: the context's cancellation token / deadline
+  become the ambient :class:`~repro.resilience.lifecycle.CancelScope`
+  for the whole chain, a cooperative cancel check runs between stages,
+  and a :class:`~repro.resilience.lifecycle.RunInterrupted` escaping a
+  stage is recorded as a ``pipeline.interrupted`` event before it
+  propagates (the engines have already written their final
+  checkpoints by then — interruption is durable, not lossy).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from typing import Any, Sequence
 from repro.obs.recorder import current_recorder
 from repro.pipeline.context import ExecutionContext
 from repro.pipeline.stage import Stage, StageError
+from repro.resilience.lifecycle import RunInterrupted, current_cancel_scope
 
 __all__ = ["Pipeline", "PipelineResult", "StageReport"]
 
@@ -99,20 +107,35 @@ class Pipeline:
         rec = current_recorder()
         outputs: dict[str, Any] = {}
         reports: list[StageReport] = []
-        for stage in self.stages:
-            started = time.perf_counter()
-            with rec.span("pipeline.stage", stage=stage.name) as span:
-                value, skipped = self._run_stage(stage, ctx, value)
-                if rec.enabled:
-                    span.annotate(skipped=skipped)
-            outputs[stage.name] = value
-            reports.append(
-                StageReport(
-                    name=stage.name,
-                    seconds=time.perf_counter() - started,
-                    skipped=skipped,
+        with ctx.lifecycle():
+            scope = current_cancel_scope()
+            for stage in self.stages:
+                # Between-stage boundary: never start a stage the run no
+                # longer wants. In-stage checks are the engines' job.
+                scope.check()
+                started = time.perf_counter()
+                with rec.span("pipeline.stage", stage=stage.name) as span:
+                    try:
+                        value, skipped = self._run_stage(stage, ctx, value)
+                    except RunInterrupted as exc:
+                        rec.inc("pipeline.interrupted")
+                        rec.event(
+                            "pipeline.interrupted",
+                            level="warning",
+                            stage=stage.name,
+                            reason=exc.reason,
+                        )
+                        raise
+                    if rec.enabled:
+                        span.annotate(skipped=skipped)
+                outputs[stage.name] = value
+                reports.append(
+                    StageReport(
+                        name=stage.name,
+                        seconds=time.perf_counter() - started,
+                        skipped=skipped,
+                    )
                 )
-            )
         return PipelineResult(value=value, outputs=outputs, reports=reports)
 
     def run(

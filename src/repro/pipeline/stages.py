@@ -4,7 +4,11 @@
 *not* opt into pipeline-level output caching because their engines
 already resume incrementally (chunk-wise for walks, epoch-wise for
 training) — a mid-stage kill loses at most one wave/epoch, which is
-strictly better than stage-boundary granularity.
+strictly better than stage-boundary granularity. The same engines also
+poll the ambient cancel scope the runner activates, so a SIGTERM or
+deadline expiry during either heavy stage raises
+:class:`~repro.resilience.lifecycle.RunInterrupted` at the next
+checkpointable unit with a final snapshot already on disk.
 
 ``DetectStage``/``PredictStage``/``LayoutStage`` are the paper's three
 applications as thin, cacheable stages: each is cheap to recompute but

@@ -16,11 +16,30 @@ above uses to survive partial failure:
   respawns dead *and hung* workers, straggler timeouts, and a degrade
   ladder that ends at serial execution (:func:`supervised_map`).
 - :mod:`repro.resilience.chaos` — a deterministic fault-injection
-  harness (:class:`FaultInjector`: fail / exit / hang / corrupt_file)
-  used by the test suite to prove each recovery path actually fires.
+  harness (:class:`FaultInjector`: fail / exit / hang / corrupt_file /
+  signal / deadline) used by the test suite to prove each recovery path
+  actually fires.
+- :mod:`repro.resilience.lifecycle` — run lifecycle control:
+  :class:`CancellationToken` + :class:`Deadline` carried on the
+  :class:`repro.pipeline.ExecutionContext`, the ambient
+  :class:`CancelScope` hot loops poll, :func:`signal_guard` for
+  SIGTERM/SIGINT, and :class:`RunInterrupted` with conventional exit
+  codes (130 interrupt, 124 deadline).
 """
 
 from repro.resilience.chaos import FaultInjector, InjectedFault
+from repro.resilience.lifecycle import (
+    EXIT_DEADLINE,
+    EXIT_INTERRUPTED,
+    CancellationToken,
+    CancelScope,
+    Deadline,
+    RunInterrupted,
+    cancel_scope,
+    current_cancel_scope,
+    expire_active_deadline,
+    signal_guard,
+)
 from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointCorrupt,
@@ -61,4 +80,14 @@ __all__ = [
     "current_heartbeat",
     "FaultInjector",
     "InjectedFault",
+    "CancellationToken",
+    "CancelScope",
+    "Deadline",
+    "RunInterrupted",
+    "cancel_scope",
+    "current_cancel_scope",
+    "expire_active_deadline",
+    "signal_guard",
+    "EXIT_INTERRUPTED",
+    "EXIT_DEADLINE",
 ]

@@ -23,6 +23,7 @@ matter for multi-process chaos:
 from __future__ import annotations
 
 import os
+import signal as _signal
 import time
 from pathlib import Path
 from typing import Any, Callable, Collection
@@ -79,6 +80,21 @@ class FaultInjector:
     corrupt_path:
         The file the ``corrupt_file`` fault mangles. Required when any
         corrupt trigger is set.
+    signal_on_calls / signal_items:
+        Trigger delivery of ``signal_number`` to the process that
+        *constructed* the injector (the run's parent) — not the process
+        executing the call — so a fault fired inside a pool or
+        supervised worker still simulates "the scheduler SIGTERMed the
+        job". The underlying call then proceeds normally; the run winds
+        down at its next cooperative cancel check.
+    signal_number:
+        Signal delivered by the ``signal`` fault (default ``SIGTERM``).
+    deadline_on_calls / deadline_items:
+        Trigger forced expiry of the active lifecycle deadline
+        (:func:`repro.resilience.lifecycle.expire_active_deadline`) in
+        the calling process — chaos for ``--deadline`` runs without
+        waiting out a real wall-clock budget. A no-op when no deadline
+        is active.
     once_marker:
         Optional path; faults fire only while it does not exist and
         create it upon firing, so a retried call succeeds.
@@ -105,6 +121,11 @@ class FaultInjector:
         corrupt_on_calls: Collection[int] = (),
         corrupt_items: Collection[Any] = (),
         corrupt_path: str | Path | None = None,
+        signal_on_calls: Collection[int] = (),
+        signal_items: Collection[Any] = (),
+        signal_number: int = _signal.SIGTERM,
+        deadline_on_calls: Collection[int] = (),
+        deadline_items: Collection[Any] = (),
         once_marker: str | Path | None = None,
         only_in_subprocess: bool = False,
     ) -> None:
@@ -132,6 +153,11 @@ class FaultInjector:
         self.corrupt_on_calls = frozenset(int(c) for c in corrupt_on_calls)
         self.corrupt_items = tuple(corrupt_items)
         self.corrupt_path = str(corrupt_path) if corrupt_path is not None else None
+        self.signal_on_calls = frozenset(int(c) for c in signal_on_calls)
+        self.signal_items = tuple(signal_items)
+        self.signal_number = int(signal_number)
+        self.deadline_on_calls = frozenset(int(c) for c in deadline_on_calls)
+        self.deadline_items = tuple(deadline_items)
         self.once_marker = str(once_marker) if once_marker is not None else None
         self.only_in_subprocess = bool(only_in_subprocess)
         self._home_pid = os.getpid()
@@ -203,6 +229,27 @@ class FaultInjector:
                     call=self.calls, pid=os.getpid(), path=self.corrupt_path,
                 )
                 self._corrupt_file()
+            if self._should(self.signal_on_calls, self.signal_items, args):
+                self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="signal",
+                    call=self.calls, pid=os.getpid(),
+                    target_pid=self._home_pid, signum=self.signal_number,
+                )
+                # Target the constructing process: a worker firing this
+                # fault signals the *run*, like an external preemption.
+                os.kill(self._home_pid, self.signal_number)
+            if self._should(self.deadline_on_calls, self.deadline_items, args):
+                from repro.resilience.lifecycle import expire_active_deadline
+
+                self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="deadline",
+                    call=self.calls, pid=os.getpid(),
+                    expired=expire_active_deadline(),
+                )
             if self._should(self.exit_on_calls, self.exit_items, args):
                 self._mark_fired()
                 rec.inc("fault.injected")

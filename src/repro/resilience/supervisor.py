@@ -56,6 +56,7 @@ from typing import Any, Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.obs.recorder import current_recorder
+from repro.resilience.lifecycle import current_cancel_scope
 
 # repro.obs.slab and repro.parallel.shm are imported lazily inside the
 # functions that need them: slab itself imports repro.parallel, whose
@@ -246,8 +247,13 @@ def supervised_map(
     config = config or SupervisorConfig()
     n = len(items)
     label = label or getattr(fn, "__name__", "task")
+    scope = current_cancel_scope()
     if workers <= 1 or n <= 1 or not SHM_AVAILABLE:
-        return [fn(item) for item in items]
+        results_serial: list = []
+        for item in items:
+            scope.check()  # cooperative cancel between in-process items
+            results_serial.append(fn(item))
+        return results_serial
 
     rec = current_recorder()
     results: list = [_UNSET] * n
@@ -268,6 +274,7 @@ def supervised_map(
                 pending=len(pending),
             )
             for i in pending:
+                scope.check()
                 results[i] = fn(items[i])
             break
         exhausted = _run_rung(fn, items, results, pending, rung, config, label)
@@ -371,6 +378,7 @@ def _run_rung(
     """
     rec = current_recorder()
     ctx = mp.get_context()
+    scope = current_cancel_scope()
     todo: deque[int] = deque(pending)
     outstanding = len(pending)
     respawns = 0
@@ -388,6 +396,12 @@ def _run_rung(
             if handles[w] is None:
                 respawns += 1
         while outstanding > 0 and failure is None:
+            if scope.cancelled():
+                # Cancellation beats liveness: stop dispatching, never
+                # respawn again, and walk the children down gracefully
+                # (SIGTERM, short grace, then SIGKILL) before raising.
+                _cancel_workers(handles, rec, label)
+                scope.check()
             if respawns > config.max_respawns:
                 return True
             # Dispatch: only idle workers, which are blocked in recv —
@@ -488,6 +502,41 @@ def _run_rung(
     finally:
         _teardown(handles)
         owner.destroy()
+
+
+def _cancel_workers(
+    handles: list[_Handle | None], rec, label: str, grace: float = 1.0
+) -> None:
+    """Graceful shutdown on cancellation: SIGTERM → grace → SIGKILL.
+
+    SIGTERM first gives children that inherited the CLI's signal guard a
+    chance to stop cooperatively; anything still alive after ``grace``
+    seconds is SIGKILLed. Handles are cleared so the rung's ``finally``
+    teardown has nothing left to wait on.
+    """
+    live = sum(1 for h in handles if h is not None)
+    rec.inc("supervisor.cancelled")
+    rec.event("supervisor.cancelled", level="warning", label=label, workers=live)
+    for handle in handles:
+        if handle is None:
+            continue
+        try:
+            handle.proc.terminate()
+        except (OSError, ValueError):
+            pass
+    deadline = time.monotonic() + grace
+    for w, handle in enumerate(handles):
+        if handle is None:
+            continue
+        handle.proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+        if handle.proc.is_alive():
+            _kill(handle)
+        else:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        handles[w] = None
 
 
 def _teardown(handles: list[_Handle | None]) -> None:

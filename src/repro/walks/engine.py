@@ -165,7 +165,7 @@ def _generate_walks(
     config = config or RandomWalkConfig()
     workers = ctx.resolve_workers()
     rec = current_recorder()
-    with rec.span(
+    with ctx.lifecycle(), rec.span(
         "walks.generate",
         n=int(g.n),
         mode=str(WalkMode(config.mode).value),
@@ -220,15 +220,18 @@ def _generate_walks_serial(g: Graph, config: RandomWalkConfig) -> WalkCorpus:
     # lets a future multi-process split reuse the same spawning scheme.
     rng = np.random.default_rng(spawn_seeds(config.seed, 1)[0])
 
+    from repro.resilience.lifecycle import current_cancel_scope
     from repro.resilience.supervisor import current_heartbeat
 
     heartbeat = current_heartbeat()
+    scope = current_cancel_scope()
     stepper = _make_stepper(g, mode, config)
     cur = starts.copy()
     active = np.ones(num_walks, dtype=bool)
     state = stepper.initial_state(num_walks)
     for step in range(1, config.walk_length):
         heartbeat.beat()  # liveness signal for the supervisor watchdog
+        scope.check()  # cooperative cancel: one poll per vectorized hop
         idx = np.flatnonzero(active)
         if idx.size == 0:
             break
@@ -430,11 +433,18 @@ def _generate_walks_checkpointed(
                 "walks.resume", chunks=len(done), of=len(tasks)
             )
 
+    from repro.resilience.lifecycle import current_cancel_scope
+
+    scope = current_cancel_scope()
     missing = [i for i in range(len(tasks)) if i not in done]
     # Compute in waves of `workers` chunks, checkpointing after each
     # wave, so a kill mid-job loses at most one wave of work.
     wave = max(workers, 1)
     for wave_index, lo in enumerate(range(0, len(missing), wave)):
+        # Completed waves are already durable; raising here (cancel or
+        # deadline) loses at most the wave in flight, and chunk seeds
+        # are deterministic so resume recomputes it bit-for-bit.
+        scope.check()
         batch = missing[lo : lo + wave]
         wave_started = time.perf_counter()
         computed = parallel_map(
