@@ -37,10 +37,11 @@ from repro.walks.corpus import WalkCorpus
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisorConfig
 
-__all__ = ["TrainConfig", "EmbeddingResult", "train_embeddings"]
+__all__ = ["TrainConfig", "EmbeddingResult", "train_embeddings", "resolve_kernel"]
 
 OBJECTIVES = ("cbow", "skipgram")
 OUTPUT_LAYERS = ("negative", "hierarchical")
+KERNELS = ("auto", "reference", "fused")
 
 TRAINER_CHECKPOINT = "trainer"
 
@@ -70,6 +71,12 @@ class TrainConfig:
     stream_rows: int = 1024
     workers: int = 1
     seed: int | None = None
+    # Which batch kernel to run: "reference" is the float64 einsum kernel
+    # (the bitwise-reproducibility anchor), "fused" the batched float32
+    # kernel (CBOW + negative sampling only; see repro.core.fused), and
+    # "auto" picks fused for multi-worker CBOW/negative runs and the
+    # reference kernel everywhere else — so workers=1 output never moves.
+    kernel: str = "auto"
     shuffle: bool = field(default=True, compare=False)
     # Liveness policy for the Hogwild worker pool, not model identity:
     # excluded from equality and from the resume fingerprint.
@@ -112,6 +119,14 @@ class TrainConfig:
                 "the streaming trainer is single-process; use workers=1 or "
                 "the in-memory (non-streaming) Hogwild path"
             )
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}")
+        if self.kernel == "fused" and not (
+            self.objective == "cbow" and self.output_layer == "negative"
+        ):
+            raise ValueError(
+                "the fused kernel implements CBOW with negative sampling only"
+            )
 
 
 @dataclass(frozen=True)
@@ -133,6 +148,27 @@ class EmbeddingResult:
         return int(self.vectors.shape[1])
 
 
+def resolve_kernel(config: TrainConfig) -> str:
+    """The batch kernel a config actually runs (``auto`` resolved).
+
+    ``auto`` chooses the fused float32 kernel exactly when the run is
+    multi-worker CBOW with negative sampling — the regime where bitwise
+    identity is already out of contract (Hogwild races) and throughput
+    is the point. Every other configuration — and in particular every
+    ``workers=1`` run — resolves to the float64 reference kernel, which
+    is what keeps the golden pipeline checksum stable.
+    """
+    if config.kernel != "auto":
+        return config.kernel
+    if (
+        config.workers > 1
+        and config.objective == "cbow"
+        and config.output_layer == "negative"
+    ):
+        return "fused"
+    return "reference"
+
+
 def _build_objective(
     config: TrainConfig,
     vocab: VertexVocab,
@@ -142,6 +178,16 @@ def _build_objective(
     if config.output_layer == "hierarchical":
         coding = build_huffman(vocab.counts)
         objective = CBOWHierarchicalSoftmax(vocab.size, config.dim, coding, rng=rng)
+    elif config.objective == "cbow" and resolve_kernel(config) == "fused":
+        from repro.core.fused import FusedCBOWNegativeSampling
+
+        objective = FusedCBOWNegativeSampling(
+            vocab.size,
+            config.dim,
+            vocab.noise_distribution(),
+            negatives=config.negatives,
+            rng=rng,
+        )
     else:
         sampler = NegativeSampler(vocab.noise_distribution())
         if config.objective == "cbow":
@@ -159,7 +205,9 @@ def _build_objective(
                 f"init_vectors must be ({vocab.size}, {config.dim}), "
                 f"got {init_vectors.shape}"
             )
-        objective.w_in = init_vectors.copy()
+        # Cast the warm start to the objective's weight dtype (float32
+        # for the fused kernel); np.array always copies.
+        objective.w_in = np.array(init_vectors, dtype=objective.w_in.dtype)
     return objective
 
 
@@ -217,8 +265,14 @@ class _TrainerSnapshots:
         ckpt = self.store.load(TRAINER_CHECKPOINT)
         if ckpt is None:
             return None
-        objective.w_in = np.ascontiguousarray(ckpt.arrays["w_in"], dtype=np.float64)
-        objective.w_out = np.ascontiguousarray(ckpt.arrays["w_out"], dtype=np.float64)
+        # Preserve the objective's weight dtype (float32 for the fused
+        # kernel, float64 for the reference kernels).
+        objective.w_in = np.ascontiguousarray(
+            ckpt.arrays["w_in"], dtype=objective.w_in.dtype
+        )
+        objective.w_out = np.ascontiguousarray(
+            ckpt.arrays["w_out"], dtype=objective.w_out.dtype
+        )
         rng.bit_generator.state = ckpt.meta["rng_state"]
         return _TrainState(
             epoch=int(ckpt.meta["epoch"]),

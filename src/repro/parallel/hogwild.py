@@ -49,7 +49,7 @@ from repro.obs.slab import HOGWILD_SLOTS, MetricsSlab, MetricsSlabSpec
 from repro.parallel.pool import chunk_bounds, parallel_map
 from repro.parallel.seeding import worker_seed_sequence
 from repro.resilience.lifecycle import current_cancel_scope
-from repro.parallel.shm import SHM_AVAILABLE, SharedArray, SharedArraySpec, shared_arrays
+from repro.parallel.shm import SHM_AVAILABLE, SharedArraySpec, shared_arrays
 
 __all__ = ["train_hogwild", "hogwild_supported", "hogwild_epoch_task"]
 
@@ -86,32 +86,65 @@ class _EpochTask:
     slab: MetricsSlabSpec | None = None
 
 
+# Per-process cache of one run's attachments + rebuilt objective, keyed
+# by the four segment names. Persistent-pool workers serve *every* epoch
+# of a run (repro.parallel.persistent), so re-attaching the segments and
+# rebuilding the objective — noise alias table, Huffman coding, a
+# throwaway init matrix — once per epoch per worker was pure overhead.
+# A new run allocates fresh segment names, which misses the cache and
+# evicts the stale entry; the underlying attachments are owned by
+# :func:`repro.parallel.shm.attach_cached` and are closed by its FIFO
+# eviction, never here.
+_WORKER_STATE: dict[tuple, tuple] = {}
+
+
+def _task_state(task: _EpochTask) -> tuple:
+    """(objective, centers, contexts) for this task's run, cached."""
+    from repro.core.trainer import _build_objective
+    from repro.core.vocab import VertexVocab
+    from repro.parallel.shm import attach_cached
+
+    key = (
+        task.w_in.name,
+        task.w_out.name,
+        task.centers.name,
+        task.contexts.name,
+    )
+    cached = _WORKER_STATE.get(key)
+    if cached is not None:
+        return cached
+    sh = [
+        attach_cached(s)
+        for s in (task.w_in, task.w_out, task.centers, task.contexts)
+    ]
+    # Rebuild the objective shell, then point it at the shared views.
+    # The throwaway init matrices are freed immediately.
+    vocab = VertexVocab(task.vocab_counts)
+    objective = _build_objective(task.config, vocab, np.random.default_rng(0))
+    objective.w_in = sh[0].array
+    objective.w_out = sh[1].array
+    state = (objective, sh[2].array, sh[3].array)
+    _WORKER_STATE.clear()  # one run at a time; drop stale handles
+    _WORKER_STATE[key] = state
+    return state
+
+
 def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
     """Run one worker's epoch shard against the shared weights.
 
     Returns ``(loss_sum, batches_run)``. Module-level and picklable so it
     crosses a process pool; also runnable in-process (the ``workers=1``
     fallback inside :func:`parallel_map` and the chaos tests rely on
-    that).
+    that). Attachments and the rebuilt objective are cached per process
+    (see :data:`_WORKER_STATE`), so on a persistent pool only the first
+    epoch of a run pays the setup cost.
     """
-    from repro.core.trainer import _build_objective
-    from repro.core.vocab import VertexVocab
     from repro.resilience.supervisor import current_heartbeat
 
     heartbeat = current_heartbeat()
-    attachments = [SharedArray.attach(s) for s in (
-        task.w_in, task.w_out, task.centers, task.contexts
-    )]
-    sh_in, sh_out, sh_centers, sh_contexts = attachments
+    objective, all_centers, all_contexts = _task_state(task)
     slab = MetricsSlab.attach(task.slab) if task.slab is not None else None
     try:
-        # Rebuild the objective shell, then point it at the shared views.
-        # The throwaway init matrices are freed immediately.
-        vocab = VertexVocab(task.vocab_counts)
-        objective = _build_objective(task.config, vocab, np.random.default_rng(0))
-        objective.w_in = sh_in.array
-        objective.w_out = sh_out.array
-
         rng = np.random.default_rng(
             worker_seed_sequence(task.entropy, task.epoch, task.worker)
         )
@@ -136,7 +169,7 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
             frac = min(task.batch_offset + batches, denom) / denom
             lr = config.lr + (config.lr_min - config.lr) * frac
             loss = objective.batch_step(
-                sh_centers.array[sel], sh_contexts.array[sel], lr, rng
+                all_centers[sel], all_contexts[sel], lr, rng
             )
             loss_sum += loss
             batches += 1
@@ -149,8 +182,6 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
     finally:
         if slab is not None:
             slab.close()
-        for shared in attachments:
-            shared.close()
 
 
 # Local "not passed" sentinel for the legacy keyword shims (the pipeline

@@ -1,0 +1,357 @@
+"""Persistent fork-once worker pool for repeated task batches.
+
+PR 6's bench trajectory showed that the per-call cost of
+``ProcessPoolExecutor`` — fork, interpreter warm-up, pipe setup, teardown
+— dominates the fine-grained maps this codebase actually runs: Hogwild
+fans out one map *per epoch* and the walk engine one map per corpus (or
+per checkpoint wave), each lasting tens of milliseconds. This module
+keeps one set of worker processes alive for the whole process lifetime
+and feeds them task batches over per-worker pipes, so only the first
+:func:`parallel_map` of a run pays the fork cost.
+
+Design notes:
+
+- Workers are plain ``multiprocessing.Process`` daemons in a loop:
+  ``recv (task_id, fn, item) -> send (task_id, ok, payload)``. Functions
+  cross the pipe by reference (module-level callables), items must be
+  picklable — the exact contract the executor-based pool already imposed.
+- Scheduling is dynamic: the parent hands each idle worker one item at a
+  time and collects completions with ``multiprocessing.connection.wait``,
+  so an uneven item mix load-balances itself.
+- A worker that dies mid-task (SIGKILL, ``os._exit``, OOM) is detected
+  by its pipe going EOF; the parent respawns a replacement and resubmits
+  the in-flight item. Per-item resubmissions are bounded by the caller's
+  retry budget; exhausting it raises :class:`PersistentPoolBroken`
+  carrying every already-completed result, so
+  :func:`repro.parallel.pool.parallel_map` can degrade to its legacy
+  executor/serial ladder without recomputing finished work.
+- Work-function exceptions are pickled back and re-raised in the parent
+  — for multiple failures, the one with the smallest item index wins,
+  matching the ordered-futures semantics of the executor path.
+- Lifecycle: pools live for the process lifetime — that is the whole
+  point (amortizing fork cost across pipeline stages and runs) — and
+  shut down at interpreter exit (``atexit``) or explicitly via
+  :func:`shutdown_pools`. Cooperative *cancellation* stays
+  out of the map itself: like the executor path, an in-flight map runs
+  to completion and the surrounding stage (epoch barrier, checkpoint
+  wave) honors the cancel token at its next boundary — Hogwild workers
+  additionally observe the metrics-slab cancel column mid-shard.
+  Supervised maps (heartbeats, hung-worker watchdog) never route here;
+  :func:`repro.resilience.supervisor.supervised_map` owns its workers.
+
+Set ``REPRO_PERSISTENT_POOL=0`` to disable the persistent pool and fall
+back to the per-call executor behavior.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import traceback
+from typing import Callable, Sequence
+
+import multiprocessing
+from multiprocessing import connection as _mp_connection
+
+from repro.obs.logging import get_logger
+
+_log = get_logger("parallel.persistent")
+
+__all__ = [
+    "PersistentPool",
+    "PersistentPoolBroken",
+    "get_pool",
+    "persistent_pool_enabled",
+    "shutdown_pools",
+]
+
+_POLL_SECONDS = 0.25
+
+
+class PersistentPoolBroken(RuntimeError):
+    """The pool lost workers faster than the retry budget allows.
+
+    ``partial`` maps item index -> completed result; the caller resumes
+    from there on its fallback path instead of recomputing.
+    """
+
+    def __init__(self, message: str, partial: dict[int, object]) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+class _RemoteError:
+    """A worker-side exception, shipped back as picklable payload."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.formatted = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(
+                f"worker task failed with an unpicklable exception:\n"
+                f"{self.formatted}"
+            )
+        self.exception = exc
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
+    """Worker loop: one task in, one result out, until the pipe closes."""
+    # The child inherits the parent's ambient supervision/lifecycle state
+    # as of fork time; neither is meaningful here (supervised maps never
+    # route through this pool, and cancel tokens do not propagate across
+    # processes), so reset both to their neutral defaults.
+    try:
+        from repro.resilience import supervisor as _supervisor
+
+        _supervisor._current_heartbeat = _supervisor.NULL_HEARTBEAT
+    except Exception:
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_id, fn, item = message
+        try:
+            payload = (task_id, True, fn(item))
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            payload = (task_id, False, _RemoteError(exc))
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+    os._exit(0)
+
+
+class _Worker:
+    """One pooled process plus the parent's end of its pipe."""
+
+    def __init__(self, mp_ctx) -> None:
+        self.conn, child_conn = mp_ctx.Pipe(duplex=True)
+        self.process = mp_ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()  # the child owns its copy now
+
+    def close(self, *, join_timeout: float = 1.0) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=join_timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=join_timeout)
+
+
+class PersistentPool:
+    """A fixed-size pool of long-lived fork workers with dynamic dispatch."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._mp_ctx = multiprocessing.get_context()
+        self._parent_pid = os.getpid()
+        self._task_ids = itertools.count()
+        self._pool: list[_Worker] = [
+            _Worker(self._mp_ctx) for _ in range(workers)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._closed and os.getpid() == self._parent_pid
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if os.getpid() != self._parent_pid:
+            return  # a forked child must not reap its parent's workers
+        for worker in self._pool:
+            worker.close()
+        self._pool.clear()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        max_attempts: int = 3,
+    ) -> list:
+        """Run ``fn`` over ``items``; results in input order.
+
+        Raises the smallest-index work-function exception after letting
+        in-flight items settle, or :class:`PersistentPoolBroken` when a
+        single item outlives ``max_attempts`` worker deaths.
+        """
+        if not self.alive:
+            raise PersistentPoolBroken("pool is closed", {})
+        n = len(items)
+        results: list = [None] * n
+        done = [False] * n
+        attempts = [0] * n
+        pending = list(range(n - 1, -1, -1))  # pop() serves items in order
+        inflight: dict[int, tuple[int, int]] = {}  # worker slot -> (task_id, idx)
+        live_ids: dict[int, int] = {}  # task_id -> item index
+        idle = list(range(len(self._pool)))
+        failures: dict[int, BaseException] = {}
+        completed = 0
+
+        def submit(slot: int, idx: int) -> None:
+            task_id = next(self._task_ids)
+            attempts[idx] += 1
+            try:
+                self._pool[slot].conn.send((task_id, fn, items[idx]))
+            except (BrokenPipeError, OSError):
+                # Worker died between maps; replace it and retry the send
+                # through the normal death path below.
+                self._handle_death(slot)
+                attempts[idx] -= 1
+                idle.append(slot)
+                pending.append(idx)
+                return
+            inflight[slot] = (task_id, idx)
+            live_ids[task_id] = idx
+
+        def fail_slot(slot: int) -> None:
+            """A worker died with a task in flight: respawn + resubmit."""
+            task_id, idx = inflight.pop(slot)
+            live_ids.pop(task_id, None)
+            self._handle_death(slot)
+            if attempts[idx] >= max_attempts:
+                partial = {
+                    i: results[i] for i in range(n) if done[i]
+                }
+                raise PersistentPoolBroken(
+                    f"item {idx} lost its worker {attempts[idx]} times",
+                    partial,
+                )
+            idle.append(slot)
+            pending.append(idx)
+
+        while completed < n:
+            while idle and pending and not failures:
+                submit(idle.pop(), pending.pop())
+            if not inflight:
+                if failures:
+                    break  # nothing left in flight; raise below
+                if pending and not idle:  # pragma: no cover - defensive
+                    raise PersistentPoolBroken(
+                        "no live workers available",
+                        {i: results[i] for i in range(n) if done[i]},
+                    )
+                continue
+            conn_to_slot = {
+                self._pool[slot].conn: slot for slot in inflight
+            }
+            ready = _mp_connection.wait(
+                list(conn_to_slot), timeout=_POLL_SECONDS
+            )
+            if not ready:
+                # Nothing readable: reap workers that died silently.
+                for slot in list(inflight):
+                    if not self._pool[slot].process.is_alive():
+                        fail_slot(slot)
+                continue
+            for conn in ready:
+                slot = conn_to_slot[conn]
+                try:
+                    task_id, ok, payload = conn.recv()
+                except (EOFError, OSError):
+                    fail_slot(slot)
+                    continue
+                expected_id, idx = inflight[slot]
+                if task_id != expected_id:
+                    # Stale result from a map that already raised; the
+                    # worker is now serving a new task — keep waiting.
+                    continue
+                inflight.pop(slot)
+                live_ids.pop(task_id, None)
+                idle.append(slot)
+                if ok:
+                    results[idx] = payload
+                    done[idx] = True
+                    completed += 1
+                else:
+                    failures[idx] = payload.exception
+
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+    # ------------------------------------------------------------------
+    def _handle_death(self, slot: int) -> None:
+        worker = self._pool[slot]
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():  # conn broke but process lingers
+            worker.process.terminate()
+        worker.process.join(timeout=1.0)
+        _log.warning("pool.worker_respawn", slot=slot)
+        self._pool[slot] = _Worker(self._mp_ctx)
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry: one pool per worker count, created lazily on
+# first use and shut down at exit (or explicitly between pipeline runs).
+# ----------------------------------------------------------------------
+_POOLS: dict[int, PersistentPool] = {}
+
+
+def persistent_pool_enabled() -> bool:
+    """Honors the ``REPRO_PERSISTENT_POOL`` escape hatch (default on)."""
+    return os.environ.get("REPRO_PERSISTENT_POOL", "1") != "0"
+
+
+def get_pool(workers: int) -> PersistentPool | None:
+    """The shared pool for ``workers``, or ``None`` when unavailable.
+
+    Returns ``None`` when the feature is disabled, when called from a
+    forked child (a child must never talk to its parent's pipes), or
+    when worker processes cannot be spawned at all.
+    """
+    if not persistent_pool_enabled():
+        return None
+    pool = _POOLS.get(workers)
+    if pool is not None and pool.alive:
+        return pool
+    if pool is not None and os.getpid() != pool._parent_pid:
+        return None  # inherited registry inside a forked child
+    try:
+        pool = PersistentPool(workers)
+    except (OSError, PermissionError, ValueError):
+        return None
+    _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every pooled worker (idempotent; used at run/exit)."""
+    for workers in list(_POOLS):
+        pool = _POOLS.pop(workers)
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)

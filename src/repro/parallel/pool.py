@@ -127,6 +127,16 @@ def parallel_map(
     reassignment, and a degrade ladder — liveness guarantees the plain
     pool cannot give (a hung ``ProcessPoolExecutor`` worker stalls the
     map forever without ever breaking the pool).
+
+    Unsupervised multi-worker maps run on the process-wide
+    :class:`repro.parallel.persistent.PersistentPool` when available:
+    workers are forked once and reused across calls (Hogwild epochs,
+    walk chunk batches), eliminating the per-call fork/teardown cost
+    that dominated fine-grained maps. Worker deaths there are respawned
+    per the same retry budget; if the pool breaks anyway, execution
+    falls back to this module's executor/serial ladder *without*
+    recomputing items the pool already finished. Disable with
+    ``REPRO_PERSISTENT_POOL=0``.
     """
     if supervisor is not None and workers > 1 and len(items) > 1:
         from repro.resilience.supervisor import supervised_map
@@ -145,6 +155,28 @@ def parallel_map(
     delays = policy.delay_schedule()
 
     rec = current_recorder()
+
+    from repro.parallel.persistent import PersistentPoolBroken, get_pool
+
+    pool = get_pool(workers)
+    if pool is not None:
+        try:
+            return pool.map(fn, items, max_attempts=policy.max_attempts)
+        except PersistentPoolBroken as broken:
+            # Keep what finished; the executor ladder below computes the
+            # rest. The broken pool is discarded so the next map forks a
+            # fresh one instead of inheriting dead pipes.
+            pool.shutdown()
+            for i, value in broken.partial.items():
+                results[i] = value
+            pending = [i for i in range(len(items)) if results[i] is _UNSET]
+            rec.inc("pool.persistent_broken")
+            rec.event(
+                "pool.persistent_broken",
+                level="warning",
+                pending=len(pending),
+                total=len(items),
+            )
     for attempt in range(policy.max_attempts):
         pending = _pool_pass(fn, items, results, pending, workers, policy)
         if not pending:

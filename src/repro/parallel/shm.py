@@ -46,6 +46,8 @@ __all__ = [
     "SHM_AVAILABLE",
     "SharedArray",
     "SharedArraySpec",
+    "attach_cached",
+    "release_cached",
     "shared_arrays",
 ]
 
@@ -186,6 +188,53 @@ def _sweep_owned_segments() -> None:  # pragma: no cover - exercised via subproc
 
 
 atexit.register(_sweep_owned_segments)
+
+
+# ----------------------------------------------------------------------
+# Attachment cache: long-lived pool workers (repro.parallel.persistent)
+# attach the same segments once per *run*, not once per task. Keyed by
+# segment name — names are unique per creation, so a hit can never alias
+# a different array. Bounded FIFO: evicted (and stale) attachments are
+# closed, which releases this process's mapping; the owner's unlink is
+# unaffected.
+# ----------------------------------------------------------------------
+_ATTACH_CACHE: "dict[str, SharedArray]" = {}
+_ATTACH_CACHE_MAX = 16
+
+
+def attach_cached(spec: SharedArraySpec) -> SharedArray:
+    """Attach ``spec``, reusing this process's previous attachment.
+
+    Intended for worker-side hot paths that receive the same handful of
+    segment handles in every task of a batch (walk chunk graphs, Hogwild
+    weight matrices). The returned array must NOT be closed by the
+    caller — the cache owns the mapping and closes it on eviction.
+    """
+    cached = _ATTACH_CACHE.get(spec.name)
+    if cached is not None and not cached.released and cached.spec == spec:
+        return cached
+    if cached is not None:  # released, or a recycled name with a new shape
+        _ATTACH_CACHE.pop(spec.name, None)
+        cached.close()
+    shared = SharedArray.attach(spec)
+    _ATTACH_CACHE[spec.name] = shared
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        oldest = _ATTACH_CACHE.pop(next(iter(_ATTACH_CACHE)))
+        oldest.close()
+    return shared
+
+
+def release_cached(name: str) -> None:
+    """Drop (and close) this process's cached attachment for ``name``.
+
+    Owners call this after destroying a segment whose spec they handed
+    out, so a serial-fallback execution in the owning process does not
+    pin the dead segment's memory until FIFO eviction. No-op when the
+    name was never cached here.
+    """
+    cached = _ATTACH_CACHE.pop(name, None)
+    if cached is not None:
+        cached.close()
 
 
 def _require_shm() -> None:

@@ -39,28 +39,44 @@ class AliasTable:
         starts: np.ndarray,
         degrees: np.ndarray,
         rng: np.random.Generator,
+        *,
+        shape: tuple[int, ...] | None = None,
     ) -> np.ndarray:
-        """Sample one arc index per row.
+        """Sample one arc index per draw, for draws of any shape.
 
         Parameters
         ----------
         starts:
-            CSR row start for each sample (``indptr[v]``).
+            CSR row start for each sample (``indptr[v]``). Scalars and
+            arrays of any shape are accepted; ``starts`` and ``degrees``
+            broadcast against each other (and against ``shape``).
         degrees:
             Row lengths; must be positive for every entry.
         rng:
             Source of randomness.
+        shape:
+            Optional explicit output shape. Required when both
+            ``starts`` and ``degrees`` are scalars and more than one
+            draw is wanted — e.g. ``(batch, negatives)`` draws from a
+            single table. Must broadcast with the input shapes.
 
         Returns
         -------
-        Global arc indices, one per input row.
+        Global arc indices with the broadcast shape. For the historic
+        1-D call signature the draws (and therefore the results at a
+        fixed seed) are unchanged.
         """
-        u = rng.random(starts.shape[0])
+        starts = np.asarray(starts, dtype=np.int64)
+        degrees = np.asarray(degrees, dtype=np.int64)
+        out_shape = np.broadcast_shapes(
+            starts.shape, degrees.shape, () if shape is None else tuple(shape)
+        )
+        u = rng.random(out_shape)
         slots = (u * degrees).astype(np.int64)
         # Guard the (measure-zero, float-rounding) case slot == degree.
         np.minimum(slots, degrees - 1, out=slots)
         arc = starts + slots
-        accept = rng.random(starts.shape[0]) < self.prob[arc]
+        accept = rng.random(out_shape) < self.prob[arc]
         out = np.where(accept, arc, starts + self.alias[arc])
         return out
 

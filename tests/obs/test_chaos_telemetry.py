@@ -80,8 +80,11 @@ class TestKilledWorker:
         events = parse_jsonl(events_path)
         names = [e["event"] for e in events]
         assert names[0] == "run.begin" and names[-1] == "run.end"
-        # The parent-side pool saw the breakage and said so.
-        assert "pool.retry" in names
+        # The parent-side pool saw the breakage and said so: the
+        # persistent pool respawns the dead worker in place
+        # (pool.worker_respawn); with the pool disabled the legacy
+        # executor ladder retries the broken pass (pool.retry).
+        assert "pool.worker_respawn" in names or "pool.retry" in names
         epoch_ends = [
             e for e in events
             if e["event"] == "span.end" and e["span"] == "train.epoch"
@@ -91,7 +94,6 @@ class TestKilledWorker:
 
         manifest = load_manifest(manifest_path)
         counters = manifest["metrics"]["counters"]
-        assert counters["pool.retries"] >= 1
         assert counters["train.epochs_run"] == config.epochs
         assert manifest["config"] == {"chaos": "worker-kill"}
 

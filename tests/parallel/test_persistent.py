@@ -1,0 +1,137 @@
+"""Tests for the persistent fork-once worker pool."""
+
+import os
+
+import pytest
+
+from repro.parallel.persistent import (
+    PersistentPool,
+    PersistentPoolBroken,
+    get_pool,
+    persistent_pool_enabled,
+    shutdown_pools,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pool requires fork"
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def _raise_if_marked(item):
+    value, bad = item
+    if value in bad:
+        raise ValueError(f"item {value} rejected")
+    return value
+
+
+def _exit_unless_marker(item):
+    """Hard-exit (like an OOM kill) once; the marker makes retries pass."""
+    value, marker = item
+    if value == "die" and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(1)
+    return value
+
+
+def _exit_always(item):
+    if item == "die":
+        os._exit(1)
+    return item
+
+
+@pytest.fixture()
+def pool():
+    p = PersistentPool(2)
+    yield p
+    p.shutdown()
+
+
+class TestMap:
+    def test_results_in_input_order(self, pool):
+        items = list(range(20))
+        assert pool.map(_double, items) == [2 * x for x in items]
+
+    def test_reuses_the_same_processes_across_maps(self, pool):
+        first = set(pool.map(_pid, range(8)))
+        second = set(pool.map(_pid, range(8)))
+        assert first == second
+        assert os.getpid() not in first
+        assert len(first) <= 2
+
+    def test_smallest_index_exception_wins(self, pool):
+        items = [(i, (3, 7)) for i in range(10)]
+        with pytest.raises(ValueError, match="item 3 rejected"):
+            pool.map(_raise_if_marked, items)
+
+    def test_map_survives_a_raised_map(self, pool):
+        with pytest.raises(ValueError):
+            pool.map(_raise_if_marked, [(i, (0,)) for i in range(4)])
+        assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_respawned_and_item_retried(self, pool, tmp_path):
+        marker = str(tmp_path / "fired")
+        items = [(x, marker) for x in [0, 1, "die", 2, 3]]
+        got = pool.map(_exit_unless_marker, items)
+        assert got == [0, 1, "die", 2, 3]
+        assert os.path.exists(marker), "fault never fired"
+        # The pool is healthy again afterwards.
+        assert pool.map(_double, [5]) == [10]
+
+    def test_repeated_deaths_break_the_pool_with_partials(self, pool):
+        items = [0, 1, 2, "die"]
+        with pytest.raises(PersistentPoolBroken) as exc_info:
+            pool.map(_exit_always, items, max_attempts=2)
+        partial = exc_info.value.partial
+        assert partial, "expected completed items to be preserved"
+        for idx, value in partial.items():
+            assert value == items[idx]
+        assert pool.map(_double, [5]) == [10]
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent_and_closes_maps(self):
+        p = PersistentPool(2)
+        assert p.map(_double, [1]) == [2]
+        p.shutdown()
+        p.shutdown()
+        assert not p.alive
+        with pytest.raises(PersistentPoolBroken):
+            p.map(_double, [1])
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PersistentPool(0)
+
+    def test_env_escape_hatch_disables_get_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_POOL", "0")
+        assert not persistent_pool_enabled()
+        assert get_pool(2) is None
+
+    def test_registry_returns_live_pool_then_replaces_dead_one(self):
+        try:
+            p = get_pool(2)
+            assert p is not None and p.alive
+            assert get_pool(2) is p
+            p.shutdown()
+            replacement = get_pool(2)
+            assert replacement is not None and replacement is not p
+            assert replacement.map(_double, [4]) == [8]
+        finally:
+            shutdown_pools()
+
+    def test_shutdown_pools_clears_registry(self):
+        p = get_pool(2)
+        assert p is not None
+        shutdown_pools()
+        assert not p.alive
