@@ -19,6 +19,13 @@ a shared CI box are noise-bound, so the point of record is the measured
 numbers, and the hard assertion stays on the deterministic microbench.
 Bitwise identity of the two runs IS asserted: telemetry must not touch
 the RNG or float streams.
+
+PR 8 adds the profiler/resources surface to the same guard: with
+profiling and resource accounting *disabled* (the default), the entire
+per-stage cost added to ``Pipeline.execute`` is one
+``_stage_obs_begin`` call that returns immediately off ``rec.enabled``
+plus two ``is not None`` checks — budgeted separately at < 1% of an
+epoch, measured per *stage* (stages are epoch-scale or longer).
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ from repro.obs.recorder import NULL_RECORDER, ObsConfig, current_recorder, sessi
 from repro.walks.engine import RandomWalkConfig, generate_walks
 
 OVERHEAD_BUDGET = 0.03  # the ISSUE's < 3% guard
+#: PR 8: profiler + resource accounting disabled-path surface per stage.
+STAGE_SURFACE_BUDGET = 0.01
 MICROBENCH_ITERS = 50_000
 
 
@@ -45,6 +54,18 @@ def _epoch_instrumentation_once(epoch: int) -> None:
     with rec.span("train.epoch", epoch=epoch) as span:
         if rec.enabled:  # pragma: no cover - disabled path
             span.annotate(loss=0.0)
+
+
+def _stage_surface_once(pipeline) -> None:
+    """The disabled profiler/resources surface one pipeline stage pays."""
+    rec = current_recorder()
+    before, profiler = pipeline._stage_obs_begin(rec, "train")
+    if profiler is not None:  # pragma: no cover - disabled path
+        profiler.stop()
+    if before is not None:  # pragma: no cover - disabled path
+        pass
+    if rec.live is not None:  # pragma: no cover - disabled path
+        pass
 
 
 def run(scale) -> tuple[list[ExperimentRecord], float]:
@@ -91,6 +112,16 @@ def run(scale) -> tuple[list[ExperimentRecord], float]:
     per_epoch_overhead = (time.perf_counter() - start) / MICROBENCH_ITERS
     overhead_fraction = per_epoch_overhead / max(epoch_seconds, 1e-12)
 
+    # Microbench the disabled profiler/resources per-stage surface.
+    from repro.pipeline import Pipeline, TrainStage
+
+    pipeline = Pipeline([TrainStage(config)])
+    start = time.perf_counter()
+    for _ in range(MICROBENCH_ITERS):
+        _stage_surface_once(pipeline)
+    per_stage_overhead = (time.perf_counter() - start) / MICROBENCH_ITERS
+    stage_surface_fraction = per_stage_overhead / max(epoch_seconds, 1e-12)
+
     records = [
         ExperimentRecord(
             params={"path": "disabled (default)"},
@@ -113,12 +144,19 @@ def run(scale) -> tuple[list[ExperimentRecord], float]:
                 "overhead_fraction": overhead_fraction,
             },
         ),
+        ExperimentRecord(
+            params={"path": "profiler+resources off / stage"},
+            values={
+                "train_seconds": per_stage_overhead,
+                "overhead_fraction": stage_surface_fraction,
+            },
+        ),
     ]
-    return records, overhead_fraction
+    return records, overhead_fraction, stage_surface_fraction
 
 
 def test_perf_obs_overhead(benchmark, scale, results_dir):
-    records, overhead_fraction = benchmark.pedantic(
+    records, overhead_fraction, stage_surface_fraction = benchmark.pedantic(
         run, args=(scale,), rounds=1, iterations=1
     )
     rendered = format_table(
@@ -132,4 +170,9 @@ def test_perf_obs_overhead(benchmark, scale, results_dir):
     assert overhead_fraction < OVERHEAD_BUDGET, (
         f"disabled telemetry costs {overhead_fraction:.2%} of an epoch, "
         f"budget is {OVERHEAD_BUDGET:.0%}"
+    )
+    assert stage_surface_fraction < STAGE_SURFACE_BUDGET, (
+        f"disabled profiler/resources surface costs "
+        f"{stage_surface_fraction:.2%} of an epoch per stage, "
+        f"budget is {STAGE_SURFACE_BUDGET:.0%}"
     )

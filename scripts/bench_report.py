@@ -50,6 +50,7 @@ from repro.core.trainer import TrainConfig, resolve_kernel, train_embeddings
 from repro.datasets.synthetic import community_benchmark
 from repro.obs.manifest import SCHEMA_VERSION, host_info, load_manifest
 from repro.obs.recorder import ObsConfig, session
+from repro.obs.resources import ResourceSnapshot, resource_delta
 from repro.parallel.pool import resolve_workers
 from repro.walks.engine import RandomWalkConfig, generate_walks
 
@@ -124,8 +125,10 @@ def measure(
             dim=dim, epochs=epochs, seed=seed, early_stop=False, workers=workers
         )
         mpath = manifest_dir / f"train_w{workers}.manifest.json"
+        before = ResourceSnapshot.capture()
         with _observed(mpath, {"stage": "train", "workers": workers, "n": n}):
             result = train_embeddings(corpus, cfg)
+        resources = resource_delta(before, ResourceSnapshot.capture())
         if not np.all(np.isfinite(result.vectors)):
             raise RuntimeError(f"non-finite vectors at workers={workers}")
         manifest = load_manifest(mpath)
@@ -150,6 +153,11 @@ def measure(
                     serial_seconds / max(seconds, 1e-9), 3
                 ),
                 "final_loss": round(result.loss_history[-1], 6),
+                # Parent-process resource ledger for the whole measured
+                # run (repro.obs.resources): effective parallelism and
+                # the memory high-water mark ride along with throughput.
+                "cpu_utilization": resources["cpu_utilization"],
+                "peak_rss_kb": resources["peak_rss_kb"],
                 "manifest": mpath.name,
             }
         )

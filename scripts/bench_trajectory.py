@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Merge committed ``BENCH_PR*.json`` files into one bench trajectory.
+
+Each PR that touches performance commits a ``BENCH_PR<N>.json`` written
+by ``scripts/bench_report.py``; the files span several schema
+generations (PR 2 predates ``schema_version`` entirely), so this script
+reads them tolerantly, extracts one comparable headline row per PR, and
+writes:
+
+- ``BENCH_TRAJECTORY.json`` — the merged machine-readable history;
+- a markdown table spliced into ``docs/PERFORMANCE.md`` between the
+  ``<!-- bench-trajectory:start/end -->`` markers (appended to the end
+  of the file when the markers do not exist yet).
+
+Headline columns per PR: serial walk throughput, serial training
+throughput (words/sec when recorded, epochs/sec as the PR 2 fallback),
+and the best parallel speedup. Numbers across PRs
+compare like-for-like only when the corpus matches — the corpus column
+is there so a reader can tell (PR 7 grew the bench corpus 3×).
+
+Run:  python scripts/bench_trajectory.py [--repo-root .] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any
+
+START_MARK = "<!-- bench-trajectory:start -->"
+END_MARK = "<!-- bench-trajectory:end -->"
+
+_PR_RE = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def _row_for(rows: list[dict], workers: int) -> dict | None:
+    for row in rows or []:
+        if row.get("workers") == workers:
+            return row
+    return None
+
+
+def _best_parallel(rows: list[dict]) -> dict | None:
+    parallel = [r for r in rows or [] if (r.get("workers") or 1) > 1]
+    if not parallel:
+        return None
+    return max(parallel, key=lambda r: r.get("speedup_vs_serial") or 0.0)
+
+
+def summarize_bench(pr: int, report: dict) -> dict[str, Any]:
+    """One trajectory entry from one bench JSON (schema-tolerant)."""
+    corpus = report.get("corpus") or {}
+    walks = report.get("walk_generation") or []
+    training = report.get("training") or []
+    serial_walk = _row_for(walks, 1) or {}
+    serial_train = _row_for(training, 1) or {}
+    best = _best_parallel(training) or {}
+    host = report.get("host") or {}
+    return {
+        "pr": pr,
+        "bench": report.get("bench", f"pr{pr}"),
+        "schema_version": report.get("schema_version", 0),
+        "corpus_n": corpus.get("n"),
+        "corpus_tokens": corpus.get("tokens"),
+        "walks_per_sec_serial": serial_walk.get("walks_per_sec"),
+        "train_words_per_sec_serial": serial_train.get("words_per_sec"),
+        "train_epochs_per_sec_serial": serial_train.get("epochs_per_sec"),
+        "train_kernel": serial_train.get("kernel"),
+        "best_parallel_workers": best.get("workers"),
+        "best_parallel_speedup": best.get("speedup_vs_serial"),
+        "cpu_affinity": host.get("cpu_affinity", host.get("cpu_count")),
+    }
+
+
+def build_trajectory(repo_root: Path) -> dict[str, Any]:
+    entries = []
+    for path in sorted(repo_root.glob("BENCH_PR*.json")):
+        match = _PR_RE.search(path.name)
+        if not match:
+            continue
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        entries.append(summarize_bench(int(match.group(1)), report))
+    entries.sort(key=lambda e: e["pr"])
+    return {"kind": "repro-bench-trajectory", "entries": entries}
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.0f}" if abs(value) >= 100 else f"{value:.2f}"
+    return str(value)
+
+
+def render_markdown(trajectory: dict) -> str:
+    lines = [
+        START_MARK,
+        "",
+        "| PR | bench | corpus n | walks/s (serial) | train words/s (serial) "
+        "| kernel | best ∥ speedup |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for entry in trajectory["entries"]:
+        words = entry.get("train_words_per_sec_serial")
+        train = (
+            _fmt(words)
+            if words is not None
+            else f"{_fmt(entry.get('train_epochs_per_sec_serial'))} ep/s"
+        )
+        speedup = entry.get("best_parallel_speedup")
+        speedup_cell = (
+            f"{speedup:.2f}x @ {entry.get('best_parallel_workers')}w"
+            if speedup is not None
+            else "-"
+        )
+        lines.append(
+            f"| {entry['pr']} | {entry['bench']} "
+            f"| {_fmt(entry.get('corpus_n'))} "
+            f"| {_fmt(entry.get('walks_per_sec_serial'))} "
+            f"| {train} "
+            f"| {entry.get('train_kernel') or '-'} "
+            f"| {speedup_cell} |"
+        )
+    lines += [
+        "",
+        "Regenerate with `python scripts/bench_trajectory.py`. Corpora "
+        "differ across PRs (see `corpus n`); compare within matching "
+        "corpora only.",
+        END_MARK,
+    ]
+    return "\n".join(lines)
+
+
+def splice_markdown(doc: str, table: str) -> str:
+    if START_MARK in doc and END_MARK in doc:
+        before = doc.split(START_MARK, 1)[0]
+        after = doc.split(END_MARK, 1)[1]
+        return before + table + after
+    suffix = "" if doc.endswith("\n") else "\n"
+    return doc + suffix + "\n## Bench trajectory\n\n" + table + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo-root", default=".", type=Path)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the committed outputs are out of date (CI mode)",
+    )
+    args = parser.parse_args()
+    root = args.repo_root
+
+    trajectory = build_trajectory(root)
+    if not trajectory["entries"]:
+        print("no BENCH_PR*.json files found", file=sys.stderr)
+        return 1
+    out_json = json.dumps(trajectory, indent=2) + "\n"
+    table = render_markdown(trajectory)
+
+    traj_path = root / "BENCH_TRAJECTORY.json"
+    perf_path = root / "docs" / "PERFORMANCE.md"
+    new_doc = splice_markdown(
+        perf_path.read_text(encoding="utf-8") if perf_path.is_file() else "",
+        table,
+    )
+
+    if args.check:
+        stale = []
+        if not traj_path.is_file() or traj_path.read_text() != out_json:
+            stale.append(str(traj_path))
+        if not perf_path.is_file() or perf_path.read_text() != new_doc:
+            stale.append(str(perf_path))
+        if stale:
+            print(
+                "bench trajectory out of date, regenerate with "
+                f"scripts/bench_trajectory.py: {', '.join(stale)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("bench trajectory up to date")
+        return 0
+
+    traj_path.write_text(out_json, encoding="utf-8")
+    perf_path.write_text(new_doc, encoding="utf-8")
+    print(
+        f"merged {len(trajectory['entries'])} bench files -> "
+        f"{traj_path.name}; table spliced into {perf_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

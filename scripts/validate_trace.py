@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Validate an exported Chrome trace against its run manifest.
+
+CI's bench-smoke job runs a profiled embed, exports the event stream
+with ``repro report --trace-export``, and then calls this script to
+enforce the structural contract: the trace must be well-formed JSON in
+Chrome Trace Event format with at least one complete (``ph="X"``) event
+per pipeline stage the manifest's ``stage_reports`` name. Exit 1 with
+one line per problem otherwise.
+
+Run:  PYTHONPATH=src python scripts/validate_trace.py MANIFEST TRACE
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.manifest import ManifestError, load_manifest
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("manifest", help="run manifest (--metrics-out)")
+    parser.add_argument("trace", help="Chrome trace JSON (--trace-export)")
+    args = parser.parse_args()
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"invalid manifest: {exc}", file=sys.stderr)
+        return 1
+    try:
+        trace = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"invalid trace JSON: {exc}", file=sys.stderr)
+        return 1
+
+    stages = [
+        str(report.get("stage"))
+        for report in manifest.get("stage_reports") or []
+        if report.get("stage")
+    ]
+    problems = validate_chrome_trace(trace, stage_names=stages)
+    if problems:
+        for problem in problems:
+            print(f"trace problem: {problem}", file=sys.stderr)
+        return 1
+
+    events = trace["traceEvents"]
+    complete = sum(1 for e in events if e.get("ph") == "X")
+    print(
+        f"trace ok: {len(events)} events ({complete} complete), "
+        f"stages covered: {', '.join(stages) or '(none listed)'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,10 @@ Commands mirror the paper's three applications plus the data plumbing:
 - ``predict``  — k-NN label prediction with k-fold cross validation.
 - ``layout``   — ForceAtlas coordinates to CSV.
 - ``generate`` — write a synthetic benchmark graph to an edge-list file.
-- ``report``   — human summary of a run manifest (``--metrics-out``).
+- ``report``   — human summary of a run manifest (``--metrics-out``);
+  ``--trace-export`` converts the event stream to Chrome Trace JSON and
+  ``--compare`` diffs two manifests with regression highlighting.
+- ``top``      — live monitor for a run started with ``--status-file``.
 
 Every command takes ``--seed`` and is exactly reproducible.
 
@@ -124,6 +127,25 @@ def add_runtime_flags(
         "--no-telemetry",
         action="store_true",
         help="disable observability entirely (no-op recorder)",
+    )
+    g.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample wall-clock stacks per pipeline stage and per worker; "
+        "summaries land in the --metrics-out manifest",
+    )
+    g.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="sampling rate for --profile (default: 97 Hz)",
+    )
+    g.add_argument(
+        "--status-file",
+        default=None,
+        metavar="PATH",
+        help="keep a live status document at PATH for `repro top`",
     )
 
 
@@ -260,12 +282,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSONL event stream (defaults to the manifest's events_path)",
     )
+    p_report.add_argument(
+        "--trace-export",
+        default=None,
+        metavar="PATH",
+        help="also export the event stream as Chrome Trace Event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    p_report.add_argument(
+        "--compare",
+        default=None,
+        metavar="MANIFEST",
+        help="diff against another manifest (baseline = positional, "
+        "candidate = this one); regressions beyond 10%% are flagged",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live monitor for a run started with --status-file"
+    )
+    # dest "status" — must not collide with the --status-file telemetry
+    # flag (dest status_file) or top's own session would clobber the
+    # document it is trying to monitor.
+    p_top.add_argument("status", help="status document path")
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh seconds"
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    p_top.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up (exit 2) if no status file appears within SECONDS",
+    )
 
     # The pipeline commands get the full runtime surface (durable
     # checkpoints + supervised workers); the rest are telemetry-only.
     for p in (p_embed, p_detect, p_link):
         add_runtime_flags(p, checkpointing=True, workers=True)
-    for p in (p_predict, p_layout, p_gen, p_report):
+    for p in (p_predict, p_layout, p_gen, p_report, p_top):
         add_runtime_flags(p)
     return parser
 
@@ -470,7 +527,7 @@ def _cmd_generate(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.obs.manifest import ManifestError, load_manifest
-    from repro.obs.report import render_report
+    from repro.obs.report import compare_manifests, render_report
 
     try:
         manifest = load_manifest(args.manifest)
@@ -478,8 +535,53 @@ def _cmd_report(args) -> int:
         _log.error("report.invalid_manifest", path=args.manifest, error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.compare is not None:
+        try:
+            other = load_manifest(args.compare)
+        except ManifestError as exc:
+            _log.error(
+                "report.invalid_manifest", path=args.compare, error=str(exc)
+            )
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(compare_manifests(manifest, other))
+        return 0
+
     print(render_report(manifest, events_path=args.events))
+
+    if args.trace_export is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.logging import parse_jsonl
+
+        events_path = args.events or manifest.get("events_path")
+        if not events_path or not Path(events_path).is_file():
+            print(
+                "error: --trace-export needs the run's JSONL event stream "
+                "(pass --events or run with --log-json)",
+                file=sys.stderr,
+            )
+            return 2
+        events = parse_jsonl(events_path, on_error="skip")
+        trace = write_chrome_trace(
+            args.trace_export, events, manifest=manifest
+        )
+        print(
+            f"chrome trace ({len(trace['traceEvents'])} events) -> "
+            f"{args.trace_export}"
+        )
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.live import top_command
+
+    return top_command(
+        args.status,
+        interval=args.interval,
+        once=args.once,
+        timeout=args.timeout,
+    )
 
 
 COMMANDS = {
@@ -490,14 +592,25 @@ COMMANDS = {
     "layout": _cmd_layout,
     "generate": _cmd_generate,
     "report": _cmd_report,
+    "top": _cmd_top,
 }
 
 # argparse dests of the telemetry flags; everything else that is a plain
 # scalar goes into the manifest's config block.
-_OBS_ARG_KEYS = ("log_level", "log_json", "metrics_out", "trace", "no_telemetry")
+_OBS_ARG_KEYS = (
+    "log_level",
+    "log_json",
+    "metrics_out",
+    "trace",
+    "no_telemetry",
+    "profile",
+    "profile_hz",
+    "status_file",
+)
 
 
 def _obs_config(args):
+    from repro.obs.profiler import DEFAULT_HZ
     from repro.obs.recorder import ObsConfig
 
     return ObsConfig(
@@ -506,6 +619,9 @@ def _obs_config(args):
         log_json=args.log_json,
         metrics_out=args.metrics_out,
         trace=args.trace,
+        profile=getattr(args, "profile", False),
+        profile_hz=getattr(args, "profile_hz", None) or DEFAULT_HZ,
+        status_path=getattr(args, "status_file", None),
     )
 
 

@@ -9,6 +9,10 @@ The observability subsystem every pipeline layer reports through:
 - :mod:`repro.obs.slab` — shared-memory per-worker metric rows.
 - :mod:`repro.obs.manifest` — the schema-versioned run manifest.
 - :mod:`repro.obs.report` — human rendering (``repro report``).
+- :mod:`repro.obs.profiler` — opt-in sampling profiler (collapsed stacks).
+- :mod:`repro.obs.resources` — per-stage RSS/CPU/GC/allocation deltas.
+- :mod:`repro.obs.export` — Chrome Trace Event export (Perfetto).
+- :mod:`repro.obs.live` — live status file + the ``repro top`` monitor.
 
 Instrumented code does::
 
@@ -59,6 +63,19 @@ from repro.obs.recorder import (
     session,
     use,
 )
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.live import (
+    LiveStatusFile,
+    read_status,
+    render_top,
+    top_command,
+)
+from repro.obs.profiler import SamplingProfiler, StackProfile
+from repro.obs.resources import ResourceSnapshot, resource_delta
 from repro.obs.slab import HOGWILD_SLOTS, MetricsSlab, MetricsSlabSpec
 from repro.obs.tracing import Span, Tracer
 
@@ -102,4 +119,19 @@ __all__ = [
     "write_manifest",
     "load_manifest",
     "validate_manifest",
+    # profiler
+    "SamplingProfiler",
+    "StackProfile",
+    # resources
+    "ResourceSnapshot",
+    "resource_delta",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    # live
+    "LiveStatusFile",
+    "read_status",
+    "render_top",
+    "top_command",
 ]

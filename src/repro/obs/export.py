@@ -1,0 +1,225 @@
+"""Chrome Trace Event export: run timelines loadable in Perfetto.
+
+Converts a run's JSONL event stream (plus its manifest) into the Chrome
+Trace Event JSON format (``{"traceEvents": [...]}``) understood by
+Perfetto / ``chrome://tracing``. The mapping:
+
+- every ``span.end`` event becomes one *complete* (``ph="X"``) event —
+  begin timestamp reconstructed as ``ts - seconds`` — so the nested span
+  tree renders as the familiar flame chart on the parent thread;
+- every ``hogwild.worker`` event becomes an *instant* (``ph="i"``) on a
+  per-worker track plus a ``hogwild.examples`` *counter* (``ph="C"``)
+  sample, which is the worker slab timeline: one mark per worker per
+  epoch with its batch/example/loss share;
+- remaining events (checkpoints, retries, supervisor actions, run
+  begin/end) become instants on the main track, capped so a debug-level
+  stream cannot explode the trace;
+- metadata events (``ph="M"``) name the process (command + pid from the
+  manifest / ``run.begin``) and each worker track, correlating spans
+  across processes by pid/tid.
+
+Timestamps are microseconds relative to the first event, which keeps
+the JSON small and Perfetto's zoom sane. ``validate_chrome_trace``
+checks the structural contract the CI bench-smoke job enforces: valid
+JSON, a ``traceEvents`` list, and at least one complete event per
+pipeline stage named in the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Instant events kept from the generic (non-span, non-worker) stream.
+INSTANT_EVENT_CAP = 5000
+#: tid offsets: parent spans on MAIN_TID, worker tracks above WORKER_TID0.
+MAIN_TID = 1
+WORKER_TID0 = 100
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 1)
+
+
+def chrome_trace(
+    events: list[dict], *, manifest: dict | None = None
+) -> dict[str, Any]:
+    """Build the Chrome Trace Event dict from parsed JSONL ``events``."""
+    stamped = [e for e in events if isinstance(e.get("ts"), (int, float))]
+    if not stamped:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(e["ts"] for e in stamped)
+    pid = 0
+    for event in stamped:
+        if event.get("event") == "run.begin" and "pid" in event:
+            pid = int(event["pid"])
+            break
+
+    command = ""
+    if manifest:
+        command = str((manifest.get("config") or {}).get("command") or "")
+    trace: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"repro {command}".strip()},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": pid,
+            "tid": MAIN_TID,
+            "args": {"name": "pipeline"},
+        },
+    ]
+
+    meta_keys = {"ts", "level", "logger", "event"}
+    span_keys = {"span", "span_id", "parent_id", "path", "seconds"}
+    worker_tids: set[int] = set()
+    instants = 0
+    dropped = 0
+    for event in stamped:
+        name = event.get("event")
+        ts = event["ts"] - t0
+        if name == "span.begin":
+            continue  # the complete event built from span.end covers it
+        if name == "span.end":
+            seconds = float(event.get("seconds", 0.0))
+            args = {
+                k: v
+                for k, v in event.items()
+                if k not in meta_keys and k not in span_keys
+            }
+            args["path"] = event.get("path")
+            trace.append(
+                {
+                    "ph": "X",
+                    "name": str(event.get("span", "?")),
+                    "cat": "span",
+                    "ts": _us(max(ts - seconds, 0.0)),
+                    "dur": _us(seconds),
+                    "pid": pid,
+                    "tid": MAIN_TID,
+                    "args": args,
+                }
+            )
+            continue
+        if name == "hogwild.worker":
+            worker = int(event.get("worker", 0))
+            tid = WORKER_TID0 + worker
+            worker_tids.add(tid)
+            args = {
+                k: event.get(k)
+                for k in ("epoch", "batches", "examples", "loss_sum")
+                if k in event
+            }
+            trace.append(
+                {
+                    "ph": "i",
+                    "name": f"epoch {event.get('epoch', '?')}",
+                    "cat": "hogwild",
+                    "s": "t",
+                    "ts": _us(ts),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            trace.append(
+                {
+                    "ph": "C",
+                    "name": "hogwild.examples",
+                    "ts": _us(ts),
+                    "pid": pid,
+                    "args": {f"w{worker}": event.get("examples", 0)},
+                }
+            )
+            continue
+        if instants >= INSTANT_EVENT_CAP:
+            dropped += 1
+            continue
+        instants += 1
+        trace.append(
+            {
+                "ph": "i",
+                "name": str(name),
+                "cat": "event",
+                "s": "t",
+                "ts": _us(ts),
+                "pid": pid,
+                "tid": MAIN_TID,
+                "args": {
+                    k: v for k, v in event.items() if k not in meta_keys
+                },
+            }
+        )
+
+    for tid in sorted(worker_tids):
+        trace.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"hogwild-worker-{tid - WORKER_TID0}"},
+            }
+        )
+
+    out: dict[str, Any] = {"traceEvents": trace, "displayTimeUnit": "ms"}
+    if dropped:
+        out["metadata"] = {"instants_dropped": dropped}
+    return out
+
+
+def write_chrome_trace(
+    path: str | Path, events: list[dict], *, manifest: dict | None = None
+) -> dict[str, Any]:
+    """Build and write the trace JSON; returns the trace dict."""
+    trace = chrome_trace(events, manifest=manifest)
+    Path(path).write_text(json.dumps(trace) + "\n", encoding="utf-8")
+    return trace
+
+
+def validate_chrome_trace(
+    trace: Any, *, stage_names: list[str] | None = None
+) -> list[str]:
+    """Structural problems with a trace dict (empty list = valid).
+
+    ``stage_names`` adds the CI contract: at least one complete event
+    whose args carry each named pipeline stage.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict) or not isinstance(
+        trace.get("traceEvents"), list
+    ):
+        return ["trace must be an object with a traceEvents list"]
+    complete: list[dict] = []
+    for i, event in enumerate(trace["traceEvents"]):
+        if not isinstance(event, dict) or "ph" not in event:
+            problems.append(f"traceEvents[{i}] is not an event object")
+            continue
+        if event["ph"] in ("X", "i", "C") and "ts" not in event:
+            problems.append(f"traceEvents[{i}] ({event['ph']}) missing ts")
+        if event["ph"] == "X":
+            if "dur" not in event:
+                problems.append(f"traceEvents[{i}] complete event missing dur")
+            complete.append(event)
+    if not complete:
+        problems.append("trace has no complete (ph=X) events")
+    for stage in stage_names or []:
+        if not any(
+            event.get("args", {}).get("stage") == stage
+            or event.get("name") == stage
+            for event in complete
+        ):
+            problems.append(f"no complete event for pipeline stage {stage!r}")
+    return problems

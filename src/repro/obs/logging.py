@@ -186,14 +186,30 @@ def teardown_logging(handlers: list[logging.Handler]) -> None:
         handler.close()
 
 
-def parse_jsonl(source: str | Path | TextIO) -> list[dict]:
+def parse_jsonl(
+    source: str | Path | TextIO, *, on_error: str = "raise"
+) -> list[dict]:
     """Parse a JSONL event stream into dicts (skipping blank lines).
 
-    Raises ``json.JSONDecodeError`` on a torn line — the chaos tests use
-    this to assert the stream survived a worker kill intact.
+    With ``on_error="raise"`` (the default) a torn line raises
+    ``json.JSONDecodeError`` — the chaos tests use this to assert the
+    stream survived a worker kill intact. ``on_error="skip"`` drops
+    unparseable lines instead, which is how ``repro report`` reads a
+    stream truncated by a hard crash: every intact line still renders.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
     if isinstance(source, (str, Path)):
         text = Path(source).read_text(encoding="utf-8")
     else:
         text = source.read()
-    return [json.loads(line) for line in io.StringIO(text) if line.strip()]
+    events: list[dict] = []
+    for line in io.StringIO(text):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if on_error == "raise":
+                raise
+    return events

@@ -84,7 +84,16 @@ def build_manifest(
     events_path: str | Path | None = None,
     status: str = "completed",
     interrupt_reason: str | None = None,
+    stage_reports: list[dict] | None = None,
+    profiles: dict[str, dict] | None = None,
 ) -> dict[str, Any]:
+    """Assemble the manifest dict.
+
+    ``stage_reports`` is the per-stage resource ledger
+    (:mod:`repro.obs.resources` deltas recorded by ``Pipeline.execute``)
+    and ``profiles`` the collapsed-stack summaries from
+    :mod:`repro.obs.profiler` — both additive, schema version unchanged.
+    """
     if status not in RUN_STATUSES:
         raise ManifestError(f"status must be one of {RUN_STATUSES}, got {status!r}")
     config = run_config or {}
@@ -99,6 +108,8 @@ def build_manifest(
         "events_path": str(events_path) if events_path is not None else None,
         "status": status,
         "interrupt_reason": interrupt_reason,
+        "stage_reports": stage_reports or [],
+        "profiles": profiles or {},
     }
 
 
@@ -110,6 +121,8 @@ def write_manifest(
     events_path: str | Path | None = None,
     status: str = "completed",
     interrupt_reason: str | None = None,
+    stage_reports: list[dict] | None = None,
+    profiles: dict[str, dict] | None = None,
 ) -> dict[str, Any]:
     """Build and atomically write the manifest; returns the dict."""
     from repro.resilience.checkpoint import atomic_write_bytes
@@ -120,6 +133,8 @@ def write_manifest(
         events_path=events_path,
         status=status,
         interrupt_reason=interrupt_reason,
+        stage_reports=stage_reports,
+        profiles=profiles,
     )
     atomic_write_bytes(
         path, (json.dumps(manifest, indent=2, default=str) + "\n").encode()

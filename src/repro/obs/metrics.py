@@ -38,8 +38,13 @@ __all__ = [
     "NULL_REGISTRY",
 ]
 
-# Histograms keep at most this many raw observations for percentiles;
-# count/sum/min/max stay exact beyond it.
+# Histograms keep at most the first HISTOGRAM_SAMPLE_CAP raw observations
+# for percentile estimates (p50/p95/p99); count/sum/min/max stay exact
+# beyond it. The cap bounds memory (one float per sample) at the cost of
+# percentiles reflecting only the head of very long runs — tail-heavy
+# shifts after the cap move mean/max but not p50/p95/p99. Snapshots
+# record ``sample_capped`` so a consumer can tell estimated-from-head
+# percentiles from exact ones.
 HISTOGRAM_SAMPLE_CAP = 4096
 
 
@@ -116,7 +121,7 @@ class Histogram:
     def snapshot(self) -> dict[str, float]:
         if self.count == 0:
             return {"count": 0}
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
@@ -124,7 +129,11 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
+        if self.count > len(self._sample):
+            snap["sample_capped"] = True
+        return snap
 
 
 class _Timer:

@@ -39,6 +39,7 @@ from repro.obs.logging import (
     teardown_logging,
 )
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.profiler import DEFAULT_HZ, StackProfile
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -61,6 +62,12 @@ class ObsConfig:
     all. ``trace=True`` additionally mirrors span begin/end events to
     the human sink (they always go to the JSONL sink when one exists).
     ``metrics_out`` is where :func:`session` writes the run manifest.
+    ``profile=True`` arms the sampling profiler
+    (:mod:`repro.obs.profiler`) at ``profile_hz``: per-stage collapsed
+    stacks in the parent plus per-pooled-worker profiles collected
+    through the environment, all landing in the manifest's ``profiles``
+    section. ``status_path`` keeps a live status document
+    (:mod:`repro.obs.live`) up to date for ``repro top``.
     """
 
     enabled: bool = True
@@ -68,10 +75,15 @@ class ObsConfig:
     log_json: str | None = None
     metrics_out: str | None = None
     trace: bool = False
+    profile: bool = False
+    profile_hz: float = DEFAULT_HZ
+    status_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.log_level not in ("debug", "info", "warning", "error"):
             raise ValueError("log_level must be debug|info|warning|error")
+        if self.profile_hz <= 0:
+            raise ValueError("profile_hz must be > 0")
 
 
 class Recorder:
@@ -89,12 +101,21 @@ class Recorder:
         *,
         logger: StructuredLogger | None = None,
         trace: bool = False,
+        profile_hz: float | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.log = logger if logger is not None else get_logger()
         self.tracer = Tracer(self.log, self.registry)
         self.trace = trace
         self.pid = os.getpid()
+        #: Sampling rate for the per-stage profiler; None = profiling off.
+        self.profile_hz = profile_hz
+        #: Collapsed-stack profiles keyed by name (stage.<name>, workers).
+        self.profiles: dict[str, StackProfile] = {}
+        #: Per-stage resource ledger rows appended by Pipeline.execute.
+        self.stage_reports: list[dict] = []
+        #: Live status document for `repro top`; set by session().
+        self.live = None
 
     # Events ------------------------------------------------------------
     def event(self, name: str, /, *, level: str = "info", **fields: Any) -> None:
@@ -120,6 +141,22 @@ class Recorder:
     def time(self, name: str):
         return self.registry.time(name)
 
+    # Performance observability ------------------------------------------
+    def add_profile(self, name: str, profile: StackProfile) -> None:
+        """Merge a collapsed-stack profile under ``name`` (accumulating)."""
+        existing = self.profiles.get(name)
+        if existing is None:
+            self.profiles[name] = profile
+        else:
+            existing.merge(profile)
+
+    def add_stage_report(self, report: dict) -> None:
+        """Append one per-stage resource row (Pipeline.execute calls this)."""
+        self.stage_reports.append(report)
+
+    def profile_summaries(self) -> dict[str, dict]:
+        return {name: prof.summary() for name, prof in self.profiles.items()}
+
 
 class NullRecorder:
     """Inert recorder: the disabled path. All methods are no-ops."""
@@ -128,6 +165,8 @@ class NullRecorder:
     registry = NULL_REGISTRY
     trace = False
     pid = -1
+    profile_hz = None
+    live = None
 
     def event(self, name: str, /, *, level: str = "info", **fields: Any) -> None:
         return None
@@ -146,6 +185,15 @@ class NullRecorder:
 
     def time(self, name: str):
         return NULL_REGISTRY.time(name)
+
+    def add_profile(self, name: str, profile: Any) -> None:
+        return None
+
+    def add_stage_report(self, report: dict) -> None:
+        return None
+
+    def profile_summaries(self) -> dict[str, dict]:
+        return {}
 
 
 def _classify_exit(exc: BaseException) -> tuple[str, str]:
@@ -223,11 +271,23 @@ def session(
     handlers = configure_logging(
         config.log_level, json_path=config.log_json, stream=stream
     )
-    recorder = Recorder(trace=config.trace)
+    recorder = Recorder(
+        trace=config.trace,
+        profile_hz=config.profile_hz if config.profile else None,
+    )
     if config.trace:
         # Mirror span events on the human sink too: drop its bar to DEBUG.
         for handler in handlers:
             handler.setLevel(_stdlib_logging.DEBUG)
+    profile_scope = _worker_profiling(config) if config.profile else None
+    if config.status_path is not None:
+        from repro.obs.live import LiveStatusFile
+
+        recorder.live = LiveStatusFile(config.status_path)
+        recorder.live.update(
+            command=(run_config or {}).get("command"),
+            metrics_out=config.metrics_out,
+        )
     try:
         with use(recorder):
             recorder.event(
@@ -235,6 +295,7 @@ def session(
                 pid=os.getpid(),
                 log_json=config.log_json,
                 metrics_out=config.metrics_out,
+                profile=config.profile,
             )
             status, reason = "completed", None
             try:
@@ -243,6 +304,10 @@ def session(
                 status, reason = _classify_exit(exc)
                 raise
             finally:
+                if profile_scope is not None:
+                    profile_scope.collect(recorder)
+                if recorder.live is not None:
+                    recorder.live.update(status=status, interrupt_reason=reason)
                 recorder.event(
                     "run.end", status=status, **({"reason": reason} if reason else {})
                 )
@@ -256,6 +321,58 @@ def session(
                         events_path=config.log_json,
                         status=status,
                         interrupt_reason=reason,
+                        stage_reports=recorder.stage_reports or None,
+                        profiles=recorder.profile_summaries() or None,
                     )
     finally:
         teardown_logging(handlers)
+
+
+class _WorkerProfileScope:
+    """Environment-armed worker profiling for one observability session.
+
+    Exports ``REPRO_PROFILE_DIR``/``REPRO_PROFILE_HZ`` into a fresh
+    temporary directory *before* worker processes fork (persistent pools
+    are shut down so the next map pays a re-fork and inherits the env),
+    then merges every worker dump into the recorder on exit.
+    """
+
+    def __init__(self, config: ObsConfig) -> None:
+        import tempfile
+
+        from repro.obs.profiler import worker_profile_env
+
+        self.tmpdir = tempfile.TemporaryDirectory(prefix="repro_profile_")
+        self._saved: dict[str, str | None] = {}
+        for key, value in worker_profile_env(
+            self.tmpdir.name, config.profile_hz
+        ).items():
+            self._saved[key] = os.environ.get(key)
+            os.environ[key] = value
+        # Existing pooled workers predate the env export; refork them so
+        # every worker of this run samples itself.
+        from repro.parallel.persistent import shutdown_pools
+
+        shutdown_pools()
+
+    def collect(self, recorder: Recorder) -> None:
+        from repro.obs.profiler import collect_worker_profiles
+
+        try:
+            merged = collect_worker_profiles(self.tmpdir.name)
+            if merged is not None:
+                recorder.add_profile("workers", merged)
+        finally:
+            for key, value in self._saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:  # pragma: no cover - nested profiled sessions
+                    os.environ[key] = value
+            self.tmpdir.cleanup()
+
+
+def _worker_profiling(config: ObsConfig) -> "_WorkerProfileScope | None":
+    try:
+        return _WorkerProfileScope(config)
+    except OSError:  # pragma: no cover - tmpdir creation failed
+        return None

@@ -5,6 +5,19 @@ it) and prints the run the way a person asks about it: what ran, on
 what machine, how fast each phase was, and what the headline metrics
 came out to. Validation is strict — a manifest missing required keys is
 a non-zero exit, which is exactly what the CI bench-smoke job leans on.
+
+Two performance views ride along with the plain rendering:
+
+- per-stage resource accounting (manifest ``stage_reports``) and
+  profiler summaries (``profiles``) render as their own tables when the
+  run recorded them;
+- :func:`compare_manifests` diffs two manifests — stage wall/RSS,
+  headline throughput gauges, histogram means — and flags regressions
+  beyond :data:`REGRESSION_THRESHOLD` with a trailing ``<<``, which is
+  what ``repro report A --compare B`` prints.
+
+Event streams are read tolerantly (``parse_jsonl(..., on_error="skip")``)
+so a stream truncated by a hard crash still reports every intact line.
 """
 
 from __future__ import annotations
@@ -17,7 +30,18 @@ from typing import Any
 from repro.bench.harness import ExperimentRecord, format_table
 from repro.obs.logging import parse_jsonl
 
-__all__ = ["render_report", "span_summary"]
+__all__ = ["render_report", "span_summary", "compare_manifests"]
+
+#: Relative change beyond which :func:`compare_manifests` marks a row.
+REGRESSION_THRESHOLD = 0.10
+
+#: Gauges worth a headline row in a comparison (throughput style:
+#: higher is better). Everything else is compared sign-agnostically.
+_THROUGHPUT_GAUGES = (
+    "walks.walks_per_sec",
+    "train.words_per_sec",
+    "train.examples_per_sec",
+)
 
 
 def _fmt_num(value: float) -> str:
@@ -44,6 +68,43 @@ def span_summary(events: list[dict]) -> dict[str, dict[str, float]]:
         if event.get("status") == "error":
             row["errors"] += 1
     return dict(spans)
+
+
+def _stage_report_records(stage_reports: list[dict]) -> list[ExperimentRecord]:
+    records = []
+    for report in stage_reports:
+        resources = report.get("resources") or {}
+        records.append(
+            ExperimentRecord(
+                params={"stage": str(report.get("stage", "?"))},
+                values={
+                    "wall_s": round(float(report.get("seconds", 0.0)), 4),
+                    "cpu_s": resources.get("cpu_s", math.nan),
+                    "child_cpu_s": resources.get("child_cpu_s", math.nan),
+                    "util": resources.get("cpu_utilization", math.nan),
+                    "rss_delta_kb": resources.get("rss_delta_kb", math.nan),
+                    "gc": resources.get("gc_collections", math.nan),
+                    "skipped": int(bool(report.get("skipped"))),
+                },
+            )
+        )
+    return records
+
+
+def _profile_lines(profiles: dict[str, dict]) -> list[str]:
+    lines = []
+    for name, summary in sorted(profiles.items()):
+        samples = summary.get("samples", 0)
+        lines.append(
+            f"  {name}: {samples} samples @ {summary.get('hz', '?')} Hz "
+            f"over {summary.get('duration_s', 0.0):.2f}s"
+        )
+        for entry in (summary.get("top") or [])[:5]:
+            lines.append(
+                f"    {entry.get('fraction', 0.0) * 100:5.1f}%  "
+                f"{entry.get('frame', '?')} ({entry.get('samples', 0)})"
+            )
+    return lines
 
 
 def render_report(
@@ -84,7 +145,7 @@ def render_report(
             params={"histogram": name},
             values={
                 k: snap.get(k, math.nan)
-                for k in ("count", "mean", "p50", "p95", "max")
+                for k in ("count", "mean", "p50", "p95", "p99", "max")
             },
         )
         for name, snap in sorted(metrics["histograms"].items())
@@ -99,9 +160,26 @@ def render_report(
             lines.append("")
             lines.append(format_table(records, title=title))
 
+    stage_reports = manifest.get("stage_reports") or []
+    if stage_reports:
+        lines.append("")
+        lines.append(
+            format_table(
+                _stage_report_records(stage_reports),
+                title="stage resources",
+            )
+        )
+
+    profiles = manifest.get("profiles") or {}
+    if profiles:
+        lines.append("")
+        lines.append("profiles (top-of-stack self time)")
+        lines.extend(_profile_lines(profiles))
+
     events_path = events_path or manifest.get("events_path")
     if events_path and Path(events_path).is_file():
-        spans = span_summary(parse_jsonl(events_path))
+        events = parse_jsonl(events_path, on_error="skip")
+        spans = span_summary(events)
         if spans:
             records = [
                 ExperimentRecord(
@@ -119,4 +197,125 @@ def render_report(
             lines.append(
                 format_table(records, title=f"spans ({events_path})")
             )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Manifest comparison (repro report A --compare B)
+# ----------------------------------------------------------------------
+def _rel_change(before: float, after: float) -> float:
+    if before == 0:
+        return math.inf if after else 0.0
+    return (after - before) / abs(before)
+
+
+def _compare_rows(
+    rows: list[tuple[str, float, float, bool]]
+) -> list[str]:
+    """Render ``(label, a, b, higher_is_better)`` rows with flags."""
+    out = []
+    for label, a, b, higher_is_better in rows:
+        if math.isnan(a) or math.isnan(b):
+            continue
+        change = _rel_change(a, b)
+        regressed = (
+            change < -REGRESSION_THRESHOLD
+            if higher_is_better
+            else change > REGRESSION_THRESHOLD
+        )
+        flag = "  <<" if regressed else ""
+        pct = f"{change * 100:+.1f}%" if math.isfinite(change) else "new"
+        out.append(
+            f"  {label:<34} {_fmt_num(a):>12} -> {_fmt_num(b):>12} "
+            f"({pct}){flag}"
+        )
+    return out
+
+
+def compare_manifests(a: dict[str, Any], b: dict[str, Any]) -> str:
+    """Diff two run manifests: stages, throughput gauges, histograms.
+
+    ``a`` is the baseline, ``b`` the candidate. Rows whose change exceeds
+    :data:`REGRESSION_THRESHOLD` in the bad direction (slower wall,
+    bigger RSS, lower throughput) end with ``<<``.
+    """
+    lines = [
+        "manifest comparison (baseline -> candidate, << marks a "
+        f"regression beyond {REGRESSION_THRESHOLD * 100:.0f}%)",
+        f"  baseline:  {a.get('config_fingerprint', '?')} "
+        f"[{a.get('status', '?')}]",
+        f"  candidate: {b.get('config_fingerprint', '?')} "
+        f"[{b.get('status', '?')}]",
+    ]
+    if a.get("config_fingerprint") != b.get("config_fingerprint"):
+        lines.append(
+            "  note: configs differ — changes below may be config-driven"
+        )
+
+    stages_a = {
+        r.get("stage"): r for r in (a.get("stage_reports") or [])
+    }
+    stages_b = {
+        r.get("stage"): r for r in (b.get("stage_reports") or [])
+    }
+    stage_rows: list[tuple[str, float, float, bool]] = []
+    for stage in [s for s in stages_a if s in stages_b]:
+        ra, rb = stages_a[stage], stages_b[stage]
+        stage_rows.append(
+            (
+                f"stage.{stage}.wall_s",
+                float(ra.get("seconds", math.nan)),
+                float(rb.get("seconds", math.nan)),
+                False,
+            )
+        )
+        res_a = ra.get("resources") or {}
+        res_b = rb.get("resources") or {}
+        stage_rows.append(
+            (
+                f"stage.{stage}.peak_rss_kb",
+                float(res_a.get("peak_rss_kb", math.nan)),
+                float(res_b.get("peak_rss_kb", math.nan)),
+                False,
+            )
+        )
+    rendered = _compare_rows(stage_rows)
+    if rendered:
+        lines.append("")
+        lines.append("stages")
+        lines.extend(rendered)
+
+    gauges_a = (a.get("metrics") or {}).get("gauges") or {}
+    gauges_b = (b.get("metrics") or {}).get("gauges") or {}
+    gauge_rows = [
+        (name, float(gauges_a[name]), float(gauges_b[name]), True)
+        for name in _THROUGHPUT_GAUGES
+        if name in gauges_a and name in gauges_b
+    ]
+    rendered = _compare_rows(gauge_rows)
+    if rendered:
+        lines.append("")
+        lines.append("throughput")
+        lines.extend(rendered)
+
+    hists_a = (a.get("metrics") or {}).get("histograms") or {}
+    hists_b = (b.get("metrics") or {}).get("histograms") or {}
+    hist_rows = [
+        (
+            f"{name}.mean",
+            float(hists_a[name].get("mean", math.nan)),
+            float(hists_b[name].get("mean", math.nan)),
+            False,
+        )
+        for name in sorted(set(hists_a) & set(hists_b))
+        if hists_a[name].get("count") and hists_b[name].get("count")
+    ]
+    rendered = _compare_rows(hist_rows)
+    if rendered:
+        lines.append("")
+        lines.append("histogram means")
+        lines.extend(rendered)
+
+    if len(lines) <= 4:
+        lines.append("  (no comparable rows)")
     return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Per-stage resource accounting: RSS / CPU-time / GC / allocation deltas.
+
+:class:`ResourceSnapshot` captures the process's resource state at a
+stage boundary; :func:`resource_delta` turns a before/after pair into
+the JSON-ready delta dict that ``Pipeline.execute`` stores on each
+:class:`~repro.pipeline.runner.StageReport` and the run manifest keeps
+under ``stage_reports``.
+
+What is measured, and from where:
+
+- **RSS** — current resident set from ``/proc/self/status`` (``VmRSS``),
+  with ``ru_maxrss`` as the portable fallback; the delta shows what the
+  stage grew, ``peak_rss_kb`` the high-water mark after it.
+- **CPU time** — ``getrusage(RUSAGE_SELF)`` user+system for the parent
+  *plus* ``RUSAGE_CHILDREN``, so a stage that fans work out to pooled
+  workers shows their CPU as ``child_cpu_s`` once those workers are
+  reaped (live pooled workers accrue into later stages' children
+  deltas — documented, not hidden). ``cpu_utilization`` is total CPU
+  over wall, i.e. the effective parallelism of the stage.
+- **GC / allocation** — cumulative collector runs and collected-object
+  counts from ``gc.get_stats()``, and net allocated blocks from
+  ``sys.getallocatedblocks()`` — a cheap allocation-pressure signal that
+  needs no ``tracemalloc`` overhead.
+
+A capture is a handful of syscalls (~10 µs) taken once per stage
+boundary, never in a hot loop; the disabled path (no recorder) skips it
+entirely (guarded in ``benchmarks/test_perf_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ResourceSnapshot", "resource_delta"]
+
+_RSS_LINE = "VmRSS:"
+
+
+def _proc_rss_kb() -> float | None:
+    """Current resident set in KB from /proc, or None off-Linux."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(_RSS_LINE):
+                    return float(line.split()[1])
+    except (OSError, IndexError, ValueError):
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """Point-in-time resource state of this process (+ reaped children)."""
+
+    wall: float
+    cpu_user: float
+    cpu_system: float
+    child_user: float
+    child_system: float
+    rss_kb: float
+    peak_rss_kb: float
+    gc_collections: int
+    gc_collected: int
+    allocated_blocks: int
+
+    @classmethod
+    def capture(cls) -> "ResourceSnapshot":
+        own = resource.getrusage(resource.RUSAGE_SELF)
+        children = resource.getrusage(resource.RUSAGE_CHILDREN)
+        rss = _proc_rss_kb()
+        stats = gc.get_stats()
+        return cls(
+            wall=time.perf_counter(),
+            cpu_user=own.ru_utime,
+            cpu_system=own.ru_stime,
+            child_user=children.ru_utime,
+            child_system=children.ru_stime,
+            # ru_maxrss is KB on Linux; used for both peak and the
+            # current-RSS fallback when /proc is unavailable.
+            rss_kb=rss if rss is not None else float(own.ru_maxrss),
+            peak_rss_kb=float(own.ru_maxrss),
+            gc_collections=sum(g["collections"] for g in stats),
+            gc_collected=sum(g["collected"] for g in stats),
+            allocated_blocks=sys.getallocatedblocks(),
+        )
+
+
+def resource_delta(
+    before: ResourceSnapshot, after: ResourceSnapshot
+) -> dict[str, Any]:
+    """JSON-ready stage delta; all ``*_s`` values in seconds, RSS in KB."""
+    wall = max(after.wall - before.wall, 0.0)
+    cpu = (after.cpu_user - before.cpu_user) + (
+        after.cpu_system - before.cpu_system
+    )
+    child_cpu = (after.child_user - before.child_user) + (
+        after.child_system - before.child_system
+    )
+    return {
+        "wall_s": round(wall, 6),
+        "cpu_s": round(cpu, 6),
+        "child_cpu_s": round(child_cpu, 6),
+        "cpu_utilization": round((cpu + child_cpu) / wall, 3) if wall > 0 else 0.0,
+        "rss_delta_kb": round(after.rss_kb - before.rss_kb, 1),
+        "peak_rss_kb": after.peak_rss_kb,
+        "gc_collections": after.gc_collections - before.gc_collections,
+        "gc_collected": after.gc_collected - before.gc_collected,
+        "allocated_blocks_delta": after.allocated_blocks - before.allocated_blocks,
+    }

@@ -29,8 +29,10 @@ __all__ = ["MetricsSlab", "MetricsSlabSpec", "HOGWILD_SLOTS", "SUPERVISOR_SLOTS"
 # "cancel" is the lifecycle flag word: the parent broadcasts 1.0 into it
 # when cancellation is requested and each worker polls its own row per
 # batch — the lock-free path by which a SIGTERM in the parent reaches
-# loops running in other processes.
-HOGWILD_SLOTS = ("batches", "examples", "loss_sum", "epoch", "cancel")
+# loops running in other processes. "updated" is the worker's heartbeat:
+# a wall-clock stamp refreshed per batch so an external monitor
+# (``repro top``) can age each row without any extra IPC.
+HOGWILD_SLOTS = ("batches", "examples", "loss_sum", "epoch", "cancel", "updated")
 
 # Slot layout used by the worker supervisor's liveness rows: the last
 # heartbeat timestamp (time.monotonic), items completed, total beats.

@@ -178,6 +178,9 @@ def hogwild_epoch_task(task: _EpochTask) -> tuple[float, int]:
                 slab.add(task.worker, "batches", 1)
                 slab.add(task.worker, "examples", sel.shape[0])
                 slab.add(task.worker, "loss_sum", loss)
+                # Heartbeat for external monitors (repro top): one store,
+                # same benign single-writer regime as the other slots.
+                slab.put(task.worker, "updated", time.time())
         return loss_sum, batches
     finally:
         if slab is not None:
@@ -378,6 +381,23 @@ def _run_hogwild_epochs(
     task = task_fn or ctx.wrap_task(hogwild_epoch_task)
     counts = vocab.counts
 
+    if rec.live is not None:
+        # Publish the training fan-out plus the slab's picklable identity
+        # so `repro top` in another process can attach the live rows.
+        from repro.obs.live import slab_spec_to_json
+
+        rec.live.update(
+            slab=slab_spec_to_json(slab_spec),
+            train={
+                "workers": config.workers,
+                "epochs": config.epochs,
+                "epoch": state.epoch,
+                "total_batches": total_batches,
+                "batches_done": state.batch_index,
+                "started_unix": round(time.time(), 3),
+            },
+        )
+
     start = time.perf_counter()
     try:
         for epoch in range(state.epoch, config.epochs):
@@ -421,9 +441,20 @@ def _run_hogwild_epochs(
                 )
             if epoch_callback is not None:
                 epoch_callback(state.epoch - 1, mean_loss)
+            if rec.live is not None:
+                rec.live.update(
+                    train={
+                        "epoch": state.epoch,
+                        "batches_done": state.batch_index,
+                    }
+                )
     finally:
         if unsubscribe is not None:
             unsubscribe()
+        if rec.live is not None:
+            # The slab segment unlinks with the shared scope; drop the
+            # published handle so the monitor stops trying to attach it.
+            rec.live.update(slab=None)
     return time.perf_counter() - start
 
 

@@ -111,6 +111,16 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
         _supervisor._current_heartbeat = _supervisor.NULL_HEARTBEAT
     except Exception:
         pass
+    # Env-armed sampling profiler (REPRO_PROFILE_DIR/_HZ, exported by a
+    # profiled obs session before this process forked). The cumulative
+    # profile is dumped after every completed task — pooled workers
+    # outlive the session, so an exit-time dump would never be collected.
+    try:
+        from repro.obs.profiler import dump_worker_profile, maybe_profile_worker
+
+        profiler = maybe_profile_worker()
+    except Exception:
+        profiler = None
     while True:
         try:
             message = conn.recv()
@@ -123,6 +133,8 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
             payload = (task_id, True, fn(item))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
             payload = (task_id, False, _RemoteError(exc))
+        if profiler is not None:
+            dump_worker_profile(profiler)
         try:
             conn.send(payload)
         except (BrokenPipeError, OSError):

@@ -30,7 +30,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.recorder import current_recorder
+from repro.obs.resources import ResourceSnapshot, resource_delta
 from repro.pipeline.context import ExecutionContext
 from repro.pipeline.stage import Stage, StageError
 from repro.resilience.lifecycle import RunInterrupted, current_cancel_scope
@@ -52,6 +54,9 @@ class StageReport:
     #: True when the stage never ran because a fingerprint-matched cached
     #: output was restored (pipeline-level resume).
     skipped: bool = False
+    #: Per-stage resource deltas (:func:`repro.obs.resources.resource_delta`)
+    #: when a recorder was active; None on the disabled path.
+    resources: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -114,6 +119,7 @@ class Pipeline:
                 # longer wants. In-stage checks are the engines' job.
                 scope.check()
                 started = time.perf_counter()
+                before, profiler = self._stage_obs_begin(rec, stage.name)
                 with rec.span("pipeline.stage", stage=stage.name) as span:
                     try:
                         value, skipped = self._run_stage(stage, ctx, value)
@@ -126,17 +132,54 @@ class Pipeline:
                             reason=exc.reason,
                         )
                         raise
+                    finally:
+                        if profiler is not None:
+                            rec.add_profile(
+                                f"stage.{stage.name}", profiler.stop()
+                            )
                     if rec.enabled:
                         span.annotate(skipped=skipped)
                 outputs[stage.name] = value
-                reports.append(
-                    StageReport(
-                        name=stage.name,
-                        seconds=time.perf_counter() - started,
-                        skipped=skipped,
-                    )
+                report = StageReport(
+                    name=stage.name,
+                    seconds=time.perf_counter() - started,
+                    skipped=skipped,
+                    resources=(
+                        resource_delta(before, ResourceSnapshot.capture())
+                        if before is not None
+                        else None
+                    ),
                 )
+                reports.append(report)
+                if before is not None:
+                    rec.add_stage_report(
+                        {
+                            "stage": report.name,
+                            "seconds": report.seconds,
+                            "skipped": report.skipped,
+                            "resources": report.resources,
+                        }
+                    )
+        if rec.live is not None:
+            rec.live.update(stage=None)
         return PipelineResult(value=value, outputs=outputs, reports=reports)
+
+    def _stage_obs_begin(self, rec, name: str):
+        """Arm per-stage observability; (None, None) on the disabled path.
+
+        Returns the before-:class:`ResourceSnapshot` and, when the run is
+        profiled, a started :class:`SamplingProfiler` whose collapsed
+        stacks land in the recorder under ``stage.<name>``.
+        """
+        if not rec.enabled:
+            return None, None
+        if rec.live is not None:
+            rec.live.update(stage=name, stages=self.names)
+        profiler = None
+        if rec.profile_hz is not None:
+            profiler = SamplingProfiler(rec.profile_hz, all_threads=True)
+            profiler.start()
+        return ResourceSnapshot.capture(), profiler
 
     def run(
         self, value: Any = None, context: ExecutionContext | None = None

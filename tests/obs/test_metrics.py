@@ -48,6 +48,16 @@ class TestHistogram:
         assert snap["min"] == 1.0 and snap["max"] == 4.0
         assert snap["p50"] in (2.0, 3.0)
         assert snap["p95"] == 4.0
+        assert snap["p99"] == 4.0
+        assert "sample_capped" not in snap
+
+    def test_p99_tracks_tail(self):
+        hist = MetricsRegistry().histogram("t")
+        for v in range(100):
+            hist.observe(float(v))
+        snap = hist.snapshot()
+        assert snap["p99"] >= snap["p95"] >= snap["p50"]
+        assert snap["p99"] == 99.0
 
     def test_empty_snapshot_is_just_count(self):
         assert MetricsRegistry().histogram("t").snapshot() == {"count": 0}
@@ -60,6 +70,9 @@ class TestHistogram:
         # count/sum stay exact even though the percentile sample is capped
         assert snap["count"] == HISTOGRAM_SAMPLE_CAP + 100
         assert snap["sum"] == float(HISTOGRAM_SAMPLE_CAP + 100)
+        # capped percentiles are flagged so consumers can tell
+        # estimated-from-head values from exact ones
+        assert snap["sample_capped"] is True
 
     def test_timer_observes_seconds(self):
         reg = MetricsRegistry()

@@ -1,0 +1,155 @@
+"""Sampling profiler: stack aggregation, merging, and worker dumps."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    PROFILE_DIR_ENV,
+    PROFILE_HZ_ENV,
+    SUMMARY_STACK_CAP,
+    SamplingProfiler,
+    StackProfile,
+    collect_worker_profiles,
+    dump_worker_profile,
+    maybe_profile_worker,
+    worker_profile_env,
+)
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+class TestStackProfile:
+    def test_record_and_top_aggregate_by_leaf(self):
+        prof = StackProfile()
+        prof.record("a.py:main;b.py:inner")
+        prof.record("a.py:main;b.py:inner")
+        prof.record("a.py:main;c.py:other")
+        assert prof.samples == 3
+        top = prof.top(2)
+        assert top[0] == ("b.py:inner", 2, pytest.approx(2 / 3))
+        assert top[1][0] == "c.py:other"
+
+    def test_merge_sums_counts_and_durations(self):
+        a = StackProfile(duration=1.0, stacks={"x": 2}, samples=2)
+        b = StackProfile(duration=0.5, stacks={"x": 1, "y": 3}, samples=4)
+        a.merge(b)
+        assert a.samples == 6
+        assert a.duration == pytest.approx(1.5)
+        assert a.stacks == {"x": 3, "y": 3}
+
+    def test_summary_roundtrip(self):
+        prof = StackProfile(hz=50.0, duration=2.0)
+        for _ in range(5):
+            prof.record("m.py:f;m.py:g")
+        summary = prof.summary()
+        back = StackProfile.from_summary(summary)
+        assert back.samples == prof.samples
+        assert back.stacks == prof.stacks
+        assert summary["top"][0]["frame"] == "m.py:g"
+        assert json.dumps(summary)  # manifest-storable
+
+    def test_summary_caps_distinct_stacks(self):
+        prof = StackProfile()
+        for i in range(SUMMARY_STACK_CAP + 50):
+            prof.record(f"m.py:f{i}")
+        summary = prof.summary()
+        assert len(summary["stacks"]) == SUMMARY_STACK_CAP
+        assert summary["stacks_dropped"] == 50
+        assert summary["samples"] == SUMMARY_STACK_CAP + 50  # exact
+
+    def test_to_collapsed_is_flamegraph_lines(self):
+        prof = StackProfile(stacks={"a;b": 3, "a;c": 1})
+        lines = prof.to_collapsed().splitlines()
+        assert lines[0] == "a;b 3"
+        assert lines[1] == "a;c 1"
+
+
+class TestSamplingProfiler:
+    def test_samples_busy_work_in_own_thread(self):
+        with SamplingProfiler(hz=200.0) as prof:
+            _busy(0.25)
+        profile = prof.profile
+        assert profile.samples > 5
+        assert profile.duration >= 0.2
+        leaves = [leaf for leaf, _, _ in profile.top(5)]
+        assert any("_busy" in leaf for leaf in leaves)
+
+    def test_all_threads_mode_sees_other_threads(self):
+        done = threading.Event()
+
+        def spin():
+            while not done.is_set():
+                sum(range(100))
+
+        thread = threading.Thread(target=spin, daemon=True)
+        thread.start()
+        try:
+            with SamplingProfiler(hz=200.0, all_threads=True) as prof:
+                time.sleep(0.2)
+        finally:
+            done.set()
+            thread.join()
+        leaves = [leaf for leaf, _, _ in prof.profile.top(10)]
+        assert any("spin" in leaf for leaf in leaves)
+
+    def test_rejects_bad_hz_and_double_start(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        prof = SamplingProfiler(hz=10).start()
+        with pytest.raises(RuntimeError):
+            prof.start()
+        prof.stop()
+
+    def test_stop_without_start_is_safe(self):
+        prof = SamplingProfiler()
+        assert prof.stop() is prof.profile
+
+
+class TestWorkerProfiles:
+    def test_env_arming_roundtrip(self, tmp_path, monkeypatch):
+        env = worker_profile_env(tmp_path, hz=150.0)
+        assert env[PROFILE_DIR_ENV] == str(tmp_path)
+        for key, value in env.items():
+            monkeypatch.setenv(key, value)
+        prof = maybe_profile_worker()
+        assert prof is not None
+        try:
+            _busy(0.1)
+            dump_worker_profile(prof)
+        finally:
+            prof.stop()
+        merged = collect_worker_profiles(tmp_path)
+        assert merged is not None
+        assert merged.hz == 150.0
+        assert merged.duration > 0
+
+    def test_disarmed_when_env_missing(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_DIR_ENV, raising=False)
+        assert maybe_profile_worker() is None
+
+    def test_bad_hz_falls_back_to_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(PROFILE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(PROFILE_HZ_ENV, "not-a-number")
+        prof = maybe_profile_worker()
+        assert prof is not None
+        assert prof.hz == DEFAULT_HZ
+        prof.stop()
+
+    def test_collect_skips_unreadable_dumps(self, tmp_path):
+        (tmp_path / "worker.1.json").write_text("{torn")
+        (tmp_path / "worker.2.json").write_text(
+            json.dumps(StackProfile(stacks={"a": 1}, samples=1).summary())
+        )
+        merged = collect_worker_profiles(tmp_path)
+        assert merged is not None and merged.samples == 1
+
+    def test_collect_empty_dir_is_none(self, tmp_path):
+        assert collect_worker_profiles(tmp_path) is None

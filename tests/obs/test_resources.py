@@ -1,0 +1,59 @@
+"""Per-stage resource accounting: snapshots and deltas."""
+
+import json
+import time
+
+from repro.obs.resources import ResourceSnapshot, resource_delta
+
+
+def test_capture_has_plausible_values():
+    snap = ResourceSnapshot.capture()
+    assert snap.wall > 0
+    assert snap.cpu_user >= 0 and snap.cpu_system >= 0
+    assert snap.rss_kb > 0
+    assert snap.peak_rss_kb >= 0
+    assert snap.allocated_blocks > 0
+
+
+def test_delta_tracks_cpu_bound_work():
+    before = ResourceSnapshot.capture()
+    deadline = time.perf_counter() + 0.2
+    while time.perf_counter() < deadline:
+        sum(range(500))
+    delta = resource_delta(before, ResourceSnapshot.capture())
+    assert delta["wall_s"] >= 0.15
+    assert delta["cpu_s"] > 0.05
+    # a single-threaded spin should land near 1 core of utilization
+    assert 0.2 < delta["cpu_utilization"] < 2.0
+
+
+def test_delta_tracks_allocation_growth():
+    before = ResourceSnapshot.capture()
+    keep = [list(range(100)) for _ in range(10_000)]
+    delta = resource_delta(before, ResourceSnapshot.capture())
+    assert delta["allocated_blocks_delta"] > 5_000
+    del keep
+
+
+def test_delta_is_json_ready():
+    before = ResourceSnapshot.capture()
+    delta = resource_delta(before, ResourceSnapshot.capture())
+    text = json.dumps(delta)
+    assert set(json.loads(text)) == {
+        "wall_s",
+        "cpu_s",
+        "child_cpu_s",
+        "cpu_utilization",
+        "rss_delta_kb",
+        "peak_rss_kb",
+        "gc_collections",
+        "gc_collected",
+        "allocated_blocks_delta",
+    }
+
+
+def test_zero_wall_does_not_divide_by_zero():
+    snap = ResourceSnapshot.capture()
+    delta = resource_delta(snap, snap)
+    assert delta["wall_s"] == 0.0
+    assert delta["cpu_utilization"] == 0.0
