@@ -24,6 +24,12 @@ a fully-armed token + deadline) relative to a serial training epoch —
 the run-lifecycle counterpart of the disabled-telemetry guard, budgeted
 at < 1% (``benchmarks/test_perf_lifecycle_overhead.py`` enforces it).
 
+Since PR 9 it also records ``guard_overhead``: one watchdog
+``poll_once()`` tick (a /proc RSS read plus two ``statvfs`` calls)
+relative to its sample interval, plus the one-shot preflight footprint
+estimate charged to a single epoch — the resource-guard counterpart,
+same < 1% budget (``benchmarks/test_perf_guard_overhead.py``).
+
 Throughput depends on the host — single-core containers used to show
 parallel *slowdown* (documented in docs/PERFORMANCE.md) — so the report
 records the manifest's host block alongside the numbers and never fails
@@ -78,6 +84,7 @@ def measure(
     manifest_dir: Path,
     warmup: int = 1,
     repeats: int = 3,
+    bench_name: str = "pr7_parallel_payoff",
 ) -> dict:
     graph = community_benchmark(
         0.5, n=n, groups=groups, inter_edges=n // 5, seed=seed
@@ -165,14 +172,19 @@ def measure(
     serial_cfg = TrainConfig(
         dim=dim, epochs=epochs, seed=seed, early_stop=False, workers=1
     )
+    serial_epoch_seconds = serial_seconds / max(epochs, 1)
     lifecycle = _lifecycle_overhead(
-        corpus, serial_cfg, serial_epoch_seconds=serial_seconds / max(epochs, 1)
+        corpus, serial_cfg, serial_epoch_seconds=serial_epoch_seconds
+    )
+    guard = _guard_overhead(
+        graph, walk_cfg, serial_cfg, manifest_dir,
+        serial_epoch_seconds=serial_epoch_seconds,
     )
 
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "manifest_schema_version": SCHEMA_VERSION,
-        "bench": "pr7_parallel_payoff",
+        "bench": bench_name,
         "host": host,
         "corpus": {
             "n": n,
@@ -186,6 +198,7 @@ def measure(
         "walk_generation": walk_rows,
         "training": train_rows,
         "lifecycle_overhead": lifecycle,
+        "guard_overhead": guard,
     }
 
 
@@ -228,6 +241,66 @@ def _lifecycle_overhead(
     }
 
 
+def _guard_overhead(
+    graph, walk_cfg, train_cfg, manifest_dir: Path, *,
+    serial_epoch_seconds: float,
+) -> dict:
+    """Resource-guard cost: watchdog tick vs interval + one-shot preflight.
+
+    Microbenches the exact watchdog ``poll_once()`` the daemon thread
+    runs (a /proc RSS read plus ``statvfs`` on /dev/shm and the
+    checkpoint dir) against a never-breaching budget, and the
+    :func:`~repro.resilience.guard.preflight` footprint estimate over
+    the real stage configs. ``poll_cost / interval`` is the fraction of
+    one core the sampler can steal; preflight is charged in full to a
+    single epoch — both upper bounds.
+    """
+    from types import SimpleNamespace
+
+    from repro.obs.recorder import Recorder, use
+    from repro.pipeline import ExecutionContext
+    from repro.resilience.guard import (
+        PressureWatchdog,
+        ResourceBudget,
+        preflight,
+        reset_guard,
+    )
+
+    iters = 2_000
+    budget = ResourceBudget(memory_bytes=1 << 50, disk_bytes=1 << 50)
+    reset_guard()
+    try:
+        dog = PressureWatchdog(budget, checkpoint_dir=manifest_dir)
+        with use(Recorder()):
+            start = time.perf_counter()
+            for _ in range(iters):
+                dog.poll_once()
+            poll_seconds = (time.perf_counter() - start) / iters
+    finally:
+        reset_guard()
+    ctx = ExecutionContext(workers=1, budget=budget)
+    stages = [
+        SimpleNamespace(config=walk_cfg), SimpleNamespace(config=train_cfg)
+    ]
+    with use(Recorder()):
+        start = time.perf_counter()
+        for _ in range(iters):
+            preflight(ctx, stages, graph)
+        preflight_seconds = (time.perf_counter() - start) / iters
+    poll_fraction = poll_seconds / budget.interval
+    preflight_fraction = preflight_seconds / max(serial_epoch_seconds, 1e-12)
+    fraction = poll_fraction + preflight_fraction
+    return {
+        "poll_seconds": poll_seconds,
+        "interval_seconds": budget.interval,
+        "preflight_seconds": preflight_seconds,
+        "serial_epoch_seconds": round(serial_epoch_seconds, 6),
+        "overhead_fraction": fraction,
+        "budget_fraction": 0.01,
+        "within_budget": fraction < 0.01,
+    }
+
+
 def render(report: dict) -> str:
     records = [
         ExperimentRecord(
@@ -258,6 +331,19 @@ def render(report: dict) -> str:
                         lifecycle["overhead_fraction"], 6
                     ),
                     "within_budget": lifecycle["within_budget"],
+                },
+            )
+        )
+    guard = report.get("guard_overhead")
+    if guard:
+        records.append(
+            ExperimentRecord(
+                params={"stage": "guard", "workers": 1},
+                values={
+                    "poll_us": round(guard["poll_seconds"] * 1e6, 3),
+                    "preflight_us": round(guard["preflight_seconds"] * 1e6, 3),
+                    "overhead_fraction": round(guard["overhead_fraction"], 6),
+                    "within_budget": guard["within_budget"],
                 },
             )
         )
@@ -296,6 +382,12 @@ def main() -> int:
     )
     parser.add_argument("--output", default="BENCH_PR7.json")
     parser.add_argument(
+        "--bench-name",
+        default="pr7_parallel_payoff",
+        help="the report's `bench` identity; scripts/perf_guard.py only "
+        "compares reports whose names match",
+    )
+    parser.add_argument(
         "--manifest-dir",
         default=None,
         help="keep per-run manifests here (default: a temp dir, discarded)",
@@ -323,6 +415,7 @@ def main() -> int:
             manifest_dir=manifest_dir,
             warmup=args.warmup,
             repeats=args.repeats,
+            bench_name=args.bench_name,
         )
     finally:
         if cleanup is not None:

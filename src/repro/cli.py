@@ -11,6 +11,10 @@ Commands mirror the paper's three applications plus the data plumbing:
   ``--trace-export`` converts the event stream to Chrome Trace JSON and
   ``--compare`` diffs two manifests with regression highlighting.
 - ``top``      — live monitor for a run started with ``--status-file``.
+- ``runs``     — the crash-safe run registry: ``runs list`` shows every
+  run journaled under a checkpoint directory (sweeping orphans first),
+  ``runs resume --latest`` replays the most recent interrupted run with
+  its original flags plus ``--resume``.
 
 Every command takes ``--seed`` and is exactly reproducible.
 
@@ -40,6 +44,13 @@ from repro.obs.logging import get_logger
 __all__ = ["main", "build_parser", "add_runtime_flags", "runtime_from_args"]
 
 _log = get_logger("cli")
+
+
+def _size_arg(text: str) -> int:
+    """argparse type for ``--memory-budget``/``--disk-budget`` sizes."""
+    from repro.resilience.guard import parse_size
+
+    return parse_size(text)
 
 
 def add_runtime_flags(
@@ -98,6 +109,39 @@ def add_runtime_flags(
         help="wall-clock budget for the whole run: on expiry the run "
         "stops at the next checkpoint boundary and exits 124 "
         "(resume later with --resume)",
+    )
+    b = parser.add_argument_group(
+        "resource budgets",
+        "preflight footprint check + runtime pressure watchdog "
+        "(repro.resilience.guard); sizes accept suffixes K/M/G/T",
+    )
+    b.add_argument(
+        "--memory-budget",
+        type=_size_arg,
+        default=None,
+        metavar="SIZE",
+        help="peak-RSS ceiling (e.g. 2G): estimated overruns fail fast or "
+        "auto-degrade; runtime breaches drive the degradation ladder",
+    )
+    b.add_argument(
+        "--disk-budget",
+        type=_size_arg,
+        default=None,
+        metavar="SIZE",
+        help="checkpoint-directory disk ceiling (e.g. 500M)",
+    )
+    b.add_argument(
+        "--strict-budget",
+        action="store_true",
+        help="fail fast on an estimated overrun instead of auto-degrading "
+        "workers to fit",
+    )
+    b.add_argument(
+        "--budget-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="pressure watchdog poll interval (default: 0.5)",
     )
     g = parser.add_argument_group("telemetry")
     g.add_argument(
@@ -166,6 +210,18 @@ def runtime_from_args(args):
             worker_deadline=args.worker_deadline,
             max_respawns=getattr(args, "max_respawns", 3),
         )
+    budget = None
+    memory_budget = getattr(args, "memory_budget", None)
+    disk_budget = getattr(args, "disk_budget", None)
+    if memory_budget is not None or disk_budget is not None:
+        from repro.resilience.guard import ResourceBudget
+
+        budget = ResourceBudget(
+            memory_bytes=memory_budget,
+            disk_bytes=disk_budget,
+            auto_degrade=not getattr(args, "strict_budget", False),
+            interval=getattr(args, "budget_interval", 0.5),
+        )
     token, deadline = getattr(args, "_lifecycle", (None, None))
     return ExecutionContext(
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
@@ -175,6 +231,7 @@ def runtime_from_args(args):
         seed=getattr(args, "seed", None),
         cancellation=token,
         deadline=deadline,
+        budget=budget,
     )
 
 
@@ -318,11 +375,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up (exit 2) if no status file appears within SECONDS",
     )
 
+    p_runs = sub.add_parser(
+        "runs", help="inspect / resume runs journaled under a checkpoint dir"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser(
+        "list",
+        help="show every journaled run (sweeps orphaned shm/tmp first)",
+    )
+    p_runs_list.add_argument(
+        "dir", help="checkpoint directory holding runs.jsonl"
+    )
+    p_runs_resume = runs_sub.add_parser(
+        "resume",
+        help="replay an interrupted run with its original flags + --resume",
+    )
+    p_runs_resume.add_argument(
+        "dir", help="checkpoint directory holding runs.jsonl"
+    )
+    pick = p_runs_resume.add_mutually_exclusive_group()
+    pick.add_argument(
+        "--latest",
+        action="store_true",
+        help="resume the most recently interrupted run (the default)",
+    )
+    pick.add_argument(
+        "--run-id", default=None, help="resume this specific run id"
+    )
+
     # The pipeline commands get the full runtime surface (durable
     # checkpoints + supervised workers); the rest are telemetry-only.
     for p in (p_embed, p_detect, p_link):
         add_runtime_flags(p, checkpointing=True, workers=True)
-    for p in (p_predict, p_layout, p_gen, p_report, p_top):
+    for p in (p_predict, p_layout, p_gen, p_report, p_top, p_runs_list,
+              p_runs_resume):
         add_runtime_flags(p)
     return parser
 
@@ -573,6 +659,79 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_runs(args) -> int:
+    import time as _time
+
+    from repro.resilience.registry import RunRegistry
+
+    registry = RunRegistry(args.dir)
+    swept = registry.sweep()
+    if args.runs_command == "list":
+        runs = registry.runs()
+        if not runs:
+            print(f"no runs recorded under {args.dir}")
+            return 0
+        print(f"{'RUN ID':<14} {'STATUS':<12} {'PID':<8} {'AGE':<8} COMMAND")
+        now = _time.time()
+        for run in runs:
+            age_s = max(now - (run.updated_unix or now), 0)
+            if age_s >= 3600:
+                age = f"{age_s / 3600:.1f}h"
+            elif age_s >= 60:
+                age = f"{age_s / 60:.0f}m"
+            else:
+                age = f"{age_s:.0f}s"
+            invocation = " ".join(run.argv) or (run.command or "?")
+            status = run.status + (f" ({run.reason})" if run.reason else "")
+            print(
+                f"{run.run_id:<14} {status:<12} {run.pid:<8} {age:<8} "
+                f"{invocation}"
+            )
+        if swept["orphaned_runs"] or swept["shm_segments_removed"]:
+            print(
+                f"swept: {len(swept['orphaned_runs'])} orphaned run(s), "
+                f"{len(swept['shm_segments_removed'])} shm segment(s), "
+                f"{swept['tmp_files_removed']} tmp file(s)"
+            )
+        return 0
+
+    # resume
+    if args.run_id is not None:
+        run = next(
+            (r for r in registry.runs() if r.run_id == args.run_id), None
+        )
+        if run is None:
+            print(f"error: no run {args.run_id!r} in {args.dir}", file=sys.stderr)
+            return 2
+        if not run.resumable:
+            print(
+                f"error: run {run.run_id} is {run.status}, not resumable",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        run = registry.latest_resumable()
+        if run is None:
+            print(f"error: no resumable run under {args.dir}", file=sys.stderr)
+            return 2
+    cmd_argv = list(run.argv)
+    if "--resume" not in cmd_argv:
+        cmd_argv.append("--resume")
+    # Budget overrides: a run that died of resource pressure is usually
+    # resumed with a *raised* ceiling. Appended last, so they win over
+    # the recorded flags (argparse keeps the final occurrence).
+    if args.memory_budget is not None:
+        cmd_argv += ["--memory-budget", str(args.memory_budget)]
+    if args.disk_budget is not None:
+        cmd_argv += ["--disk-budget", str(args.disk_budget)]
+    print(f"resuming run {run.run_id} ({run.status}): repro {' '.join(cmd_argv)}")
+    # A fresh process, not a recursive main(): the resumed run gets its
+    # own signal handlers, observability session, and journal entry.
+    import subprocess
+
+    return subprocess.run([sys.executable, "-m", "repro", *cmd_argv]).returncode
+
+
 def _cmd_top(args) -> int:
     from repro.obs.live import top_command
 
@@ -593,6 +752,7 @@ COMMANDS = {
     "generate": _cmd_generate,
     "report": _cmd_report,
     "top": _cmd_top,
+    "runs": _cmd_runs,
 }
 
 # argparse dests of the telemetry flags; everything else that is a plain
@@ -634,8 +794,32 @@ def _run_config(args) -> dict:
     }
 
 
+def _open_registry(args, raw_argv: list[str]):
+    """Journal this run in the checkpoint dir's registry, if it has one.
+
+    Also the startup sweep point: orphaned shm segments and torn tmp
+    files from pid-gone runs are reclaimed before this run allocates.
+    """
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_dir is None:
+        return None
+    from repro.obs.manifest import config_fingerprint
+    from repro.resilience.registry import RunRegistry
+
+    registry = RunRegistry(checkpoint_dir)
+    registry.sweep()
+    registry.open_run(
+        command=args.command,
+        argv=raw_argv,
+        config_fingerprint=config_fingerprint(_run_config(args)),
+    )
+    return registry
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.obs.recorder import session
+    from repro.resilience.checkpoint import DiskFull
+    from repro.resilience.guard import BudgetExceeded
     from repro.resilience.lifecycle import (
         EXIT_INTERRUPTED,
         CancellationToken,
@@ -644,6 +828,7 @@ def main(argv: list[str] | None = None) -> int:
         signal_guard,
     )
 
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
     deadline_s = getattr(args, "deadline", None)
     token = CancellationToken()
@@ -651,6 +836,7 @@ def main(argv: list[str] | None = None) -> int:
     # runtime_from_args picks the pair up and puts it on the
     # ExecutionContext; engines then poll the ambient scope.
     args._lifecycle = (token, deadline)
+    registry = _open_registry(args, raw_argv)
     try:
         # signal_guard() nests inside session(): an escaping
         # RunInterrupted restores default signal handling first, then
@@ -658,8 +844,16 @@ def main(argv: list[str] | None = None) -> int:
         # signal during manifest writing terminates instead of looping.
         with session(_obs_config(args), run_config=_run_config(args)):
             with signal_guard(token, deadline=deadline):
-                return COMMANDS[args.command](args)
+                rc = COMMANDS[args.command](args)
+        if registry is not None:
+            registry.close_run(
+                "completed" if rc == 0 else "failed",
+                reason=None if rc == 0 else f"exit_{rc}",
+            )
+        return rc
     except RunInterrupted as exc:
+        if registry is not None:
+            registry.close_run("interrupted", reason=exc.reason)
         _log.warning(
             "run.interrupted", reason=exc.reason, exit_code=exc.exit_code
         )
@@ -668,12 +862,30 @@ def main(argv: list[str] | None = None) -> int:
         # A Ctrl-C that beat the cooperative checks (or arrived outside
         # the guard): same contract as RunInterrupted, one structured
         # line instead of a traceback.
+        if registry is not None:
+            registry.close_run("interrupted", reason="keyboard_interrupt")
         _log.warning(
             "run.interrupted",
             reason="keyboard_interrupt",
             exit_code=EXIT_INTERRUPTED,
         )
         return EXIT_INTERRUPTED
+    except BudgetExceeded as exc:
+        if registry is not None:
+            registry.close_run("failed", reason="budget_exceeded")
+        _log.error("run.budget_exceeded", error=str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except DiskFull as exc:
+        if registry is not None:
+            registry.close_run("failed", reason="disk_full")
+        _log.error("run.disk_full", error=str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BaseException:
+        if registry is not None:
+            registry.close_run("failed", reason="exception")
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -86,13 +86,16 @@ def build_manifest(
     interrupt_reason: str | None = None,
     stage_reports: list[dict] | None = None,
     profiles: dict[str, dict] | None = None,
+    pressure: list[dict] | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict.
 
     ``stage_reports`` is the per-stage resource ledger
-    (:mod:`repro.obs.resources` deltas recorded by ``Pipeline.execute``)
-    and ``profiles`` the collapsed-stack summaries from
-    :mod:`repro.obs.profiler` — both additive, schema version unchanged.
+    (:mod:`repro.obs.resources` deltas recorded by ``Pipeline.execute``),
+    ``profiles`` the collapsed-stack summaries from
+    :mod:`repro.obs.profiler`, and ``pressure`` the resource-watchdog
+    sample timeline from :mod:`repro.resilience.guard` — all additive,
+    schema version unchanged.
     """
     if status not in RUN_STATUSES:
         raise ManifestError(f"status must be one of {RUN_STATUSES}, got {status!r}")
@@ -110,6 +113,7 @@ def build_manifest(
         "interrupt_reason": interrupt_reason,
         "stage_reports": stage_reports or [],
         "profiles": profiles or {},
+        "pressure": pressure or [],
     }
 
 
@@ -123,8 +127,14 @@ def write_manifest(
     interrupt_reason: str | None = None,
     stage_reports: list[dict] | None = None,
     profiles: dict[str, dict] | None = None,
+    pressure: list[dict] | None = None,
 ) -> dict[str, Any]:
-    """Build and atomically write the manifest; returns the dict."""
+    """Build and atomically write the manifest; returns the dict.
+
+    The write rides :func:`repro.resilience.checkpoint.atomic_write_bytes`,
+    so a manifest on a full disk gets the same reclaim-and-retry and
+    typed ``DiskFull`` behaviour as a checkpoint.
+    """
     from repro.resilience.checkpoint import atomic_write_bytes
 
     manifest = build_manifest(
@@ -135,6 +145,7 @@ def write_manifest(
         interrupt_reason=interrupt_reason,
         stage_reports=stage_reports,
         profiles=profiles,
+        pressure=pressure,
     )
     atomic_write_bytes(
         path, (json.dumps(manifest, indent=2, default=str) + "\n").encode()

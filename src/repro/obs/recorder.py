@@ -114,6 +114,9 @@ class Recorder:
         self.profiles: dict[str, StackProfile] = {}
         #: Per-stage resource ledger rows appended by Pipeline.execute.
         self.stage_reports: list[dict] = []
+        #: Pressure-watchdog samples (repro.resilience.guard); the
+        #: manifest keeps them under "pressure".
+        self.pressure_records: list[dict] = []
         #: Live status document for `repro top`; set by session().
         self.live = None
 
@@ -154,6 +157,10 @@ class Recorder:
         """Append one per-stage resource row (Pipeline.execute calls this)."""
         self.stage_reports.append(report)
 
+    def add_pressure_record(self, record: dict) -> None:
+        """Append one watchdog sample (PressureWatchdog calls this)."""
+        self.pressure_records.append(record)
+
     def profile_summaries(self) -> dict[str, dict]:
         return {name: prof.summary() for name, prof in self.profiles.items()}
 
@@ -190,6 +197,9 @@ class NullRecorder:
         return None
 
     def add_stage_report(self, report: dict) -> None:
+        return None
+
+    def add_pressure_record(self, record: dict) -> None:
         return None
 
     def profile_summaries(self) -> dict[str, dict]:
@@ -323,6 +333,7 @@ def session(
                         interrupt_reason=reason,
                         stage_reports=recorder.stage_reports or None,
                         profiles=recorder.profile_summaries() or None,
+                        pressure=recorder.pressure_records or None,
                     )
     finally:
         teardown_logging(handlers)

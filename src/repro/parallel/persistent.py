@@ -49,6 +49,8 @@ import atexit
 import itertools
 import os
 import pickle
+import signal
+import threading
 import traceback
 from typing import Callable, Sequence
 
@@ -110,6 +112,16 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
 
         _supervisor._current_heartbeat = _supervisor.NULL_HEARTBEAT
     except Exception:
+        pass
+    # The fork also inherits the CLI's cooperative signal_guard handlers,
+    # which swallow the first SIGTERM — making Process.terminate() (and
+    # the daemon sweep at interpreter exit) ineffective against a worker
+    # blocked in recv. Restore default dispositions: SIGTERM kills,
+    # SIGINT is ignored (the parent winds the pool down with sentinels).
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
         pass
     # Env-armed sampling profiler (REPRO_PROFILE_DIR/_HZ, exported by a
     # profiled obs session before this process forked). The cumulative
@@ -186,6 +198,10 @@ class PersistentPool:
             _Worker(self._mp_ctx) for _ in range(workers)
         ]
         self._closed = False
+        # Serializes shutdown against mid-map respawns: the pressure
+        # watchdog calls shutdown() from its own thread while a map may
+        # be in flight on the main thread.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -193,14 +209,16 @@ class PersistentPool:
         return not self._closed and os.getpid() == self._parent_pid
 
     def shutdown(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         if os.getpid() != self._parent_pid:
             return  # a forked child must not reap its parent's workers
+        # The worker list stays populated (an in-flight map indexes into
+        # it); closing each worker is what actually releases resources.
         for worker in self._pool:
             worker.close()
-        self._pool.clear()
 
     # ------------------------------------------------------------------
     def map(
@@ -262,6 +280,15 @@ class PersistentPool:
             pending.append(idx)
 
         while completed < n:
+            if self._closed:
+                # A concurrent shutdown (pressure-ladder degradation or
+                # interpreter exit) pulled the workers out from under
+                # this map; hand back what finished so the caller's
+                # fallback ladder resumes from there.
+                raise PersistentPoolBroken(
+                    "pool shut down during map",
+                    {i: results[i] for i in range(n) if done[i]},
+                )
             while idle and pending and not failures:
                 submit(idle.pop(), pending.pop())
             if not inflight:
@@ -276,9 +303,19 @@ class PersistentPool:
             conn_to_slot = {
                 self._pool[slot].conn: slot for slot in inflight
             }
-            ready = _mp_connection.wait(
-                list(conn_to_slot), timeout=_POLL_SECONDS
-            )
+            try:
+                ready = _mp_connection.wait(
+                    list(conn_to_slot), timeout=_POLL_SECONDS
+                )
+            except OSError:
+                # A handle was closed while we were selecting on it.
+                if self._closed:
+                    continue  # the loop-top check raises with partials
+                for slot in list(inflight):
+                    worker = self._pool[slot]
+                    if worker.conn.closed or not worker.process.is_alive():
+                        fail_slot(slot)
+                continue
             if not ready:
                 # Nothing readable: reap workers that died silently.
                 for slot in list(inflight):
@@ -321,8 +358,11 @@ class PersistentPool:
         if worker.process.is_alive():  # conn broke but process lingers
             worker.process.terminate()
         worker.process.join(timeout=1.0)
-        _log.warning("pool.worker_respawn", slot=slot)
-        self._pool[slot] = _Worker(self._mp_ctx)
+        with self._lock:
+            if self._closed:
+                return  # shut down concurrently; don't respawn an orphan
+            _log.warning("pool.worker_respawn", slot=slot)
+            self._pool[slot] = _Worker(self._mp_ctx)
 
 
 # ----------------------------------------------------------------------
@@ -340,11 +380,16 @@ def persistent_pool_enabled() -> bool:
 def get_pool(workers: int) -> PersistentPool | None:
     """The shared pool for ``workers``, or ``None`` when unavailable.
 
-    Returns ``None`` when the feature is disabled, when called from a
-    forked child (a child must never talk to its parent's pipes), or
-    when worker processes cannot be spawned at all.
+    Returns ``None`` when the feature is disabled, when the pressure
+    guard's degradation ladder has demoted pooling for this run, when
+    called from a forked child (a child must never talk to its parent's
+    pipes), or when worker processes cannot be spawned at all.
     """
     if not persistent_pool_enabled():
+        return None
+    from repro.resilience.guard import pool_allowed
+
+    if not pool_allowed():
         return None
     pool = _POOLS.get(workers)
     if pool is not None and pool.alive:

@@ -21,6 +21,13 @@ the lifecycle: their mapping disappears with the process, and the owner
 still unlinks the name. Python's ``resource_tracker`` is shared between
 a pool's parent and its workers, so an attach in a worker does not
 schedule a duplicate unlink.
+
+Segments are named ``repro-<pid>-<hex>`` — the creating process's pid is
+embedded in the name so a *later* run can attribute every leftover
+segment to its creator and reclaim the ones whose process is gone
+(:func:`sweep_orphan_segments`, called by the run-registry startup
+sweeper). The only unattributable case left is a SIGKILL of the whole
+process tree before any sweep, and the next run cleans that up too.
 """
 
 from __future__ import annotations
@@ -28,8 +35,11 @@ from __future__ import annotations
 import atexit
 import contextlib
 import os
+import re
+import secrets
 import weakref
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
@@ -49,7 +59,56 @@ __all__ = [
     "attach_cached",
     "release_cached",
     "shared_arrays",
+    "sweep_orphan_segments",
 ]
+
+#: Directory where POSIX shared memory surfaces as files on Linux.
+SHM_MOUNT = "/dev/shm"
+
+#: Segment names this package creates: ``repro-<creator pid>-<hex>``.
+SEGMENT_RE = re.compile(r"^repro-(\d+)-[0-9a-f]+$")
+
+
+def _segment_name() -> str:
+    return f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def sweep_orphan_segments() -> list[str]:
+    """Unlink ``repro-<pid>-*`` /dev/shm segments whose pid is dead.
+
+    The crash-recovery path: a run killed with SIGKILL never reaches its
+    atexit sweep, leaving named segments pinned in RAM. Any later run
+    calls this at startup; segments belonging to live processes are left
+    alone. Returns the names removed. A no-op (empty list) where
+    ``/dev/shm`` does not exist.
+    """
+    mount = Path(SHM_MOUNT)
+    removed: list[str] = []
+    try:
+        entries = list(mount.iterdir())
+    except OSError:  # pragma: no cover - non-Linux
+        return removed
+    for entry in entries:
+        match = SEGMENT_RE.match(entry.name)
+        if match is None or _pid_alive(int(match.group(1))):
+            continue
+        # Direct unlink, not SharedMemory(name=...).unlink(): attaching
+        # would register the segment with this process's resource
+        # tracker and double-unlink at exit.
+        with contextlib.suppress(OSError):
+            entry.unlink()
+            removed.append(entry.name)
+    return removed
 
 
 @dataclass(frozen=True)
@@ -104,7 +163,17 @@ class SharedArray:
         _require_shm()
         dt = np.dtype(dtype)
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
-        shm = _shared_memory.SharedMemory(create=True, size=nbytes)
+        shm = None
+        for _ in range(8):  # token collisions are ~2**-32; retry anyway
+            try:
+                shm = _shared_memory.SharedMemory(
+                    name=_segment_name(), create=True, size=nbytes
+                )
+                break
+            except FileExistsError:  # pragma: no cover - astronomically rare
+                continue
+        if shm is None:  # pragma: no cover - fall back to an anonymous name
+            shm = _shared_memory.SharedMemory(create=True, size=nbytes)
         spec = SharedArraySpec(name=shm.name, shape=tuple(shape), dtype=dt.str)
         return cls(shm, spec, owner=True)
 

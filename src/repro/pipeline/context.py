@@ -38,6 +38,7 @@ from repro.obs.recorder import ObsConfig, current_recorder, session
 from repro.parallel.seeding import spawn_seeds, worker_seed_sequence
 from repro.pipeline.checkpointing import FingerprintedCheckpoints
 from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.guard import ResourceBudget
 from repro.resilience.lifecycle import (
     CancellationToken,
     CancelScope,
@@ -104,6 +105,13 @@ class ExecutionContext:
     deadline:
         Wall-clock budget for the run. Expiry behaves like
         cancellation with reason ``"deadline"`` (exit code 124).
+    budget:
+        Resource ceilings (:class:`repro.resilience.guard.ResourceBudget`,
+        from ``--memory-budget`` / ``--disk-budget``). When armed,
+        ``Pipeline.execute`` runs a preflight footprint check and keeps
+        a pressure watchdog sampling for the duration. Excluded from
+        equality — like cancellation, a budget changes *whether/how
+        fast* a run computes, never what it computes.
     """
 
     observability: ObsConfig | None = None
@@ -117,6 +125,7 @@ class ExecutionContext:
     seed: int | None = None
     cancellation: CancellationToken | None = field(default=None, compare=False)
     deadline: Deadline | None = field(default=None, compare=False)
+    budget: ResourceBudget | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.checkpoint_dir is not None and not isinstance(

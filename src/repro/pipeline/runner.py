@@ -26,6 +26,7 @@ every stage used to reimplement:
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -35,6 +36,7 @@ from repro.obs.recorder import current_recorder
 from repro.obs.resources import ResourceSnapshot, resource_delta
 from repro.pipeline.context import ExecutionContext
 from repro.pipeline.stage import Stage, StageError
+from repro.resilience.guard import PressureWatchdog, preflight
 from repro.resilience.lifecycle import RunInterrupted, current_cancel_scope
 
 __all__ = ["Pipeline", "PipelineResult", "StageReport"]
@@ -107,12 +109,23 @@ class Pipeline:
     def execute(
         self, value: Any = None, context: ExecutionContext | None = None
     ) -> PipelineResult:
-        """Run every stage in order, feeding each the previous output."""
+        """Run every stage in order, feeding each the previous output.
+
+        With an armed :class:`~repro.resilience.guard.ResourceBudget` on
+        the context, a preflight footprint check runs first (raising
+        :class:`~repro.resilience.guard.BudgetExceeded`, or degrading
+        workers under ``auto_degrade``) and a
+        :class:`~repro.resilience.guard.PressureWatchdog` samples
+        RSS/shm/disk for the duration, driving the degradation ladder on
+        breach — whose last rung cancels the run through the same
+        cooperative machinery as a SIGTERM.
+        """
         ctx = context or ExecutionContext()
+        ctx = preflight(ctx, self.stages, value)
         rec = current_recorder()
         outputs: dict[str, Any] = {}
         reports: list[StageReport] = []
-        with ctx.lifecycle():
+        with ctx.lifecycle(), self._guarded(ctx):
             scope = current_cancel_scope()
             for stage in self.stages:
                 # Between-stage boundary: never start a stage the run no
@@ -163,6 +176,32 @@ class Pipeline:
         if rec.live is not None:
             rec.live.update(stage=None)
         return PipelineResult(value=value, outputs=outputs, reports=reports)
+
+    @contextlib.contextmanager
+    def _guarded(self, ctx: ExecutionContext):
+        """Run the block under a pressure watchdog when a budget is armed.
+
+        Entered inside ``ctx.lifecycle()`` so the ladder's cancel rung
+        can reach the run's ambient cancellation token; without a token
+        (pure library call, no CLI lifecycle) the ladder still applies
+        every non-terminal mitigation. The ladder is reset on entry —
+        degradation is per-run state, not process history.
+        """
+        budget = ctx.budget
+        if budget is None or not budget.armed:
+            yield
+            return
+        token = current_cancel_scope().token
+        cancel = (
+            (lambda: token.cancel("resource_pressure", detail="guard ladder"))
+            if token is not None
+            else None
+        )
+        watchdog = PressureWatchdog(
+            budget, checkpoint_dir=ctx.checkpoint_dir, cancel=cancel
+        )
+        with watchdog:
+            yield
 
     def _stage_obs_begin(self, rec, name: str):
         """Arm per-stage observability; (None, None) on the disabled path.

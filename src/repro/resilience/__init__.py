@@ -25,9 +25,36 @@ above uses to survive partial failure:
   :class:`CancelScope` hot loops poll, :func:`signal_guard` for
   SIGTERM/SIGINT, and :class:`RunInterrupted` with conventional exit
   codes (130 interrupt, 124 deadline).
+- :mod:`repro.resilience.guard` — resource-pressure guardrails:
+  :class:`ResourceBudget` (``--memory-budget`` / ``--disk-budget``),
+  preflight footprint estimation with typed :class:`BudgetExceeded`,
+  the :class:`PressureWatchdog` daemon, and the pressure degradation
+  ladder (shrink waves → drop pool → halve workers → emergency
+  checkpoint).
+- :mod:`repro.resilience.registry` — the crash-safe run journal
+  (``runs.jsonl``) behind ``repro runs list`` / ``repro runs resume``,
+  plus the startup sweeper that reclaims /dev/shm segments and torn
+  tmp files from pid-gone runs.
 """
 
-from repro.resilience.chaos import FaultInjector, InjectedFault
+from repro.resilience.chaos import (
+    FaultInjector,
+    InjectedFault,
+    injected_memory_bytes,
+    release_injected_memory,
+)
+from repro.resilience.guard import (
+    BudgetExceeded,
+    PressureWatchdog,
+    ResourceBudget,
+    RunFootprint,
+    estimate_footprint,
+    guard_state,
+    parse_size,
+    preflight,
+    reset_guard,
+)
+from repro.resilience.registry import RunRecord, RunRegistry
 from repro.resilience.lifecycle import (
     EXIT_DEADLINE,
     EXIT_INTERRUPTED,
@@ -44,9 +71,11 @@ from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointCorrupt,
     CheckpointManager,
+    DiskFull,
     atomic_write_bytes,
     integrity_record,
     load_checkpoint,
+    reclaim_disk,
     save_checkpoint,
     verify_integrity,
 )
@@ -70,7 +99,9 @@ __all__ = [
     "Checkpoint",
     "CheckpointCorrupt",
     "CheckpointManager",
+    "DiskFull",
     "atomic_write_bytes",
+    "reclaim_disk",
     "save_checkpoint",
     "load_checkpoint",
     "integrity_record",
@@ -80,6 +111,19 @@ __all__ = [
     "current_heartbeat",
     "FaultInjector",
     "InjectedFault",
+    "injected_memory_bytes",
+    "release_injected_memory",
+    "BudgetExceeded",
+    "PressureWatchdog",
+    "ResourceBudget",
+    "RunFootprint",
+    "estimate_footprint",
+    "guard_state",
+    "parse_size",
+    "preflight",
+    "reset_guard",
+    "RunRecord",
+    "RunRegistry",
     "CancellationToken",
     "CancelScope",
     "Deadline",

@@ -22,6 +22,7 @@ matter for multi-process chaos:
 
 from __future__ import annotations
 
+import errno
 import os
 import signal as _signal
 import time
@@ -32,9 +33,33 @@ import numpy as np
 
 from repro.obs.recorder import current_recorder
 
-__all__ = ["FaultInjector", "InjectedFault", "EXIT_CODE"]
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "EXIT_CODE",
+    "injected_memory_bytes",
+    "release_injected_memory",
+]
 
 EXIT_CODE = 13  # distinctive status for injected process death
+
+# Allocations made by ``mem_pressure`` faults, tracked process-wide so
+# tests (and the pressure watchdog's own chaos runs) can measure and
+# release them. Holding real bytearrays — not a mock — means VmRSS
+# actually grows, which is what the watchdog samples.
+_INJECTED_ALLOCATIONS: list[bytearray] = []
+
+
+def injected_memory_bytes() -> int:
+    """Total bytes currently held by ``mem_pressure`` faults."""
+    return sum(len(b) for b in _INJECTED_ALLOCATIONS)
+
+
+def release_injected_memory() -> int:
+    """Free every tracked ``mem_pressure`` allocation; returns bytes freed."""
+    freed = injected_memory_bytes()
+    _INJECTED_ALLOCATIONS.clear()
+    return freed
 
 
 class InjectedFault(RuntimeError):
@@ -95,6 +120,21 @@ class FaultInjector:
         the calling process — chaos for ``--deadline`` runs without
         waiting out a real wall-clock budget. A no-op when no deadline
         is active.
+    enospc_on_calls / enospc_items:
+        Raise ``OSError(ENOSPC)`` — the exact exception a full
+        filesystem produces — instead of running the wrapped callable.
+        Wrap a write path (``os.fsync``, a checkpoint save) with this to
+        exercise the :class:`repro.resilience.checkpoint.DiskFull`
+        reclaim-and-retry machinery without actually filling a disk.
+    mem_pressure_on_calls / mem_pressure_items:
+        Inflate a *tracked* allocation of ``mem_pressure_bytes`` real
+        bytes (VmRSS genuinely grows), then proceed with the call.
+        Allocations accumulate in a module-level ledger; inspect with
+        :func:`injected_memory_bytes` and free with
+        :func:`release_injected_memory`. Drives the pressure watchdog's
+        degradation ladder in tests without risking a real OOM kill.
+    mem_pressure_bytes:
+        Size of each injected allocation (default 64 MiB).
     once_marker:
         Optional path; faults fire only while it does not exist and
         create it upon firing, so a retried call succeeds.
@@ -126,6 +166,11 @@ class FaultInjector:
         signal_number: int = _signal.SIGTERM,
         deadline_on_calls: Collection[int] = (),
         deadline_items: Collection[Any] = (),
+        enospc_on_calls: Collection[int] = (),
+        enospc_items: Collection[Any] = (),
+        mem_pressure_on_calls: Collection[int] = (),
+        mem_pressure_items: Collection[Any] = (),
+        mem_pressure_bytes: int = 64 * 1024 * 1024,
         once_marker: str | Path | None = None,
         only_in_subprocess: bool = False,
     ) -> None:
@@ -139,6 +184,8 @@ class FaultInjector:
             raise ValueError("hang_seconds must be positive")
         if (corrupt_on_calls or corrupt_items) and corrupt_path is None:
             raise ValueError("corrupt faults require corrupt_path")
+        if mem_pressure_bytes <= 0:
+            raise ValueError("mem_pressure_bytes must be positive")
         self.fn = fn
         self.fail_on_calls = frozenset(int(c) for c in fail_on_calls)
         self.exit_on_calls = frozenset(int(c) for c in exit_on_calls)
@@ -158,6 +205,13 @@ class FaultInjector:
         self.signal_number = int(signal_number)
         self.deadline_on_calls = frozenset(int(c) for c in deadline_on_calls)
         self.deadline_items = tuple(deadline_items)
+        self.enospc_on_calls = frozenset(int(c) for c in enospc_on_calls)
+        self.enospc_items = tuple(enospc_items)
+        self.mem_pressure_on_calls = frozenset(
+            int(c) for c in mem_pressure_on_calls
+        )
+        self.mem_pressure_items = tuple(mem_pressure_items)
+        self.mem_pressure_bytes = int(mem_pressure_bytes)
         self.once_marker = str(once_marker) if once_marker is not None else None
         self.only_in_subprocess = bool(only_in_subprocess)
         self._home_pid = os.getpid()
@@ -249,6 +303,29 @@ class FaultInjector:
                     "fault.injected", level="warning", kind="deadline",
                     call=self.calls, pid=os.getpid(),
                     expired=expire_active_deadline(),
+                )
+            if self._should(
+                self.mem_pressure_on_calls, self.mem_pressure_items, args
+            ):
+                self._mark_fired()
+                _INJECTED_ALLOCATIONS.append(bytearray(self.mem_pressure_bytes))
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="mem_pressure",
+                    call=self.calls, pid=os.getpid(),
+                    bytes=self.mem_pressure_bytes,
+                    held=injected_memory_bytes(),
+                )
+            if self._should(self.enospc_on_calls, self.enospc_items, args):
+                self._mark_fired()
+                rec.inc("fault.injected")
+                rec.event(
+                    "fault.injected", level="warning", kind="enospc",
+                    call=self.calls, pid=os.getpid(),
+                )
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected ENOSPC on call {self.calls} (args={args!r})",
                 )
             if self._should(self.exit_on_calls, self.exit_items, args):
                 self._mark_fired()

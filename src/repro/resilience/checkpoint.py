@@ -26,16 +26,28 @@ and quarantine instead of crash: :meth:`CheckpointManager.load_if_exists`
 moves a bad file to ``<file>.corrupt.<ts>`` and returns ``None``, which
 resuming phases treat as "start fresh".
 
+Disk-full behaviour: an ``ENOSPC`` anywhere in the write path becomes
+the typed :class:`DiskFull`. Before giving up, the write garbage-collects
+the reclaimable artifacts under the destination's directory tree —
+quarantined ``*.corrupt.<ts>`` snapshots and stale ``*.tmp.<pid>``
+leftovers (:func:`reclaim_disk`) — and retries exactly once; only a
+second ``ENOSPC`` propagates. The temporary file is unlinked on *every*
+failure path, so a failed write can never strand a ``.tmp`` file that
+itself eats the disk the next write needs.
+
 :class:`CheckpointManager` scopes named checkpoints to a directory and
 is what the walk engine and trainer thread through the stack.
 """
 
 from __future__ import annotations
 
+import contextlib
+import errno
 import hashlib
 import io
 import json
 import os
+import re
 import time
 import zipfile
 import zlib
@@ -52,7 +64,9 @@ __all__ = [
     "Checkpoint",
     "CheckpointCorrupt",
     "CheckpointManager",
+    "DiskFull",
     "atomic_write_bytes",
+    "reclaim_disk",
     "save_checkpoint",
     "load_checkpoint",
     "integrity_record",
@@ -64,6 +78,24 @@ _INTEGRITY_KEY = "__integrity__"
 _SUFFIX = ".ckpt.npz"
 
 _log = get_logger("repro.resilience.checkpoint")
+
+
+class DiskFull(OSError):
+    """The filesystem under a checkpoint/manifest path ran out of space.
+
+    Raised (after one reclaim-and-retry pass) when a durable write hits
+    ``ENOSPC``. A typed subclass of ``OSError`` so generic ``except
+    OSError`` cleanup still works, while the guard subsystem and CLI can
+    match it specifically and report *which* path filled up.
+    """
+
+    def __init__(self, path: str | Path, detail: str = "") -> None:
+        msg = f"disk full writing {path}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(errno.ENOSPC, msg)
+        self.path = Path(path)
+        self.detail = detail
 
 
 class CheckpointCorrupt(RuntimeError):
@@ -157,20 +189,60 @@ class Checkpoint:
     meta: dict[str, Any] = field(default_factory=dict)
 
 
-def atomic_write_bytes(path: str | Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically and durably.
+# Reclaimable write artifacts: our own tmp files (``<name>.tmp.<pid>``)
+# and quarantined corrupt snapshots (``<name>.corrupt.<ts>[.<n>]``).
+# Anchored patterns so a GC pass in an arbitrary directory can never
+# match user data that merely contains ".tmp" somewhere.
+_TMP_RE = re.compile(r"\.tmp\.\d+$")
+_CORRUPT_RE = re.compile(r"\.corrupt\.\d+(\.\d+)?$")
 
-    tmp → flush → fsync(file) → ``os.replace`` → fsync(directory). The
-    temporary file lives in the destination directory so the final
-    ``os.replace`` is a same-filesystem rename (the only portable way to
-    make it atomic). The directory fsync is what makes the rename
-    *durable*: until the directory entry reaches disk, a power loss can
-    resurrect the old file (or none) even though the data blocks were
-    synced. Platforms where directories cannot be opened/fsynced
-    (e.g. Windows) skip that step — the replace is still atomic there.
+
+def _is_enospc(exc: OSError) -> bool:
+    return exc.errno == errno.ENOSPC
+
+
+def reclaim_disk(root: str | Path) -> int:
+    """Garbage-collect reclaimable artifacts under ``root``, recursively.
+
+    Removes stale ``*.tmp.<pid>`` leftovers from crashed writes and
+    quarantined ``*.corrupt.<ts>`` snapshots — both are dead weight once
+    the disk is full, and neither is ever read by a resume. Returns the
+    number of bytes freed. Never raises: an unremovable file is skipped.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    freed = 0
+    for p in root.rglob("*"):
+        name = p.name
+        if not (_TMP_RE.search(name) or _CORRUPT_RE.search(name)):
+            continue
+        try:
+            size = p.stat().st_size
+            p.unlink()
+        except OSError:
+            continue
+        freed += size
+    if freed:
+        rec = current_recorder()
+        rec.inc("checkpoint.disk_reclaimed_bytes", freed)
+        rec.event(
+            "checkpoint.disk_reclaimed",
+            level="warning",
+            root=str(root),
+            bytes=freed,
+        )
+    return freed
+
+
+def _atomic_write_once(path: Path, data: bytes) -> None:
+    """One attempt at tmp → fsync → replace → dir-fsync.
+
+    The temporary file is unlinked on *every* failure path — including
+    a failed ``open`` that never created it (``missing_ok``) and cleanup
+    errors on a sick filesystem (suppressed so they never mask the
+    original exception). ``ENOSPC`` is translated to :class:`DiskFull`.
+    """
     tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
     rec = current_recorder()
     try:
@@ -183,9 +255,50 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
             os.replace(tmp, path)
             _fsync_dir(path.parent)
         rec.inc("checkpoint.bytes", len(data))
-    finally:
-        if tmp.exists():  # only on failure before the replace
-            tmp.unlink()
+    except OSError as exc:
+        with contextlib.suppress(OSError):
+            tmp.unlink(missing_ok=True)
+        if _is_enospc(exc):
+            raise DiskFull(path, str(exc)) from exc
+        raise
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically and durably.
+
+    tmp → flush → fsync(file) → ``os.replace`` → fsync(directory). The
+    temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (the only portable way to
+    make it atomic). The directory fsync is what makes the rename
+    *durable*: until the directory entry reaches disk, a power loss can
+    resurrect the old file (or none) even though the data blocks were
+    synced. Platforms where directories cannot be opened/fsynced
+    (e.g. Windows) skip that step — the replace is still atomic there.
+
+    On ``ENOSPC`` the write garbage-collects reclaimable artifacts in
+    the destination tree (:func:`reclaim_disk`) and retries once; a
+    second failure raises :class:`DiskFull`. The temp file never
+    survives a failed write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        _atomic_write_once(path, data)
+    except DiskFull:
+        rec = current_recorder()
+        rec.inc("checkpoint.enospc")
+        rec.event(
+            "checkpoint.enospc",
+            level="warning",
+            path=str(path),
+            action="reclaim_and_retry",
+        )
+        reclaim_disk(path.parent)
+        _atomic_write_once(path, data)
 
 
 def _fsync_dir(directory: Path) -> None:

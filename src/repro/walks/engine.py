@@ -614,19 +614,26 @@ def _generate_walks_checkpointed(
                 "walks.resume", chunks=len(done), of=len(tasks)
             )
 
+    from repro.resilience.guard import clamp_wave
     from repro.resilience.lifecycle import current_cancel_scope
 
     scope = current_cancel_scope()
     missing = [i for i in range(len(tasks)) if i not in done]
     # Compute in waves of `workers` chunks, checkpointing after each
-    # wave, so a kill mid-job loses at most one wave of work.
-    wave = max(workers, 1)
-    for wave_index, lo in enumerate(range(0, len(missing), wave)):
+    # wave, so a kill mid-job loses at most one wave of work. Under
+    # memory pressure the guard ladder clamps the wave to one chunk —
+    # re-read per wave so a mid-run breach takes effect immediately.
+    # Wave size is pure scheduling (the fingerprint counts chunks), so
+    # shrinking it never perturbs resume identity.
+    lo, wave_index = 0, 0
+    while lo < len(missing):
         # Completed waves are already durable; raising here (cancel or
         # deadline) loses at most the wave in flight, and chunk seeds
         # are deterministic so resume recomputes it bit-for-bit.
         scope.check()
+        wave = clamp_wave(max(workers, 1))
         batch = missing[lo : lo + wave]
+        lo += wave
         wave_started = time.perf_counter()
         computed = parallel_map(
             ctx.wrap_task(_chunk_task),
@@ -647,6 +654,7 @@ def _generate_walks_checkpointed(
                 chunks=len(batch),
                 seconds=round(wave_seconds, 6),
             )
+        wave_index += 1
     ordered = [done[i] for i in range(len(tasks))]
     return WalkCorpus(np.vstack(ordered), num_vertices=g.n)
 

@@ -1,5 +1,6 @@
 """Per-stage resource accounting: snapshots and deltas."""
 
+import gc
 import json
 import time
 
@@ -28,6 +29,9 @@ def test_delta_tracks_cpu_bound_work():
 
 
 def test_delta_tracks_allocation_growth():
+    # Flush garbage left by earlier tests first: a collection between the
+    # two snapshots would offset the growth this test measures.
+    gc.collect()
     before = ResourceSnapshot.capture()
     keep = [list(range(100)) for _ in range(10_000)]
     delta = resource_delta(before, ResourceSnapshot.capture())

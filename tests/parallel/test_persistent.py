@@ -1,6 +1,8 @@
 """Tests for the persistent fork-once worker pool."""
 
 import os
+import threading
+import time
 
 import pytest
 
@@ -46,6 +48,11 @@ def _exit_always(item):
     if item == "die":
         os._exit(1)
     return item
+
+
+def _sleep_then_double(x):
+    time.sleep(0.05)
+    return 2 * x
 
 
 @pytest.fixture()
@@ -108,6 +115,29 @@ class TestLifecycle:
         assert not p.alive
         with pytest.raises(PersistentPoolBroken):
             p.map(_double, [1])
+
+    def test_shutdown_from_another_thread_mid_map(self):
+        """The pressure watchdog shuts pools down while a map is live.
+
+        The map must surface ``PersistentPoolBroken`` (so callers fall
+        back down the executor ladder) rather than hanging or leaking
+        respawned workers that outlive the pool.
+        """
+        p = PersistentPool(2)
+        killer = threading.Timer(0.1, p.shutdown)
+        killer.start()
+        try:
+            with pytest.raises(PersistentPoolBroken):
+                # Enough slow items that the shutdown lands mid-map.
+                p.map(_sleep_then_double, list(range(200)))
+        finally:
+            killer.cancel()
+            p.shutdown()
+        # No respawned orphans: every worker process must be reaped.
+        deadline = time.monotonic() + 5.0
+        for worker in p._pool:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            assert not worker.process.is_alive()
 
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError):

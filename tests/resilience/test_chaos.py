@@ -154,3 +154,73 @@ class TestCorruptFileFault:
     def test_requires_corrupt_path(self):
         with pytest.raises(ValueError):
             FaultInjector(identity, corrupt_on_calls={1})
+
+
+class TestEnospcFault:
+    def test_raises_the_exact_full_disk_errno(self):
+        import errno
+
+        inj = FaultInjector(identity, enospc_on_calls={2})
+        assert inj(1) == 1
+        with pytest.raises(OSError) as err:
+            inj(2)
+        assert err.value.errno == errno.ENOSPC
+        assert inj(3) == 3  # only the marked call fails
+
+    def test_item_trigger(self):
+        inj = FaultInjector(identity, enospc_items={"victim"})
+        assert inj("ok") == "ok"
+        with pytest.raises(OSError):
+            inj("victim")
+
+    def test_once_marker_gives_fail_then_recover(self, tmp_path):
+        marker = tmp_path / "fired"
+        inj = FaultInjector(
+            identity, enospc_on_calls={1, 2, 3}, once_marker=marker
+        )
+        with pytest.raises(OSError):
+            inj(1)
+        assert marker.exists()
+        assert inj(2) == 2  # retry passes clean
+
+
+class TestMemPressureFault:
+    @pytest.fixture(autouse=True)
+    def release_allocations(self):
+        from repro.resilience.chaos import release_injected_memory
+
+        yield
+        release_injected_memory()
+
+    def test_allocation_is_real_and_tracked(self):
+        from repro.resilience.chaos import (
+            injected_memory_bytes,
+            release_injected_memory,
+        )
+
+        inj = FaultInjector(
+            identity, mem_pressure_on_calls={1}, mem_pressure_bytes=1 << 20
+        )
+        assert injected_memory_bytes() == 0
+        assert inj(7) == 7  # the call itself proceeds
+        assert injected_memory_bytes() == 1 << 20
+        assert inj(8) == 8  # no further allocation
+        assert injected_memory_bytes() == 1 << 20
+        assert release_injected_memory() == 1 << 20
+        assert injected_memory_bytes() == 0
+
+    def test_allocations_accumulate(self):
+        from repro.resilience.chaos import injected_memory_bytes
+
+        inj = FaultInjector(
+            identity,
+            mem_pressure_on_calls={1, 2},
+            mem_pressure_bytes=1 << 16,
+        )
+        inj(1)
+        inj(2)
+        assert injected_memory_bytes() == 2 << 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(identity, mem_pressure_bytes=0)

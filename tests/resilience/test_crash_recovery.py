@@ -1,0 +1,129 @@
+"""SIGKILL-mid-checkpoint recovery: sweep the wreckage, resume bitwise.
+
+A real ``python -m repro embed`` subprocess is hard-killed the moment
+its first trainer checkpoint is durable — no signal handler, no atexit,
+exactly like the OOM killer. The next registry interaction must then:
+
+- fold the dead run's ``running`` journal record to ``orphaned``,
+- remove its torn ``*.tmp.<pid>`` files and ``repro-<pid>-*``
+  /dev/shm segments,
+- and ``repro runs resume --latest`` must replay the recorded argv to
+  an embedding bitwise-identical to an uninterrupted reference run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import planted_partition
+from repro.graph.io import write_edge_list
+from repro.parallel.shm import SHM_MOUNT
+from repro.resilience.registry import RunRegistry
+
+pytestmark = pytest.mark.chaos
+
+
+def _env():
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    return env
+
+
+def _embed_argv(edges, out, ckpt):
+    return [
+        "embed", str(edges),
+        "--dim", "12", "--walks", "4", "--length", "20",
+        "--epochs", "16", "--seed", "3", "--log-level", "error",
+        "-o", str(out), "--checkpoint-dir", str(ckpt),
+    ]
+
+
+def test_sigkill_mid_checkpoint_sweeps_and_resumes_bitwise(tmp_path):
+    graph = planted_partition(n=81, groups=3, alpha=0.7, inter_edges=10, seed=0)
+    edges = tmp_path / "graph.edges"
+    write_edge_list(graph, edges)
+    env = _env()
+
+    ref_out = tmp_path / "ref.npz"
+    rc = subprocess.run(
+        [sys.executable, "-m", "repro"]
+        + _embed_argv(edges, ref_out, tmp_path / "ref_ckpt"),
+        env=env,
+    ).returncode
+    assert rc == 0, "reference run failed"
+
+    ckpt = tmp_path / "ckpt"
+    chaos_out = tmp_path / "chaos.npz"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + _embed_argv(edges, chaos_out, ckpt),
+        env=env,
+    )
+    trainer_ckpt = ckpt / "trainer.ckpt.npz"
+    give_up = time.monotonic() + 120
+    while (
+        not trainer_ckpt.exists()
+        and proc.poll() is None
+        and time.monotonic() < give_up
+    ):
+        time.sleep(0.01)
+    assert proc.poll() is None, (
+        f"run finished (exit {proc.returncode}) before SIGKILL "
+        "could land mid-training"
+    )
+    proc.send_signal(signal.SIGKILL)
+    assert proc.wait(timeout=60) == -signal.SIGKILL
+
+    # Recreate the full crash debris deterministically: a torn tmp file
+    # and an orphaned shm segment owned by the (now certainly dead) pid.
+    torn_tmp = ckpt / f"trainer.ckpt.npz.tmp.{proc.pid}"
+    torn_tmp.write_bytes(b"half a checkpoint")
+    shm_mount = Path(SHM_MOUNT)
+    orphan_seg = None
+    if shm_mount.is_dir():
+        orphan_seg = shm_mount / f"repro-{proc.pid}-feedface"
+        orphan_seg.write_bytes(b"")
+
+    try:
+        # The killed run never journaled a terminal status.
+        stale = [r for r in RunRegistry(ckpt).runs() if r.pid == proc.pid]
+        assert stale and stale[0].status == "running"
+
+        listing = subprocess.run(
+            [sys.executable, "-m", "repro", "runs", "list", str(ckpt)],
+            env=env, capture_output=True, text=True,
+        )
+        assert listing.returncode == 0, listing.stderr
+        assert "orphaned" in listing.stdout
+        assert "swept:" in listing.stdout
+
+        # The startup sweep reclaimed every trace of the dead run.
+        assert not torn_tmp.exists()
+        if orphan_seg is not None:
+            assert not orphan_seg.exists()
+
+        rc = subprocess.run(
+            [sys.executable, "-m", "repro", "runs", "resume", str(ckpt),
+             "--latest"],
+            env=env,
+        ).returncode
+        assert rc == 0, "resume replay failed"
+    finally:
+        if orphan_seg is not None:
+            orphan_seg.unlink(missing_ok=True)
+
+    with np.load(ref_out) as ref, np.load(chaos_out) as res:
+        np.testing.assert_array_equal(ref["vectors"], res["vectors"])
+
+    # Terminal registry state: the orphan stays orphaned, the resumed
+    # run completed, and nothing torn survives anywhere in the tree.
+    runs = RunRegistry(ckpt).runs()
+    by_pid = {r.pid: r for r in runs}
+    assert by_pid[proc.pid].status == "orphaned"
+    assert any(r.status == "completed" for r in runs)
+    assert not [p for p in ckpt.rglob("*") if ".tmp." in p.name]

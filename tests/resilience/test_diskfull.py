@@ -1,0 +1,140 @@
+"""Disk-full hardening of the atomic write path.
+
+The contract: a failed :func:`atomic_write_bytes` never strands its
+``*.tmp.<pid>`` file (a leaked tmp on a full disk eats exactly the
+space the next write needs), ``ENOSPC`` surfaces as the typed
+:class:`DiskFull` only after one reclaim-and-retry pass, and
+:func:`reclaim_disk` removes precisely the artifacts nothing will ever
+read again.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.obs.recorder import Recorder, use
+from repro.resilience.chaos import FaultInjector
+from repro.resilience.checkpoint import (
+    DiskFull,
+    atomic_write_bytes,
+    load_checkpoint,
+    reclaim_disk,
+    save_checkpoint,
+)
+
+
+def _tmp_leftovers(directory):
+    return [p.name for p in directory.rglob("*") if ".tmp." in p.name]
+
+
+class TestAtomicWriteBytes:
+    def test_happy_path_leaves_only_the_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert _tmp_leftovers(tmp_path) == []
+
+    def test_single_enospc_is_retried_after_reclaim(self, tmp_path, monkeypatch):
+        # Inject the exact OSError a full filesystem produces into the
+        # first fsync; the reclaim-and-retry pass must then succeed.
+        monkeypatch.setattr(
+            os, "fsync", FaultInjector(os.fsync, enospc_on_calls={1})
+        )
+        target = tmp_path / "out.json"
+        with use(Recorder()) as rec:
+            atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert _tmp_leftovers(tmp_path) == []
+        counters = rec.registry.snapshot()["counters"]
+        assert counters["checkpoint.enospc"] == 1
+        assert counters["fault.injected"] == 1
+
+    def test_reclaim_frees_space_the_retry_needs(self, tmp_path, monkeypatch):
+        # A stale tmp from a "crashed" writer sits in the directory; the
+        # ENOSPC retry path must have garbage-collected it.
+        stale = tmp_path / "old.json.tmp.99999"
+        stale.write_bytes(b"x" * 128)
+        monkeypatch.setattr(
+            os, "fsync", FaultInjector(os.fsync, enospc_on_calls={1})
+        )
+        atomic_write_bytes(tmp_path / "out.json", b"payload")
+        assert not stale.exists()
+
+    def test_persistent_enospc_raises_typed_diskfull(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            os, "fsync", FaultInjector(os.fsync, enospc_on_calls={1, 2})
+        )
+        target = tmp_path / "out.json"
+        with pytest.raises(DiskFull) as err:
+            atomic_write_bytes(target, b"payload")
+        assert err.value.path == target
+        assert err.value.errno == errno.ENOSPC
+        assert isinstance(err.value, OSError)
+        assert not target.exists()
+        assert _tmp_leftovers(tmp_path) == []
+
+    def test_non_enospc_oserror_propagates_untyped(self, tmp_path, monkeypatch):
+        def denied(path, target_path):
+            raise OSError(errno.EACCES, "permission denied")
+
+        monkeypatch.setattr(os, "replace", denied)
+        with pytest.raises(OSError) as err:
+            atomic_write_bytes(tmp_path / "out.json", b"payload")
+        assert not isinstance(err.value, DiskFull)
+        assert _tmp_leftovers(tmp_path) == []
+
+    def test_arbitrary_failure_unlinks_the_tmp(self, tmp_path, monkeypatch):
+        # Non-OSError failures (a KeyboardInterrupt mid-write, a bug in
+        # a monkeypatched layer) must also clean up.
+        def boom(path, target_path):
+            raise RuntimeError("torn mid-replace")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(RuntimeError):
+            atomic_write_bytes(tmp_path / "out.json", b"payload")
+        assert _tmp_leftovers(tmp_path) == []
+
+    def test_checkpoint_save_rides_the_same_path(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        monkeypatch.setattr(
+            os, "fsync", FaultInjector(os.fsync, enospc_on_calls={1})
+        )
+        path = tmp_path / "state.ckpt.npz"
+        save_checkpoint(path, {"a": np.arange(4)}, {"epoch": 1})
+        loaded = load_checkpoint(path)
+        np.testing.assert_array_equal(loaded.arrays["a"], np.arange(4))
+        assert _tmp_leftovers(tmp_path) == []
+
+
+class TestReclaimDisk:
+    def test_removes_only_reclaimable_artifacts(self, tmp_path):
+        victims = [
+            tmp_path / "a.ckpt.npz.tmp.1234",
+            tmp_path / "b.ckpt.npz.corrupt.1700000000",
+            tmp_path / "c.ckpt.npz.corrupt.1700000000.1",
+            tmp_path / "nested" / "d.json.tmp.42",
+        ]
+        survivors = [
+            tmp_path / "keep.ckpt.npz",
+            tmp_path / "data.tmp.notapid",
+            tmp_path / "corrupt.story.txt",
+        ]
+        (tmp_path / "nested").mkdir()
+        for p in victims + survivors:
+            p.write_bytes(b"x" * 10)
+        freed = reclaim_disk(tmp_path)
+        assert freed == 10 * len(victims)
+        assert all(not p.exists() for p in victims)
+        assert all(p.exists() for p in survivors)
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        assert reclaim_disk(tmp_path / "nope") == 0
+
+    def test_emits_reclaim_telemetry(self, tmp_path):
+        (tmp_path / "stale.npz.tmp.7").write_bytes(b"x" * 64)
+        with use(Recorder()) as rec:
+            reclaim_disk(tmp_path)
+        counters = rec.registry.snapshot()["counters"]
+        assert counters["checkpoint.disk_reclaimed_bytes"] == 64
