@@ -24,6 +24,13 @@ a fully-armed token + deadline) relative to a serial training epoch —
 the run-lifecycle counterpart of the disabled-telemetry guard, budgeted
 at < 1% (``benchmarks/test_perf_lifecycle_overhead.py`` enforces it).
 
+Since PR 10 it also records ``shard_walks``: out-of-core walk
+throughput over a memory-mapped :class:`~repro.graph.store.GraphStore`
+at each shard × worker combination, with a hard bitwise-identity check
+against the single-shard corpus (shard layout is runtime policy, never
+model identity) and the frontier-exchange shape (rounds, boundary
+crossings) alongside the timings.
+
 Since PR 9 it also records ``guard_overhead``: one watchdog
 ``poll_once()`` tick (a /proc RSS read plus two ``statvfs`` calls)
 relative to its sample interval, plus the one-shot preflight footprint
@@ -60,6 +67,9 @@ from repro.obs.resources import ResourceSnapshot, resource_delta
 from repro.parallel.pool import resolve_workers
 from repro.walks.engine import RandomWalkConfig, generate_walks
 
+# Still v2: PR 10's `shard_walks` section is purely additive, and
+# scripts/perf_guard.py refuses to compare reports across schema
+# versions — a bump would orphan the committed BENCH_PR7.json baseline.
 BENCH_SCHEMA_VERSION = 2
 
 
@@ -120,6 +130,11 @@ def measure(
                 "manifest": mpath.name,
             }
         )
+
+    shard_rows = _shard_walks(
+        graph, walk_cfg, worker_counts, manifest_dir,
+        seed=seed, warmup=warmup, repeats=repeats,
+    )
 
     corpus = generate_walks(graph, walk_cfg)
     train_rows = []
@@ -196,10 +211,89 @@ def measure(
         },
         "train_config": {"dim": dim, "epochs": epochs, "seed": seed},
         "walk_generation": walk_rows,
+        "shard_walks": shard_rows,
         "training": train_rows,
         "lifecycle_overhead": lifecycle,
         "guard_overhead": guard,
     }
+
+
+def _shard_walks(
+    graph, walk_cfg, worker_counts: list[int], manifest_dir: Path, *,
+    seed: int, warmup: int, repeats: int, shard_counts: tuple[int, ...] = (1, 4),
+) -> list[dict]:
+    """Out-of-core walk throughput (PR 10): mmap'd store, per-shard tasks.
+
+    Measures :func:`repro.walks.sharded.generate_walks_sharded` over the
+    same graph and walk config as the in-memory rows, at each shard ×
+    worker combination, and asserts every corpus is bitwise-identical to
+    the single-shard one — a bench run that silently broke shard
+    invariance would poison every number after it. Each row carries the
+    exchange-loop shape (``rounds``, boundary crossings ``exchanged``)
+    so throughput regressions can be told apart from partition-quality
+    regressions.
+    """
+    from repro.graph.store import GraphStore
+    from repro.pipeline import ExecutionContext
+    from repro.walks.sharded import generate_walks_sharded
+
+    rows = []
+    reference = None
+    with tempfile.TemporaryDirectory(prefix="bench_stores_") as tmp:
+        for shards in shard_counts:
+            store = GraphStore.build(
+                graph, Path(tmp) / f"s{shards}", shards=shards, seed=seed
+            )
+            for workers in worker_counts:
+                ctx = ExecutionContext(workers=workers)
+                for _ in range(warmup):
+                    generate_walks_sharded(store, walk_cfg, context=ctx)
+                mpath = (
+                    manifest_dir / f"shard_s{shards}_w{workers}.manifest.json"
+                )
+                run_config = {
+                    "stage": "shard_walks", "shards": shards, "workers": workers
+                }
+                with _observed(mpath, run_config):
+                    for _ in range(max(repeats, 1)):
+                        walks = generate_walks_sharded(
+                            store, walk_cfg, context=ctx
+                        )
+                if reference is None:
+                    reference = walks.walks
+                identical = bool(np.array_equal(reference, walks.walks))
+                if not identical:
+                    raise RuntimeError(
+                        f"shard invariance broken at shards={shards} "
+                        f"workers={workers}"
+                    )
+                manifest = load_manifest(mpath)
+                metrics = manifest["metrics"]
+                hist = metrics["histograms"]["walks.generate_seconds"]
+                best = hist["min"]
+                reps = max(repeats, 1)
+                rows.append(
+                    {
+                        "shards": shards,
+                        "workers": workers,
+                        "effective_workers": resolve_workers(workers),
+                        "seconds": round(best, 4),
+                        "walks_per_sec": round(
+                            walks.num_walks / max(best, 1e-9), 1
+                        ),
+                        "rounds": int(
+                            metrics["counters"]["shard.rounds"] // reps
+                        ),
+                        "exchanged": int(
+                            metrics["counters"].get("shard.exchanged", 0)
+                            // reps
+                        ),
+                        "identical_to_single_shard": identical,
+                        "repeats": int(hist["count"]),
+                        "manifest": mpath.name,
+                    }
+                )
+    return rows
 
 
 def _lifecycle_overhead(
@@ -312,6 +406,18 @@ def render(report: dict) -> str:
         for row in report["walk_generation"]
     ] + [
         ExperimentRecord(
+            params={
+                "stage": f"shard[{row['shards']}]", "workers": row["workers"]
+            },
+            values={
+                k: v
+                for k, v in row.items()
+                if k not in ("shards", "workers", "manifest")
+            },
+        )
+        for row in report.get("shard_walks", [])
+    ] + [
+        ExperimentRecord(
             params={"stage": "train", "workers": row["workers"]},
             values={
                 k: v for k, v in row.items() if k not in ("workers", "manifest")
@@ -351,7 +457,7 @@ def render(report: dict) -> str:
     return format_table(
         records,
         title=(
-            f"PR 7 parallel-payoff bench "
+            f"{report.get('bench', 'pipeline')} bench "
             f"(cpus={host['cpu_count']}, affinity={host['cpu_affinity']}, "
             f"python={host['python']})"
         ),

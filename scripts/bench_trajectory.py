@@ -59,6 +59,13 @@ def summarize_bench(pr: int, report: dict) -> dict[str, Any]:
     serial_train = _row_for(training, 1) or {}
     best = _best_parallel(training) or {}
     host = report.get("host") or {}
+    # PR 10+: out-of-core rows; headline is the best multi-shard rate.
+    shard_rows = [
+        r for r in report.get("shard_walks") or [] if (r.get("shards") or 1) > 1
+    ]
+    best_shard = max(
+        shard_rows, key=lambda r: r.get("walks_per_sec") or 0.0, default={}
+    )
     return {
         "pr": pr,
         "bench": report.get("bench", f"pr{pr}"),
@@ -71,6 +78,8 @@ def summarize_bench(pr: int, report: dict) -> dict[str, Any]:
         "train_kernel": serial_train.get("kernel"),
         "best_parallel_workers": best.get("workers"),
         "best_parallel_speedup": best.get("speedup_vs_serial"),
+        "shard_walks_per_sec": best_shard.get("walks_per_sec"),
+        "shard_count": best_shard.get("shards"),
         "cpu_affinity": host.get("cpu_affinity", host.get("cpu_count")),
     }
 
@@ -103,9 +112,9 @@ def render_markdown(trajectory: dict) -> str:
     lines = [
         START_MARK,
         "",
-        "| PR | bench | corpus n | walks/s (serial) | train words/s (serial) "
-        "| kernel | best ∥ speedup |",
-        "|---|---|---|---|---|---|---|",
+        "| PR | bench | corpus n | walks/s (serial) | walks/s (sharded) "
+        "| train words/s (serial) | kernel | best ∥ speedup |",
+        "|---|---|---|---|---|---|---|---|",
     ]
     for entry in trajectory["entries"]:
         words = entry.get("train_words_per_sec_serial")
@@ -120,10 +129,17 @@ def render_markdown(trajectory: dict) -> str:
             if speedup is not None
             else "-"
         )
+        sharded = entry.get("shard_walks_per_sec")
+        sharded_cell = (
+            f"{_fmt(sharded)} @ {entry.get('shard_count')}sh"
+            if sharded is not None
+            else "-"
+        )
         lines.append(
             f"| {entry['pr']} | {entry['bench']} "
             f"| {_fmt(entry.get('corpus_n'))} "
             f"| {_fmt(entry.get('walks_per_sec_serial'))} "
+            f"| {sharded_cell} "
             f"| {train} "
             f"| {entry.get('train_kernel') or '-'} "
             f"| {speedup_cell} |"

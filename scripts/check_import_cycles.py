@@ -3,8 +3,13 @@
 
 The architecture (docs/architecture.md) is a DAG:
 
-    graph → walks → core → pipeline → cli
-                      ↑________tasks/community/viz
+    graph (view/store/partition) → walks → core → pipeline → cli
+                                     ↑________tasks/community/viz
+
+``repro.graph.store`` / ``repro.graph.partition`` may depend on the
+graph core and on ``repro.resilience`` (integrity records), but never on
+``repro.walks`` or ``repro.pipeline`` — the out-of-core substrate must
+stay consumable by every engine above it.
 
 Two classes of violation are checked, on *module-level* imports only
 (``import x`` / ``from x import y`` at the top of the file, outside
@@ -52,6 +57,32 @@ RULES = [
         "repro.parallel",
         "repro.pipeline",
         "engines sit below the pipeline runtime (use function-local imports in shims)",
+    ),
+    (
+        "repro.graph.store",
+        "repro.walks",
+        "the graph store is substrate; walk engines consume it, never the reverse",
+    ),
+    (
+        "repro.graph.store",
+        "repro.pipeline",
+        "the graph store is substrate; the pipeline runtime sits far above it",
+    ),
+    (
+        "repro.graph.partition",
+        "repro.walks",
+        "partitioning is substrate; walk engines consume it, never the reverse",
+    ),
+    (
+        "repro.graph.partition",
+        "repro.pipeline",
+        "partitioning is substrate; the pipeline runtime sits far above it",
+    ),
+    (
+        "repro.graph",
+        "repro.community",
+        "graph is the bottom layer; community algorithms build on it "
+        "(partition's label-propagation hook is a function-local import)",
     ),
     (
         "repro",

@@ -7,6 +7,10 @@ Commands mirror the paper's three applications plus the data plumbing:
 - ``predict``  — k-NN label prediction with k-fold cross validation.
 - ``layout``   — ForceAtlas coordinates to CSV.
 - ``generate`` — write a synthetic benchmark graph to an edge-list file.
+- ``shard``    — out-of-core graph stores: ``shard build`` partitions an
+  edge list into a memory-mapped CSR store (walk over it with
+  ``--graph-store``), ``shard verify`` re-hashes one against its
+  integrity record. See docs/scaling.md.
 - ``report``   — human summary of a run manifest (``--metrics-out``);
   ``--trace-export`` converts the event stream to Chrome Trace JSON and
   ``--compare`` diffs two manifests with regression highlighting.
@@ -227,6 +231,7 @@ def runtime_from_args(args):
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=getattr(args, "resume", False),
         workers=resolve_workers(getattr(args, "walk_workers", 1)),
+        shards=getattr(args, "shards", None),
         supervisor=supervisor,
         seed=getattr(args, "seed", None),
         cancellation=token,
@@ -258,6 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--q", type=float, default=1.0, help="node2vec in-out bias")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_store_args(p: argparse.ArgumentParser) -> None:
+        s = p.add_argument_group(
+            "out-of-core graph store",
+            "walk over a memory-mapped CSR store (repro.graph.store) "
+            "instead of loading the graph into RAM; see docs/scaling.md",
+        )
+        s.add_argument(
+            "--graph-store",
+            default=None,
+            metavar="DIR",
+            help="graph store directory (`repro shard build`); built from "
+            "the positional graph on first use when DIR does not exist",
+        )
+        s.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="N",
+            help="shard count when auto-building --graph-store (default 4), "
+            "and a cap on concurrent shard tasks per walk exchange round",
+        )
+
     p_embed = sub.add_parser("embed", help="train V2V vectors from an edge list")
     p_embed.add_argument("graph", help="edge-list file (src dst [w [t]])")
     p_embed.add_argument("-o", "--output", required=True, help="output .npz")
@@ -277,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         "drop-and-report",
     )
     add_walk_args(p_embed)
+    add_store_args(p_embed)
 
     p_detect = sub.add_parser("detect", help="detect communities")
     p_detect.add_argument("graph", help="edge-list file")
@@ -290,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_detect.add_argument("--restarts", type=int, default=100)
     add_walk_args(p_detect)
+    add_store_args(p_detect)
 
     p_predict = sub.add_parser(
         "predict", help="cross-validated k-NN label prediction"
@@ -313,6 +342,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_link.add_argument("--test-fraction", type=float, default=0.3)
     add_walk_args(p_link)
+
+    p_shard = sub.add_parser(
+        "shard", help="build / inspect out-of-core graph stores"
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+    p_shard_build = shard_sub.add_parser(
+        "build",
+        help="partition an edge list into a memory-mapped CSR store",
+    )
+    p_shard_build.add_argument("graph", help="edge-list file (src dst [w [t]])")
+    p_shard_build.add_argument(
+        "-o", "--output", required=True, help="store directory (must not exist)"
+    )
+    p_shard_build.add_argument(
+        "--shards", type=int, default=4, help="shard count (default: 4)"
+    )
+    p_shard_build.add_argument(
+        "--method",
+        choices=["bfs", "label-propagation", "contiguous"],
+        default="bfs",
+        help="vertex partitioning strategy (default: bfs; locality only — "
+        "walk results are identical for every choice)",
+    )
+    p_shard_build.add_argument("--directed", action="store_true")
+    p_shard_build.add_argument("--seed", type=int, default=0)
+    p_shard_verify = shard_sub.add_parser(
+        "verify",
+        help="re-hash a store against its integrity record (corrupt stores "
+        "are quarantined)",
+    )
+    p_shard_verify.add_argument("store", help="store directory")
 
     p_layout = sub.add_parser("layout", help="ForceAtlas layout to CSV")
     p_layout.add_argument("graph", help="edge-list file")
@@ -408,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     for p in (p_embed, p_detect, p_link):
         add_runtime_flags(p, checkpointing=True, workers=True)
     for p in (p_predict, p_layout, p_gen, p_report, p_top, p_runs_list,
-              p_runs_resume):
+              p_runs_resume, p_shard_build, p_shard_verify):
         add_runtime_flags(p)
     return parser
 
@@ -433,6 +493,38 @@ def _load_graph(path: str, directed: bool, errors: str = "strict"):
     return read_edge_list(path, directed=directed or None, errors=errors)
 
 
+def _resolve_graph_input(args):
+    """The pipeline input: an in-memory graph, or a memory-mapped store.
+
+    With ``--graph-store DIR`` the command walks over the store's mmap'd
+    CSR shards (one shard's row range resident at a time) instead of the
+    heap graph. A missing DIR is built once from the positional edge
+    list (``--shards``, default 4) and reused by later runs.
+    """
+    store_path = getattr(args, "graph_store", None)
+    errors = getattr(args, "on_error", "strict")
+    if store_path is None:
+        return _load_graph(args.graph, args.directed, errors=errors)
+    from repro.graph.store import GraphStore
+
+    if Path(store_path).exists():
+        return GraphStore.open(store_path)
+    graph = _load_graph(args.graph, args.directed, errors=errors)
+    store = GraphStore.build(
+        graph,
+        store_path,
+        shards=getattr(args, "shards", None) or 4,
+        seed=args.seed,
+    )
+    _log.info(
+        "shard.autobuild",
+        path=str(store_path),
+        shards=store.num_shards,
+        n=store.n,
+    )
+    return store
+
+
 def _v2v_config(args):
     from repro.core.model import V2VConfig
     from repro.parallel.pool import resolve_workers
@@ -455,10 +547,25 @@ def _v2v_config(args):
     )
 
 
+def _check_store_mode(args) -> bool:
+    """False (with a stderr message) for walk modes a store can't run."""
+    if getattr(args, "graph_store", None) and args.mode == "node2vec":
+        print(
+            "error: node2vec walks are not supported with --graph-store "
+            "(the rejection sampler breaks shard determinism); drop "
+            "--graph-store or pick another --mode",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _cmd_embed(args) -> int:
     from repro.core.model import V2V
 
-    graph = _load_graph(args.graph, args.directed, errors=args.on_error)
+    if not _check_store_mode(args):
+        return 2
+    graph = _resolve_graph_input(args)
     model = V2V(_v2v_config(args)).fit(graph, context=runtime_from_args(args))
     model.save(args.output)
     result = model.result
@@ -477,10 +584,12 @@ def _cmd_detect(args) -> int:
         louvain_communities,
     )
 
-    graph = _load_graph(args.graph, args.directed)
+    if not _check_store_mode(args):
+        return 2
     if args.method == "v2v":
         from repro.pipeline import DetectStage, Pipeline, TrainStage, WalkStage
 
+        graph = _resolve_graph_input(args)
         cfg = _v2v_config(args)
         pipeline = Pipeline(
             [
@@ -489,8 +598,12 @@ def _cmd_detect(args) -> int:
                 DetectStage(args.k, n_init=args.restarts, seed=args.seed),
             ]
         )
+        # A store is built undirected already; only the heap graph needs
+        # the symmetrization pass.
+        if graph.directed and hasattr(graph, "to_undirected"):
+            graph = graph.to_undirected()
         result = pipeline.execute(
-            graph.to_undirected() if graph.directed else graph,
+            graph,
             context=runtime_from_args(args),
         )
         membership = result.value
@@ -499,13 +612,19 @@ def _cmd_detect(args) -> int:
             f"cluster {result.seconds_for('detect'):.4f}s"
         )
     elif args.method == "cnm":
-        membership = cnm_communities(graph, target_communities=args.k)
+        membership = cnm_communities(
+            _load_graph(args.graph, args.directed), target_communities=args.k
+        )
     elif args.method == "girvan-newman":
         membership = girvan_newman_communities(
-            graph, target_communities=args.k, seed=args.seed
+            _load_graph(args.graph, args.directed),
+            target_communities=args.k,
+            seed=args.seed,
         )
     else:
-        membership = louvain_communities(graph, seed=args.seed)
+        membership = louvain_communities(
+            _load_graph(args.graph, args.directed), seed=args.seed
+        )
     with Path(args.output).open("w") as fh:
         fh.write("vertex\tcommunity\n")
         for v, c in enumerate(membership):
@@ -732,6 +851,51 @@ def _cmd_runs(args) -> int:
     return subprocess.run([sys.executable, "-m", "repro", *cmd_argv]).returncode
 
 
+def _cmd_shard(args) -> int:
+    from repro.graph.store import GraphStore, StoreCorrupt
+
+    if args.shard_command == "build":
+        if Path(args.output).exists():
+            print(
+                f"error: {args.output} already exists (stores are "
+                "build-once; point -o somewhere fresh or remove it first)",
+                file=sys.stderr,
+            )
+            return 2
+        graph = _load_graph(args.graph, args.directed)
+        store = GraphStore.build(
+            graph,
+            args.output,
+            shards=args.shards,
+            method=args.method.replace("-", "_"),
+            seed=args.seed,
+        )
+        sizes = np.diff(store.shard_bounds)
+        print(
+            f"store (n={store.n}, m={store.num_edges}, "
+            f"{store.num_shards} shards via {args.method}, "
+            f"sizes {sizes.min()}..{sizes.max()}) -> {args.output}"
+        )
+        return 0
+
+    # verify
+    try:
+        store = GraphStore.open(args.store)
+        store.verify()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except StoreCorrupt as exc:
+        print(f"error: {exc} (store quarantined)", file=sys.stderr)
+        return 2
+    print(
+        f"store ok (n={store.n}, m={store.num_edges}, "
+        f"{store.num_shards} shards, "
+        f"{store.manifest['integrity']['algo']} verified)"
+    )
+    return 0
+
+
 def _cmd_top(args) -> int:
     from repro.obs.live import top_command
 
@@ -750,6 +914,7 @@ COMMANDS = {
     "linkpred": _cmd_linkpred,
     "layout": _cmd_layout,
     "generate": _cmd_generate,
+    "shard": _cmd_shard,
     "report": _cmd_report,
     "top": _cmd_top,
     "runs": _cmd_runs,
@@ -817,6 +982,7 @@ def _open_registry(args, raw_argv: list[str]):
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.graph.store import StoreCorrupt
     from repro.obs.recorder import session
     from repro.resilience.checkpoint import DiskFull
     from repro.resilience.guard import BudgetExceeded
@@ -880,6 +1046,12 @@ def main(argv: list[str] | None = None) -> int:
         if registry is not None:
             registry.close_run("failed", reason="disk_full")
         _log.error("run.disk_full", error=str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except StoreCorrupt as exc:
+        if registry is not None:
+            registry.close_run("failed", reason="store_corrupt")
+        _log.error("run.store_corrupt", error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BaseException:

@@ -4,9 +4,23 @@ This subpackage implements the graph layer that V2V operates on. Every
 structure is stored in flat, contiguous numpy arrays (CSR adjacency) so
 that the random-walk engine and the community-detection baselines can run
 vectorized over the whole vertex set.
+
+Two backends satisfy the :class:`GraphView` protocol: the in-memory
+:class:`Graph` and the out-of-core :class:`GraphStore` (a build-once,
+memory-mapped CSR partitioned into shards — see
+:mod:`repro.graph.store` / :mod:`repro.graph.partition` and
+docs/scaling.md). Engine layers consume views, not concrete classes.
 """
 
 from repro.graph.core import Graph, EdgeList
+from repro.graph.view import GraphView, is_graph_view
+from repro.graph.store import GraphStore, StoreCorrupt
+from repro.graph.partition import (
+    PARTITION_METHODS,
+    contiguous_relabel,
+    partition_vertices,
+    shard_of,
+)
 from repro.graph.generators import (
     barabasi_albert,
     complete_graph,
@@ -25,6 +39,7 @@ from repro.graph.metrics import (
     average_clustering,
     degree_assortativity,
     density,
+    global_clustering,
     modularity,
     triangle_count,
 )
@@ -41,6 +56,14 @@ from repro.graph.traversal import (
 __all__ = [
     "Graph",
     "EdgeList",
+    "GraphView",
+    "is_graph_view",
+    "GraphStore",
+    "StoreCorrupt",
+    "PARTITION_METHODS",
+    "partition_vertices",
+    "contiguous_relabel",
+    "shard_of",
     "planted_partition",
     "erdos_renyi",
     "barabasi_albert",
@@ -65,6 +88,7 @@ __all__ = [
     "density",
     "modularity",
     "average_clustering",
+    "global_clustering",
     "triangle_count",
     "degree_assortativity",
 ]

@@ -21,7 +21,13 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["Graph", "EdgeList"]
+__all__ = ["Graph", "EdgeList", "DENSE_MATERIALIZATION_LIMIT"]
+
+#: Largest vertex count for which dense O(n²) materialization
+#: (``adjacency_matrix`` and the dense metric paths) proceeds without
+#: ``force=True``. 4096² float64 ≈ 134 MB — past that a dense matrix is
+#: almost certainly an accident.
+DENSE_MATERIALIZATION_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -415,8 +421,22 @@ class Graph:
             g.set_vertex_labels(name, values[keep])
         return g, keep
 
-    def adjacency_matrix(self) -> np.ndarray:
-        """Dense weighted adjacency (arcs summed; use on small graphs only)."""
+    def adjacency_matrix(self, *, force: bool = False) -> np.ndarray:
+        """Dense weighted adjacency (arcs summed).
+
+        O(n²) memory — an accidental call on a large graph is almost
+        always a bug (the CSR arrays hold the same information in
+        O(n + m)), so vertices beyond
+        :data:`DENSE_MATERIALIZATION_LIMIT` raise unless ``force=True``.
+        """
+        if self._n > DENSE_MATERIALIZATION_LIMIT and not force:
+            raise ValueError(
+                f"adjacency_matrix() would materialize a dense "
+                f"{self._n}x{self._n} float64 matrix "
+                f"({self._n * self._n * 8 / 1e9:.1f} GB); use the CSR "
+                f"arrays (indptr/indices) or pass force=True if you "
+                f"really want it"
+            )
         mat = np.zeros((self._n, self._n), dtype=np.float64)
         src, dst = self.arc_array()
         w = self._edge_weights

@@ -4,6 +4,15 @@ Text format is whitespace-separated: ``src dst [weight [time]]`` per line,
 ``#``-prefixed comments allowed. Binary format is an ``.npz`` capturing the
 full graph (CSR-independent: the canonical edge list plus metadata) so a
 round trip is exact.
+
+Both binary entry points also speak the out-of-core store format
+(:mod:`repro.graph.store`): :func:`load_graph` on a store *directory*
+materializes the graph back through the persisted permutation — vertex
+labels, edge weights, and timestamps round-trip exactly — and
+:func:`save_graph` accepts a :class:`~repro.graph.store.GraphStore` as
+input. Corrupt stores raise
+:class:`~repro.graph.store.StoreCorrupt` (after quarantining the
+directory), mirroring ``CheckpointCorrupt`` for checkpoints.
 """
 
 from __future__ import annotations
@@ -158,7 +167,14 @@ def read_edge_list(
 
 
 def save_graph(g: Graph, path: str | Path) -> None:
-    """Save a graph (edges, weights, times, vertex weights, labels) as .npz."""
+    """Save a graph (edges, weights, times, vertex weights, labels) as .npz.
+
+    A :class:`~repro.graph.store.GraphStore` input is materialized back
+    to original vertex ids first, so ``save_graph(store, p)`` followed by
+    :func:`load_graph` round-trips the graph the store was built from.
+    """
+    if getattr(g, "mmap_backed", False) and hasattr(g, "to_graph"):
+        g = g.to_graph()
     path = Path(path)
     e = g.edge_list
     payload: dict[str, np.ndarray] = {
@@ -187,7 +203,18 @@ def save_graph(g: Graph, path: str | Path) -> None:
 
 
 def load_graph(path: str | Path) -> Graph:
-    """Inverse of :func:`save_graph`."""
+    """Inverse of :func:`save_graph`.
+
+    ``path`` may also be a graph-store directory (``repro shard
+    build``): the store is opened — validation failures quarantine it
+    and raise :class:`~repro.graph.store.StoreCorrupt` — and
+    materialized with labels, weights, and times intact.
+    """
+    path = Path(path)
+    if path.is_dir():
+        from repro.graph.store import GraphStore
+
+        return GraphStore.open(path).to_graph()
     with np.load(Path(path), allow_pickle=False) as data:
         meta = json.loads(bytes(data["meta"]).decode())
         edge_list = EdgeList(

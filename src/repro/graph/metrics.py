@@ -2,23 +2,39 @@
 
 ``modularity`` is the Newman–Girvan modularity used by both the CNM
 baseline and the Girvan–Newman modularity-peak cut.
+
+Every metric takes a :class:`repro.graph.view.GraphView` — the in-memory
+``Graph`` or the memory-mapped ``GraphStore`` — and stays in O(n + m)
+CSR form except where a dense matrix is explicitly cheaper on small
+graphs (``triangle_count`` under :data:`_DENSE_TRIANGLE_LIMIT``; above
+:data:`repro.graph.core.DENSE_MATERIALIZATION_LIMIT` the dense paths
+are never taken, so no metric accidentally materializes O(n²)).
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from repro.graph.core import Graph
 from repro.obs.recorder import current_recorder
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.graph.view import GraphView as Graph
 
 __all__ = [
     "density",
     "modularity",
     "triangle_count",
     "average_clustering",
+    "global_clustering",
     "degree_assortativity",
     "degree_histogram",
 ]
+
+#: Below this vertex count ``triangle_count`` uses the dense trace(A³)
+#: kernel (faster there); above it, the CSR neighbor-merge sweep.
+_DENSE_TRIANGLE_LIMIT = 512
 
 
 def density(g: Graph) -> float:
@@ -64,24 +80,80 @@ def modularity(g: Graph, membership: np.ndarray) -> float:
 def triangle_count(g: Graph) -> int:
     """Total number of triangles in an undirected graph.
 
-    Uses the trace of A^3 on a dense adjacency for small graphs and a
-    neighbor-intersection sweep for larger ones.
+    Uses the trace of A^3 on a dense adjacency for small graphs and the
+    CSR forward-edge intersection sweep (:func:`_triangle_count_csr`,
+    O(n + m) memory) for larger ones — large graphs never materialize a
+    dense matrix.
     """
     if g.directed:
         raise ValueError("triangle_count expects an undirected graph")
-    if g.n <= 512:
+    if g.n <= _DENSE_TRIANGLE_LIMIT and hasattr(g, "adjacency_matrix"):
         a = (g.adjacency_matrix() > 0).astype(np.float64)
         np.fill_diagonal(a, 0.0)
         return int(round(np.trace(a @ a @ a) / 6.0))
+    return _triangle_count_csr(g)
+
+
+def _triangle_count_csr(g: Graph) -> int:
+    """Forward-edge triangle counting straight off the CSR arrays.
+
+    For every edge (u, v) with u < v, count the common forward
+    neighbors w > v; each triangle u < v < w is found exactly once, at
+    its smallest edge. Sorted forward adjacency lists make each
+    intersection a linear merge (``np.intersect1d`` on unique arrays),
+    so nothing dense — and on a :class:`GraphStore` nothing beyond the
+    touched rows — is ever materialized.
+    """
+    indptr = g.indptr
+    indices = g.indices
+    n = int(g.n)
+    forward: list[np.ndarray] = []
+    for u in range(n):
+        nbrs = indices[indptr[u] : indptr[u + 1]]
+        fwd = np.unique(nbrs[nbrs > u])
+        forward.append(fwd)
     total = 0
-    neighbor_sets = [set(map(int, g.neighbors(v))) for v in range(g.n)]
-    for u in range(g.n):
-        for v in g.neighbors(u):
-            v = int(v)
-            if v <= u:
-                continue
-            total += len(neighbor_sets[u] & neighbor_sets[v])
-    return total // 3  # each triangle counted once per edge
+    for u in range(n):
+        fwd = forward[u]
+        for v in fwd:
+            common = np.intersect1d(fwd, forward[int(v)], assume_unique=True)
+            total += int(common.size)
+    return total
+
+
+def global_clustering(g: Graph) -> float:
+    """Global clustering coefficient (transitivity): 3·triangles / triads.
+
+    A *triad* is an ordered pair of distinct edges sharing a vertex
+    (``sum_v d_v·(d_v − 1)/2`` with self-loops excluded from degrees);
+    every triangle closes three of them. 0.0 on graphs with no triads.
+    Runs entirely on the CSR arrays above the dense threshold, so it is
+    safe on large (and memory-mapped) graphs.
+    """
+    if g.directed:
+        raise ValueError("global_clustering expects an undirected graph")
+    if g.n == 0:
+        return 0.0
+    indptr = np.asarray(g.indptr)
+    deg = np.diff(indptr).astype(np.float64)
+    # Self-loops appear once in their own row; they are not usable arcs
+    # for a triad, so remove them from the degree sequence.
+    loops = _self_loop_counts(g)
+    deg = deg - loops
+    triads = float(np.sum(deg * (deg - 1.0)) / 2.0)
+    if triads <= 0:
+        return 0.0
+    return 3.0 * triangle_count(g) / triads
+
+
+def _self_loop_counts(g: Graph) -> np.ndarray:
+    """Per-vertex count of self-loop arcs, CSR-only."""
+    indptr = np.asarray(g.indptr)
+    indices = np.asarray(g.indices)
+    row = np.repeat(np.arange(int(g.n), dtype=np.int64), np.diff(indptr))
+    loops = np.zeros(int(g.n), dtype=np.float64)
+    np.add.at(loops, row[indices == row], 1.0)
+    return loops
 
 
 def average_clustering(g: Graph) -> float:

@@ -9,10 +9,12 @@ frontier at once) rather than per-vertex Python loops.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.graph.core import Graph
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.graph.view import GraphView as Graph
 
 __all__ = [
     "bfs_order",

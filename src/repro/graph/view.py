@@ -1,0 +1,93 @@
+"""GraphView: the structural protocol every graph backend satisfies.
+
+The walk engine, traversal, and metrics layers consume *views* — any
+object exposing CSR adjacency as flat numpy arrays plus a handful of
+scalar properties — rather than the concrete in-memory
+:class:`repro.graph.core.Graph`. Two backends ship today:
+
+- :class:`repro.graph.core.Graph` — arrays on the heap; built from an
+  edge list, cheap to mutate/derive.
+- :class:`repro.graph.store.GraphStore` — arrays memory-mapped from a
+  build-once on-disk CSR, so only the pages a computation touches ever
+  become resident. Its ``mmap_backed`` attribute is how the resource
+  guard (:func:`repro.resilience.guard.estimate_footprint`) knows the
+  structure is disk, not RSS.
+
+The protocol is deliberately *structural* (:func:`typing.runtime_checkable`
+``Protocol``): backends never import each other, and a test double only
+needs the attributes it actually exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["GraphView", "is_graph_view"]
+
+
+@runtime_checkable
+class GraphView(Protocol):
+    """Read-only CSR adjacency: the contract of every graph backend.
+
+    The neighbors of vertex ``v`` are
+    ``indices[indptr[v]:indptr[v + 1]]``; undirected backends store each
+    edge as two arcs. ``edge_weights`` / ``edge_times`` /
+    ``vertex_weights`` align with ``indices`` / the vertex range and are
+    ``None`` when absent. Implementations may back the arrays with heap
+    memory, shared memory, or a memory map — consumers must not mutate
+    them.
+    """
+
+    @property
+    def n(self) -> int: ...
+
+    @property
+    def num_vertices(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    @property
+    def num_arcs(self) -> int: ...
+
+    @property
+    def directed(self) -> bool: ...
+
+    @property
+    def indptr(self) -> np.ndarray: ...
+
+    @property
+    def indices(self) -> np.ndarray: ...
+
+    @property
+    def edge_weights(self) -> np.ndarray | None: ...
+
+    @property
+    def edge_times(self) -> np.ndarray | None: ...
+
+    @property
+    def vertex_weights(self) -> np.ndarray | None: ...
+
+    @property
+    def weighted(self) -> bool: ...
+
+    @property
+    def temporal(self) -> bool: ...
+
+    def neighbors(self, v: int) -> np.ndarray: ...
+
+    def degree(self, v: int | None = None) -> "int | np.ndarray": ...
+
+    def out_degrees(self) -> np.ndarray: ...
+
+
+def is_graph_view(value: object) -> bool:
+    """True when ``value`` structurally satisfies :class:`GraphView`.
+
+    ``isinstance`` against a runtime-checkable Protocol checks attribute
+    *presence* only — it cannot validate array contents — but that is
+    exactly the level the engine dispatchers need.
+    """
+    return isinstance(value, GraphView)

@@ -82,6 +82,13 @@ class ExecutionContext:
         worker count stays in ``TrainConfig.workers`` — it changes the
         RNG stream layout and is therefore model identity, not runtime
         policy.
+    shards:
+        Cap on how many graph-store shard tasks run concurrently per
+        walk exchange round (see :mod:`repro.walks.sharded`). ``None``
+        (default) means min(workers, store shard count). Pure
+        scheduling — the sharded engine's corpus is bitwise-identical
+        for every value — so it is runtime policy like ``workers``, not
+        model identity. Ignored by in-memory stages.
     supervisor:
         Liveness policy for parallel workers (heartbeats, watchdog,
         respawn ladder); ``None`` disables supervision.
@@ -118,6 +125,7 @@ class ExecutionContext:
     checkpoint_dir: Path | None = None
     resume: bool = False
     workers: int | None = 1
+    shards: int | None = None
     supervisor: SupervisorConfig | None = None
     fault_injector: Callable[[Callable], Callable] | None = field(
         default=None, compare=False

@@ -58,7 +58,16 @@ def _vectors_of(value: Any) -> np.ndarray:
 
 
 class WalkStage(PipelineStage):
-    """Generate the walk corpus (paper Section II-A) from a graph."""
+    """Generate the walk corpus (paper Section II-A) from a graph view.
+
+    The input is any :class:`repro.graph.view.GraphView` backend: an
+    in-memory :class:`Graph` runs the lock-step engine; a memory-mapped
+    :class:`repro.graph.store.GraphStore` dispatches to the
+    shard-parallel engine (:mod:`repro.walks.sharded`), whose
+    concurrency is capped by ``ExecutionContext.shards``. Checkpointed
+    chunks (``checkpoint_chunks``) apply to the in-memory path only —
+    shard rounds are idempotent and recompute instead.
+    """
 
     name = "walks"
 

@@ -205,7 +205,19 @@ def estimate_footprint(
     killer.
     """
     n, m = _graph_size(value)
-    breakdown: dict[str, int] = {"graph": (n + 2 * m) * 8}
+    graph_bytes = (n + 2 * m) * 8
+    breakdown: dict[str, int] = {}
+    disk_extra = 0
+    if getattr(value, "mmap_backed", False):
+        # Out-of-core store: CSR pages live on disk and fault in on
+        # demand; the walk engine touches one shard's row range at a
+        # time, so the resident working set is roughly one shard, not
+        # the graph. The structure itself counts against disk.
+        num_shards = max(int(getattr(value, "num_shards", 1) or 1), 1)
+        breakdown["graph_mmap_working_set"] = graph_bytes // num_shards
+        disk_extra = graph_bytes
+    else:
+        breakdown["graph"] = graph_bytes
     tokens = 0
     shm = 0
     disk = 0
@@ -242,7 +254,7 @@ def estimate_footprint(
     return RunFootprint(
         rss_bytes=rss,
         shm_bytes=shm,
-        disk_bytes=disk,
+        disk_bytes=disk + disk_extra,
         breakdown=breakdown,
     )
 

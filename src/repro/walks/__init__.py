@@ -8,6 +8,7 @@ costs ``l`` numpy passes instead of ``t * |V| * l`` Python iterations.
 from repro.walks.alias import AliasTable, build_arc_alias
 from repro.walks.corpus import WalkCorpus
 from repro.walks.engine import RandomWalkConfig, WalkMode, generate_walks
+from repro.walks.sharded import generate_walks_sharded
 from repro.walks.stats import CorpusStats, corpus_stats, crossing_rate
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "RandomWalkConfig",
     "WalkMode",
     "generate_walks",
+    "generate_walks_sharded",
     "CorpusStats",
     "corpus_stats",
     "crossing_rate",

@@ -163,6 +163,14 @@ def _generate_walks(
 ) -> WalkCorpus:
     """Context-based engine entry (``ctx`` is an ExecutionContext)."""
     config = config or RandomWalkConfig()
+    if getattr(g, "mmap_backed", False) and hasattr(g, "shard"):
+        # Out-of-core store: shard-parallel engine with counter-based
+        # draws (bitwise-stable across shard/worker counts). Durable
+        # chunk checkpoints don't apply there — shard rounds are
+        # idempotent (see repro.walks.sharded).
+        from repro.walks.sharded import generate_walks_sharded
+
+        return generate_walks_sharded(g, config, context=ctx)
     workers = ctx.resolve_workers()
     rec = current_recorder()
     with ctx.lifecycle(), rec.span(

@@ -10,6 +10,7 @@ from repro.graph.metrics import (
     degree_assortativity,
     degree_histogram,
     density,
+    global_clustering,
     modularity,
     triangle_count,
 )
@@ -107,6 +108,48 @@ class TestClustering:
 
     def test_empty(self):
         assert average_clustering(Graph(0)) == 0.0
+
+
+class TestGlobalClustering:
+    def test_complete_graph_is_one(self):
+        assert np.isclose(global_clustering(complete_graph(5)), 1.0)
+
+    def test_star_and_path_are_zero(self, path4):
+        assert global_clustering(star_graph(5)) == 0.0
+        assert global_clustering(path4) == 0.0
+
+    def test_matches_networkx_transitivity(self, two_cliques):
+        nx = pytest.importorskip("networkx")
+        e = two_cliques.edge_list
+        ref = nx.Graph(list(zip(e.src.tolist(), e.dst.tolist())))
+        assert np.isclose(global_clustering(two_cliques), nx.transitivity(ref))
+
+    def test_large_graph_stays_csr(self):
+        # > 512 vertices routes through the sparse sweep end to end.
+        edges = [(i, i + 1) for i in range(599)] + [(0, 2)]
+        g = Graph(600, edges)
+        # one triangle over sum d(d-1)/2: vertices 0,1,2,3 have the
+        # extra-degree contributions; compute from degrees directly.
+        deg = g.out_degrees().astype(float)
+        expected = 3.0 * 1 / float(np.sum(deg * (deg - 1)) / 2.0)
+        assert np.isclose(global_clustering(g), expected)
+
+    def test_directed_rejected(self, directed_chain):
+        with pytest.raises(ValueError):
+            global_clustering(directed_chain)
+
+    def test_empty(self):
+        assert global_clustering(Graph(0)) == 0.0
+
+
+class TestDenseGuard:
+    def test_large_adjacency_refused_without_force(self):
+        g = path_graph(5000)
+        with pytest.raises(ValueError, match="force=True"):
+            g.adjacency_matrix()
+
+    def test_small_graphs_unaffected(self, triangle):
+        assert triangle.adjacency_matrix().shape == (3, 3)
 
 
 class TestAssortativity:

@@ -1,0 +1,97 @@
+"""Vertex partitioning and contiguous relabeling for the graph store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import planted_partition
+from repro.graph.partition import (
+    PARTITION_METHODS,
+    contiguous_relabel,
+    partition_vertices,
+    shard_of,
+)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return planted_partition(n=120, groups=4, alpha=0.7, inter_edges=60, seed=11)
+
+
+class TestPartitionVertices:
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    def test_membership_is_total_and_in_range(self, g, method):
+        m = partition_vertices(g, 4, method=method, seed=5)
+        assert m.shape == (g.n,)
+        assert m.min() >= 0 and m.max() < 4
+
+    @pytest.mark.parametrize("method", ("bfs", "contiguous"))
+    def test_chunk_methods_balance_within_one(self, g, method):
+        m = partition_vertices(g, 4, method=method)
+        sizes = np.bincount(m, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_label_propagation_uses_every_part(self, g):
+        m = partition_vertices(g, 4, method="label_propagation", seed=5)
+        # The planted communities are strong; packing them should keep
+        # every part non-empty (sizes may differ by one community).
+        assert np.unique(m).size == 4
+
+    def test_num_parts_clamped_to_n(self):
+        g = planted_partition(n=3, groups=1, alpha=0.9, inter_edges=0, seed=0)
+        m = partition_vertices(g, 10, method="contiguous")
+        assert m.max() < 3
+
+    def test_single_part_is_all_zero(self, g):
+        assert not partition_vertices(g, 1).any()
+
+    def test_rejects_bad_arguments(self, g):
+        with pytest.raises(ValueError):
+            partition_vertices(g, 0)
+        with pytest.raises(ValueError):
+            partition_vertices(g, 2, method="metis")
+
+    def test_deterministic_for_fixed_seed(self, g):
+        a = partition_vertices(g, 4, method="label_propagation", seed=9)
+        b = partition_vertices(g, 4, method="label_propagation", seed=9)
+        assert np.array_equal(a, b)
+
+    def test_bfs_keeps_neighbors_local(self, g):
+        """BFS chunking should beat random assignment on edge locality."""
+        m = partition_vertices(g, 4, method="bfs")
+        src, dst = g.arc_array()
+        bfs_cut = float(np.mean(m[src] != m[dst]))
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 4, size=g.n)
+        rand_cut = float(np.mean(rand[src] != rand[dst]))
+        assert bfs_cut < rand_cut
+
+
+class TestContiguousRelabel:
+    def test_perm_is_permutation_and_bounds_cover(self, g):
+        m = partition_vertices(g, 4, method="bfs")
+        perm, bounds = contiguous_relabel(m)
+        assert np.array_equal(np.sort(perm), np.arange(g.n))
+        assert bounds[0] == 0 and bounds[-1] == g.n
+        # Every new-id range holds exactly the vertices of its part.
+        for part in range(4):
+            originals = perm[bounds[part] : bounds[part + 1]]
+            assert np.all(m[originals] == part)
+
+    def test_relabel_is_stable_within_part(self):
+        m = np.array([1, 0, 1, 0, 1])
+        perm, bounds = contiguous_relabel(m)
+        assert perm.tolist() == [1, 3, 0, 2, 4]
+        assert bounds.tolist() == [0, 2, 5]
+
+    def test_rejects_negative_membership(self):
+        with pytest.raises(ValueError):
+            contiguous_relabel(np.array([0, -1, 1]))
+
+
+class TestShardOf:
+    def test_maps_new_ids_to_owning_shard(self):
+        bounds = np.array([0, 3, 7, 10])
+        vertices = np.array([0, 2, 3, 6, 7, 9])
+        assert shard_of(bounds, vertices).tolist() == [0, 0, 1, 1, 2, 2]

@@ -1,0 +1,202 @@
+"""Out-of-core graph store: build/open/verify, round-trip, corruption.
+
+The store is build-once and immutable; these tests pin the three
+contracts the rest of the stack leans on: (1) the mmap'd CSR plus the
+persisted permutation reconstruct the source graph exactly — labels,
+weights, timestamps and all; (2) both backends satisfy the ``GraphView``
+protocol, so engines can stay backend-blind; (3) a torn or tampered
+store never loads — it is quarantined and raises the typed
+``StoreCorrupt``, mirroring ``CheckpointCorrupt``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph.core import EdgeList, Graph
+from repro.graph.io import load_graph, save_graph
+from repro.graph.store import GraphStore, StoreCorrupt
+from repro.graph.view import GraphView, is_graph_view
+
+
+def rich_graph(n: int = 40, seed: int = 3) -> Graph:
+    """Connected graph with weights, times, vertex weights, and labels."""
+    rng = np.random.default_rng(seed)
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    extra = rng.integers(0, n, size=(2 * n, 2))
+    extra = extra[extra[:, 0] != extra[:, 1]]
+    s = np.concatenate([src, extra[:, 0]])
+    d = np.concatenate([dst, extra[:, 1]])
+    w = rng.uniform(0.1, 5.0, size=s.size)
+    t = rng.uniform(0.0, 100.0, size=s.size)
+    g = Graph(
+        n,
+        EdgeList(s, d, weights=w, times=t),
+        vertex_weights=rng.uniform(0.5, 2.0, size=n),
+    )
+    g.set_vertex_labels("community", rng.integers(0, 4, size=n))
+    return g
+
+
+def canonical_edges(g: Graph) -> set[tuple]:
+    src, dst = g.arc_array()
+    w = g.edge_weights
+    t = g.edge_times
+    rows = set()
+    for i in range(src.size):
+        a, b = int(src[i]), int(dst[i])
+        key = (min(a, b), max(a, b))
+        rows.add(
+            (
+                key,
+                None if w is None else round(float(w[i]), 9),
+                None if t is None else round(float(t[i]), 9),
+            )
+        )
+    return rows
+
+
+class TestBuildOpen:
+    def test_build_then_open_roundtrip(self, tmp_path):
+        g = rich_graph()
+        store = GraphStore.build(g, tmp_path / "store", shards=4, seed=1)
+        assert store.n == g.n
+        assert store.num_edges == g.num_edges
+        assert store.num_arcs == g.num_arcs
+        assert store.num_shards == 4
+        reopened = GraphStore.open(tmp_path / "store")
+        assert reopened.n == g.n
+        assert np.array_equal(reopened.indptr, store.indptr)
+        assert np.array_equal(reopened.indices, store.indices)
+
+    def test_shard_bounds_cover_vertex_range(self, tmp_path):
+        store = GraphStore.build(rich_graph(), tmp_path / "s", shards=4)
+        bounds = store.shard_bounds
+        assert bounds[0] == 0 and bounds[-1] == store.n
+        assert np.all(np.diff(bounds) >= 0)
+        total = sum(sh.num_vertices for sh in store.shards())
+        assert total == store.n
+
+    def test_build_is_build_once(self, tmp_path):
+        g = rich_graph()
+        GraphStore.build(g, tmp_path / "s", shards=2)
+        with pytest.raises(FileExistsError):
+            GraphStore.build(g, tmp_path / "s", shards=2)
+
+    def test_arrays_are_memory_mapped(self, tmp_path):
+        store = GraphStore.build(rich_graph(), tmp_path / "s", shards=2)
+        assert isinstance(store.indices, np.memmap)
+        assert store.mmap_backed is True
+
+    def test_every_partition_method_builds(self, tmp_path):
+        g = rich_graph()
+        for method in ("bfs", "label_propagation", "contiguous"):
+            store = GraphStore.build(
+                g, tmp_path / method, shards=3, method=method, seed=7
+            )
+            back = store.to_graph()
+            assert canonical_edges(back) == canonical_edges(g)
+
+    def test_temporal_rows_are_time_sorted(self, tmp_path):
+        store = GraphStore.build(rich_graph(), tmp_path / "s", shards=3)
+        assert store.manifest["rows_time_sorted"] is True
+        indptr = np.asarray(store.indptr)
+        times = np.asarray(store.edge_times)
+        for v in range(store.n):
+            row = times[indptr[v] : indptr[v + 1]]
+            assert np.all(np.diff(row) >= 0)
+
+
+class TestGraphViewProtocol:
+    def test_graph_satisfies_view(self):
+        assert is_graph_view(rich_graph())
+
+    def test_store_satisfies_view(self, tmp_path):
+        store = GraphStore.build(rich_graph(), tmp_path / "s", shards=2)
+        assert is_graph_view(store)
+        assert isinstance(store, GraphView)
+
+    def test_view_surface_matches_graph(self, tmp_path):
+        g = rich_graph()
+        store = GraphStore.build(g, tmp_path / "s", shards=1, method="contiguous")
+        # Single contiguous shard keeps the identity permutation, so the
+        # CSR row *sets* line up vertex by vertex.
+        assert np.array_equal(store.permutation(), np.arange(g.n))
+        for v in range(g.n):
+            assert set(map(int, store.neighbors(v))) == set(map(int, g.neighbors(v)))
+            assert store.degree(v) == g.degree(v)
+        assert np.array_equal(store.out_degrees(), g.out_degrees())
+
+
+class TestRoundTrip:
+    def test_to_graph_preserves_everything(self, tmp_path):
+        g = rich_graph()
+        store = GraphStore.build(g, tmp_path / "s", shards=4, seed=2)
+        back = store.to_graph()
+        assert back.n == g.n
+        assert canonical_edges(back) == canonical_edges(g)
+        assert np.allclose(back.vertex_weights, g.vertex_weights)
+        assert np.array_equal(
+            back.vertex_labels("community"), g.vertex_labels("community")
+        )
+
+    def test_io_load_graph_accepts_store_directory(self, tmp_path):
+        g = rich_graph()
+        GraphStore.build(g, tmp_path / "s", shards=4, seed=2)
+        back = load_graph(tmp_path / "s")
+        assert canonical_edges(back) == canonical_edges(g)
+        assert np.array_equal(
+            back.vertex_labels("community"), g.vertex_labels("community")
+        )
+
+    def test_io_save_graph_accepts_store(self, tmp_path):
+        g = rich_graph()
+        store = GraphStore.build(g, tmp_path / "s", shards=3)
+        save_graph(store, tmp_path / "g.npz")
+        back = load_graph(tmp_path / "g.npz")
+        assert canonical_edges(back) == canonical_edges(g)
+        assert np.allclose(back.vertex_weights, g.vertex_weights)
+
+
+class TestIntegrity:
+    def test_verify_passes_on_clean_store(self, tmp_path):
+        store = GraphStore.build(rich_graph(), tmp_path / "s", shards=2)
+        store.verify()  # must not raise
+
+    def test_truncated_array_quarantines_on_open(self, tmp_path):
+        GraphStore.build(rich_graph(), tmp_path / "s", shards=2)
+        victim = tmp_path / "s" / "indices.npy"
+        victim.write_bytes(victim.read_bytes()[:-64])
+        with pytest.raises(StoreCorrupt):
+            GraphStore.open(tmp_path / "s")
+        assert not (tmp_path / "s").exists(), "corrupt store not quarantined"
+        assert any(p.name.startswith("s.corrupt.") for p in tmp_path.iterdir())
+
+    def test_bitflip_fails_full_verify(self, tmp_path):
+        store = GraphStore.build(rich_graph(), tmp_path / "s", shards=2)
+        victim = tmp_path / "s" / "weights.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorrupt):
+            store.verify()
+        assert not (tmp_path / "s").exists()
+
+    def test_manifest_tamper_detected(self, tmp_path):
+        GraphStore.build(rich_graph(), tmp_path / "s", shards=2)
+        manifest_path = tmp_path / "s" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["num_edges"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+        # The tamper trips either open's structural validation or the
+        # full re-hash — both surface as the typed StoreCorrupt.
+        with pytest.raises(StoreCorrupt):
+            GraphStore.open(tmp_path / "s").verify()
+
+    def test_missing_store_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            GraphStore.open(tmp_path / "nope")
